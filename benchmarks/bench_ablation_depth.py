@@ -1,0 +1,103 @@
+"""Design ablation — maximum expression depth (paper Algorithm 1's
+``maxdepth``).
+
+Deeper trees reach more operator interactions but generate and evaluate
+more slowly; depth-0 trees (bare literals/columns) still rectify into
+valid conditions but exercise almost no operator surface.  We sweep the
+bound and measure generation cost and operator diversity.
+"""
+
+from _shared import format_table, write_result
+
+from repro.core.exprgen import ExpressionGenerator
+from repro.dialects import get_dialect
+from repro.rng import RandomSource
+from repro.sqlast.nodes import (
+    BinaryNode,
+    CaseNode,
+    CastNode,
+    FunctionNode,
+    InListNode,
+    PostfixNode,
+    UnaryNode,
+    count_nodes,
+    walk,
+)
+
+
+def sweep_depth(max_depth: int, samples: int = 800):
+    generator = ExpressionGenerator(get_dialect("sqlite"),
+                                    RandomSource(13), max_depth=max_depth)
+    kinds = set()
+    nodes = 0
+    for _ in range(samples):
+        expr = generator.condition()
+        nodes += count_nodes(expr)
+        for node in walk(expr):
+            if isinstance(node, BinaryNode):
+                kinds.add(("binary", node.op))
+            elif isinstance(node, UnaryNode):
+                kinds.add(("unary", node.op))
+            elif isinstance(node, PostfixNode):
+                kinds.add(("postfix", node.op))
+            elif isinstance(node, FunctionNode):
+                kinds.add(("function", node.name))
+            elif isinstance(node, (CastNode, CaseNode, InListNode)):
+                kinds.add((type(node).__name__, None))
+    return len(kinds), nodes / samples
+
+
+def test_ablation_expression_depth(benchmark):
+    depths = (0, 1, 2, 4, 6)
+
+    def run_sweep():
+        return {d: sweep_depth(d) for d in depths}
+
+    out = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [[d, kinds, f"{avg_nodes:.1f}"]
+            for d, (kinds, avg_nodes) in out.items()]
+    write_result(
+        "ablation_depth.txt",
+        "Expression-depth sweep: operator diversity and tree size\n"
+        + format_table(["max depth", "distinct operator kinds",
+                        "avg nodes/expr"], rows))
+
+    kinds = {d: out[d][0] for d in depths}
+    sizes = {d: out[d][1] for d in depths}
+    # Shape: diversity and size grow with depth, saturating; depth 0
+    # yields leaves only.
+    assert kinds[0] == 0
+    assert kinds[2] > kinds[1] > kinds[0]
+    assert kinds[6] >= kinds[4]
+    assert sizes[6] > sizes[2] > sizes[0]
+
+
+def test_depth_affects_detection(benchmark):
+    """Leaf-only conditions (depth 0) cannot trigger operator-level
+    defects such as the partial-index implication (needs `c IS NOT x`),
+    while the default depth finds them."""
+    from repro.campaigns.campaign import Campaign, CampaignConfig
+
+    def run(depth, seed):
+        config = CampaignConfig(
+            dialect="sqlite", seed=seed, databases=60,
+            bug_ids=["sqlite-partial-index-is-not"], reduce=False)
+        config.runner.max_expression_depth = depth
+        return Campaign(config).run()
+
+    def sweep():
+        shallow_hits = []
+        deep_hits = []
+        for seed in range(6):
+            shallow_hits.append(
+                "sqlite-partial-index-is-not"
+                in run(0, seed).detected_bug_ids)
+            deep_hits.append(
+                "sqlite-partial-index-is-not"
+                in run(4, seed).detected_bug_ids)
+        return shallow_hits, deep_hits
+
+    shallow_hits, deep_hits = benchmark.pedantic(sweep, rounds=1,
+                                                 iterations=1)
+    assert not any(shallow_hits), "leaf-only conditions detected it?!"
+    assert any(deep_hits)

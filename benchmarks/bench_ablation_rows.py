@@ -1,0 +1,62 @@
+"""§3.4 ablation — rows per table.
+
+Paper: "We found most bugs by restricting the number of rows inserted to
+a low value (10-30 rows).  A higher number would have caused queries to
+time out when tables are joined without a restrictive join clause" —
+|t0|*|t1|*|t2| grows multiplicatively.
+
+We sweep rows-per-table and measure query throughput: small tables keep
+the loop fast; large tables collapse throughput through join blowup,
+reproducing the paper's sizing argument.
+"""
+
+import time
+
+from _shared import format_table, write_result
+
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.core.runner import PQSRunner, RunnerConfig
+
+
+def queries_per_second(rows: int, databases: int = 6) -> float:
+    config = RunnerConfig(dialect="sqlite", seed=7, min_rows=rows,
+                          max_rows=rows, min_tables=2, max_tables=2)
+    runner = PQSRunner(lambda: MiniDBConnection("sqlite"), config)
+    start = time.perf_counter()
+    stats = runner.run(databases)
+    elapsed = time.perf_counter() - start
+    return stats.queries / elapsed
+
+
+def test_ablation_rows_per_table(benchmark):
+    sweep = (4, 12, 30, 90)
+
+    def run_sweep():
+        return {rows: queries_per_second(rows) for rows in sweep}
+
+    rates = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table_rows = [[rows, f"{rate:,.0f}"] for rows, rate in rates.items()]
+    write_result(
+        "ablation_rows.txt",
+        "Rows-per-table sweep: queries/s of the PQS loop with two-table "
+        "joins (paper §3.4: 10-30 rows optimal; join result grows as "
+        "|t0|*|t1|)\n" + format_table(["rows/table", "queries/s"],
+                                      table_rows))
+    # Shape: throughput degrades sharply as tables grow.
+    assert rates[4] > rates[30] > rates[90]
+    assert rates[12] > 2 * rates[90]
+
+
+def test_detection_survives_small_tables(benchmark):
+    """The paper's other half: small tables don't just run faster, they
+    still find the bugs."""
+    from repro.campaigns.campaign import Campaign, CampaignConfig
+
+    def small_table_campaign():
+        config = CampaignConfig(dialect="sqlite", seed=42, databases=80)
+        config.runner.min_rows, config.runner.max_rows = 3, 10
+        return Campaign(config).run()
+
+    result = benchmark.pedantic(small_table_campaign, rounds=1,
+                                iterations=1)
+    assert len(result.detected_bug_ids) >= 2

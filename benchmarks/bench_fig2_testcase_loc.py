@@ -1,0 +1,67 @@
+"""Figure 2 — cumulative distribution of reduced test-case LOC.
+
+Paper: mean 3.71 statements, 13 one-line cases, maximum 8 statements
+(one already-fixed PostgreSQL crash needed 27).
+
+We reduce every campaign finding with the delta-debugging reducer and
+emit the same CDF.  Reproduced shape: reduced cases are a handful of
+statements — small mean, single-digit maximum, some single-statement
+cases (our SET/one-statement defects).
+"""
+
+from _shared import DIALECTS, all_campaigns, format_table, write_result
+
+from repro.campaigns.metrics import mean_loc
+from repro.campaigns.metrics import testcase_loc_cdf as loc_cdf
+
+
+def test_fig2_testcase_loc_cdf(benchmark):
+    results = benchmark.pedantic(all_campaigns, rounds=1, iterations=1)
+
+    reports = [r for d in DIALECTS for r in results[d].reports]
+    assert reports, "campaigns found nothing to reduce"
+    points = loc_cdf(reports)
+    mean = mean_loc(reports)
+
+    rows = [[loc, f"{fraction:.2f}",
+             "#" * int(round(fraction * 40))]
+            for loc, fraction in points]
+    table = format_table(["LOC", "CDF", ""], rows)
+    body = (f"Figure 2 — reduced test-case LOC CDF over "
+            f"{len(reports)} reports\n"
+            f"mean LOC: {mean:.2f} (paper: 3.71)\n"
+            f"max LOC: {max(r.test_case.loc for r in reports)} "
+            f"(paper: 8)\n" + table)
+    write_result("fig2_testcase_loc.txt", body)
+
+    # Shape assertions from the paper's §4.3.
+    assert mean <= 8.0, "reduced cases should stay small on average"
+    locs = sorted(r.test_case.loc for r in reports)
+    assert locs[0] <= 2, "some near-single-statement cases expected"
+    assert max(locs) <= 14, "delta debugging should prune long prefixes"
+    # The CDF is a genuine distribution: monotone, ends at 1.0.
+    fractions = [f for _, f in points]
+    assert fractions == sorted(fractions) and fractions[-1] == 1.0
+
+
+def test_fig2_reduction_shrinks_cases(benchmark):
+    """Reduction pays its way: reduced cases are much shorter than the
+    raw statement logs they came from."""
+    from repro.campaigns.campaign import Campaign, CampaignConfig
+
+    def raw_vs_reduced():
+        config = CampaignConfig(dialect="sqlite", seed=42, databases=60,
+                                reduce=False)
+        raw = Campaign(config).run()
+        raw_locs = [r.test_case.loc for r in raw.reports]
+        config2 = CampaignConfig(dialect="sqlite", seed=42, databases=60,
+                                 reduce=True)
+        reduced = Campaign(config2).run()
+        red_locs = [r.test_case.loc for r in reduced.reports]
+        return raw_locs, red_locs
+
+    raw_locs, red_locs = benchmark.pedantic(raw_vs_reduced, rounds=1,
+                                            iterations=1)
+    assert raw_locs and red_locs
+    assert (sum(red_locs) / len(red_locs)) < \
+        (sum(raw_locs) / len(raw_locs))

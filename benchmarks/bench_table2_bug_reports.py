@@ -1,0 +1,62 @@
+"""Table 2 — reported bugs and their status, per DBMS.
+
+Paper:  SQLite 65 fixed / 0 verified / 4 intended / 2 duplicate;
+        MySQL 15/10/1/4; PostgreSQL 5/4/7/6.
+
+We count campaign reports against defect-injected MiniDB engines,
+triaged via the catalog's recorded upstream resolutions.  Absolute
+numbers are not comparable (the paper counts real bugs over three
+months); the reproduced *shape* is: SQLite yields the most reports,
+MySQL next, PostgreSQL the fewest, and only PostgreSQL contributes a
+works-as-intended report (the VACUUM overflow, paper Listing 18).
+"""
+
+from _shared import (
+    DIALECTS,
+    PAPER_TABLE2_FIXED,
+    all_campaigns,
+    campaign_results,
+    format_table,
+    write_result,
+)
+
+
+def test_table2_bug_reports(benchmark):
+    results = benchmark.pedantic(all_campaigns, rounds=1, iterations=1)
+
+    rows = []
+    for dialect in DIALECTS:
+        merged = results[dialect]
+        row = merged.table2_row()
+        rows.append([dialect, row["fixed"], row["verified"],
+                     row["intended"], row["duplicate"],
+                     PAPER_TABLE2_FIXED[dialect]])
+    table = format_table(
+        ["DBMS", "Fixed", "Verified", "Intended", "Duplicate",
+         "Paper(Fixed)"], rows)
+    write_result("table2_bug_reports.txt",
+                 "Table 2 — reported bugs and status (measured vs paper "
+                 "shape)\n" + table)
+
+    fixed = {d: results[d].table2_row()["fixed"] for d in DIALECTS}
+    # Shape assertions, mirroring the paper's ordering.
+    assert fixed["sqlite"] >= fixed["mysql"] >= fixed["postgres"]
+    assert fixed["sqlite"] > 0 and fixed["postgres"] > 0
+    # Defect coverage: the two-phase campaign (broad + focused, §4.1)
+    # finds (almost) the whole catalog.
+    detected = {d: len(results[d].detected_bug_ids) for d in DIALECTS}
+    assert detected["sqlite"] >= 9
+    assert detected["mysql"] >= 7
+    assert detected["postgres"] >= 4
+
+
+def test_table2_intended_reports_come_from_postgres(benchmark):
+    results = benchmark.pedantic(
+        lambda: {d: campaign_results(d) for d in DIALECTS},
+        rounds=1, iterations=1)
+    intended = {d: results[d].table2_row()["intended"] for d in DIALECTS}
+    # Paper: PostgreSQL had by far the most works-as-intended closures
+    # (7 vs 4 vs 1); our catalog models one, on PostgreSQL.
+    assert intended["postgres"] >= 1
+    assert intended["postgres"] >= intended["sqlite"]
+    assert intended["postgres"] >= intended["mysql"]

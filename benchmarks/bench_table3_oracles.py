@@ -1,0 +1,52 @@
+"""Table 3 — true bugs per detecting oracle.
+
+Paper:  SQLite 46 contains / 17 error / 2 segfault;
+        MySQL 14/10/1; PostgreSQL 1/7/1; totals 61/34/4.
+
+Reproduced shape: the containment oracle dominates overall, the error
+oracle contributes a large second share, crashes are rare — and
+PostgreSQL inverts the ratio (error-oracle-dominant, at most one
+containment bug), which the paper attributes to its strict typing.
+"""
+
+from _shared import (
+    DIALECTS,
+    PAPER_TABLE3,
+    all_campaigns,
+    format_table,
+    write_result,
+)
+
+
+def test_table3_oracles(benchmark):
+    results = benchmark.pedantic(all_campaigns, rounds=1, iterations=1)
+
+    rows = []
+    totals = {"contains": 0, "error": 0, "segfault": 0}
+    for dialect in DIALECTS:
+        row = results[dialect].table3_row()
+        paper = PAPER_TABLE3[dialect]
+        rows.append([dialect, row["contains"], row["error"],
+                     row["segfault"],
+                     f"{paper['contains']}/{paper['error']}/"
+                     f"{paper['segfault']}"])
+        for key in totals:
+            totals[key] += row[key]
+    rows.append(["TOTAL", totals["contains"], totals["error"],
+                 totals["segfault"], "61/34/4"])
+    table = format_table(
+        ["DBMS", "Contains", "Error", "SEGFAULT", "Paper(C/E/S)"], rows)
+    write_result("table3_oracles.txt",
+                 "Table 3 — true bugs per oracle (measured vs paper "
+                 "shape)\n" + table)
+
+    # Shape assertions.
+    assert totals["contains"] >= totals["error"] >= totals["segfault"]
+    assert totals["segfault"] >= 1
+    sqlite = results["sqlite"].table3_row()
+    assert sqlite["contains"] >= sqlite["error"]
+    postgres = results["postgres"].table3_row()
+    # The paper's PostgreSQL signature: error oracle dominates, with
+    # exactly one containment bug (the inheritance GROUP BY).
+    assert postgres["error"] >= postgres["contains"]
+    assert postgres["contains"] == 1

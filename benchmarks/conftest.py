@@ -1,0 +1,7 @@
+"""Benchmark suite configuration: make sibling modules importable."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package, which setuptools'
+PEP 660 editable-install backend requires; keeping a ``setup.py`` lets
+``pip install -e .`` use the legacy ``setup.py develop`` path instead.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

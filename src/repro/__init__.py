@@ -1,0 +1,67 @@
+"""Pivoted Query Synthesis — a reproduction of Rigger & Su, OSDI 2020.
+
+Public API tour:
+
+* :class:`repro.core.PQSRunner` — the PQS loop (steps 1–7 of Figure 1)
+  against any :class:`repro.adapters.DBMSConnection`;
+* :class:`repro.minidb.Engine` — the from-scratch relational engine used
+  as the offline system under test, with injectable defects
+  (:data:`repro.minidb.BUG_CATALOG`) modeled on the paper's reported
+  bugs;
+* :class:`repro.campaigns.Campaign` — end-to-end bug-hunting runs with
+  reduction, attribution and the paper's Tables/Figures statistics;
+* :mod:`repro.interp` — the exact expression interpreter (the oracle),
+  cross-validated against real SQLite;
+* :class:`repro.adapters.SQLite3Connection` — run the same loop against
+  a live SQLite build.
+
+Quick start::
+
+    from repro import Campaign, CampaignConfig
+
+    result = Campaign(CampaignConfig(dialect="sqlite", seed=1,
+                                     databases=20)).run()
+    for report in result.reports:
+        print(report.oracle.value, report.attributed_bugs)
+        print(report.test_case.render())
+"""
+
+from repro.adapters import DBMSConnection, MiniDBConnection, SQLite3Connection
+from repro.campaigns import Campaign, CampaignConfig, CampaignResult
+from repro.core import (
+    BugReport,
+    Oracle,
+    PQSRunner,
+    RunnerConfig,
+    TestCase,
+    TestCaseReducer,
+)
+from repro.errors import DBCrash, DBError, PQSError
+from repro.minidb import BUG_CATALOG, BugRegistry, Engine, ResultSet
+from repro.values import Value
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BUG_CATALOG",
+    "BugRegistry",
+    "BugReport",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DBCrash",
+    "DBError",
+    "DBMSConnection",
+    "Engine",
+    "MiniDBConnection",
+    "Oracle",
+    "PQSError",
+    "PQSRunner",
+    "ResultSet",
+    "RunnerConfig",
+    "SQLite3Connection",
+    "TestCase",
+    "TestCaseReducer",
+    "Value",
+    "__version__",
+]

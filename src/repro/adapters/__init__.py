@@ -1,0 +1,14 @@
+"""Connections to systems under test.
+
+PQS talks to every target through :class:`DBMSConnection` — SQL strings
+in, rows of :class:`~repro.values.Value` out, :class:`~repro.errors
+.DBError`/:class:`~repro.errors.DBCrash` on failure.  The oracle never
+sees engine internals, so testing MiniDB and testing a real SQLite build
+via the stdlib bindings are the same code path.
+"""
+
+from repro.adapters.base import DBMSConnection
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.adapters.sqlite3_adapter import SQLite3Connection
+
+__all__ = ["DBMSConnection", "MiniDBConnection", "SQLite3Connection"]

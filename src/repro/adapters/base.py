@@ -1,0 +1,27 @@
+"""The connection protocol every system under test implements."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.values import Value
+
+
+@runtime_checkable
+class DBMSConnection(Protocol):
+    """SQL in, rows out; uniform error surface.
+
+    ``execute`` must raise :class:`repro.errors.DBError` (or a subclass)
+    for engine-reported errors and :class:`repro.errors.DBCrash` for hard
+    crashes — the two signals the error and crash oracles consume.
+    """
+
+    #: Dialect name: 'sqlite' | 'mysql' | 'postgres'.
+    dialect: str
+
+    def execute(self, sql: str) -> list[tuple[Value, ...]]:
+        """Execute one statement, returning fetched rows (possibly [])."""
+        ...
+
+    def close(self) -> None:
+        ...

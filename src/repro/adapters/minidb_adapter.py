@@ -1,0 +1,29 @@
+"""Adapter for MiniDB engines (the offline stand-ins for MySQL/PostgreSQL
+and for defect-injected SQLite)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.minidb.bugs import BugRegistry
+from repro.minidb.engine import Engine
+from repro.values import Value
+
+
+class MiniDBConnection:
+    """A :class:`~repro.adapters.base.DBMSConnection` over MiniDB."""
+
+    def __init__(self, dialect: str = "sqlite",
+                 bugs: Optional[BugRegistry] = None):
+        self.engine = Engine(dialect, bugs=bugs)
+        self.dialect = dialect
+
+    def execute(self, sql: str) -> list[tuple[Value, ...]]:
+        return self.engine.execute(sql).rows
+
+    def close(self) -> None:  # MiniDB holds no external resources
+        self.engine = None  # type: ignore[assignment]
+
+    @property
+    def statements_executed(self) -> int:
+        return self.engine.statements_executed if self.engine else 0

@@ -1,0 +1,51 @@
+"""Adapter for real SQLite via the stdlib ``sqlite3`` bindings.
+
+This is the live-DBMS demonstration target: the same PQS loop that tests
+MiniDB drives a production SQLite build here.  Absent a contemporary bug,
+the containment oracle simply never fires — the examples use it to show
+the tool running against a real engine, and the differential tests use it
+to validate the oracle interpreter.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.errors import DBError
+from repro.values import Value
+
+
+class SQLite3Connection:
+    """A :class:`~repro.adapters.base.DBMSConnection` over ``sqlite3``."""
+
+    dialect = "sqlite"
+
+    def __init__(self, path: str = ":memory:"):
+        # Autocommit: the Python bindings' implicit BEGIN would otherwise
+        # wrap generated statements in a transaction and break VACUUM.
+        self._conn = sqlite3.connect(path, isolation_level=None)
+
+    def execute(self, sql: str) -> list[tuple[Value, ...]]:
+        try:
+            cursor = self._conn.execute(sql)
+            rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise DBError(str(exc)) from exc
+        return [tuple(_lift(v) for v in row) for row in rows]
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _lift(obj) -> Value:
+    if obj is None:
+        return Value.null()
+    if isinstance(obj, int):
+        return Value.integer(obj)
+    if isinstance(obj, float):
+        return Value.real(obj)
+    if isinstance(obj, str):
+        return Value.text(obj)
+    if isinstance(obj, (bytes, memoryview)):
+        return Value.blob(bytes(obj))
+    raise DBError(f"unexpected sqlite3 value: {obj!r}")

@@ -1,0 +1,35 @@
+"""Campaign orchestration: long PQS runs with ground-truth scoring.
+
+The paper's evaluation ran SQLancer for months against live DBMS and
+counted developer-confirmed bugs.  Offline, a *campaign* runs PQS
+against a MiniDB engine with that dialect's injected defects enabled,
+reduces every finding, attributes it to specific defects by differential
+replay against single-defect engines, and aggregates the statistics that
+regenerate the paper's Tables 2–3 and Figures 2–3.
+"""
+
+from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.campaigns.parallel import (
+    ParallelCampaign,
+    ParallelCampaignConfig,
+    ParallelCampaignResult,
+)
+from repro.campaigns.replay import DifferentialReplayer
+from repro.campaigns.metrics import (
+    constraint_statistics,
+    statement_distribution,
+    testcase_loc_cdf,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignConfig",
+    "CampaignResult",
+    "DifferentialReplayer",
+    "ParallelCampaign",
+    "ParallelCampaignConfig",
+    "ParallelCampaignResult",
+    "constraint_statistics",
+    "statement_distribution",
+    "testcase_loc_cdf",
+]

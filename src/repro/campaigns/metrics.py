@@ -1,0 +1,128 @@
+"""Statistics over reduced bug reports — the paper's §4.3 measurements.
+
+* :func:`testcase_loc_cdf` — Figure 2's cumulative distribution of
+  reduced test-case statement counts;
+* :func:`statement_distribution` — Figure 3's per-statement-kind
+  occurrence percentages, keyed by the triggering oracle;
+* :func:`constraint_statistics` — the UNIQUE / PRIMARY KEY /
+  CREATE INDEX occurrence shares reported in §4.3.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+from repro.core.error_oracle import statement_kind
+from repro.core.reports import BugReport
+
+#: Figure 3's statement categories, normalized across dialects.
+FIGURE3_CATEGORIES = [
+    "CREATE TABLE", "INSERT", "SELECT", "CREATE INDEX", "ALTER TABLE",
+    "UPDATE", "OPTION", "ANALYZE", "REINDEX", "VACUUM", "CREATE VIEW",
+    "DELETE", "TRANSACTION", "DROP INDEX", "REPAIR/CHECK TABLE",
+    "DROP/CREATE/USE DB", "DISCARD", "CREATE STATS",
+]
+
+
+def classify_statement(sql: str) -> str:
+    """Map a statement onto Figure 3's category names."""
+    kind = statement_kind(sql)
+    if kind in ("PRAGMA", "SET"):
+        return "OPTION"
+    if kind == "ALTER":
+        return "ALTER TABLE"
+    if kind in ("CHECK TABLE", "REPAIR TABLE"):
+        return "REPAIR/CHECK TABLE"
+    if kind in ("BEGIN", "COMMIT", "ROLLBACK"):
+        return "TRANSACTION"
+    if kind == "CREATE STATISTICS":
+        return "CREATE STATS"
+    if kind == "DROP":
+        return "DROP INDEX"
+    return kind
+
+
+def testcase_loc_cdf(reports: list[BugReport],
+                     ) -> list[tuple[int, float]]:
+    """(loc, cumulative_fraction) points — the paper's Figure 2."""
+    if not reports:
+        return []
+    locs = sorted(report.test_case.loc for report in reports)
+    total = len(locs)
+    points = []
+    for loc in sorted(set(locs)):
+        covered = sum(1 for value in locs if value <= loc)
+        points.append((loc, covered / total))
+    return points
+
+
+def mean_loc(reports: list[BugReport]) -> float:
+    """Mean reduced test-case length (the paper reports 3.71)."""
+    if not reports:
+        return 0.0
+    return sum(r.test_case.loc for r in reports) / len(reports)
+
+
+def statement_distribution(reports: list[BugReport],
+                           ) -> dict[str, dict[str, float]]:
+    """category -> {'share': fraction of test cases containing it,
+    'trigger_<oracle>': fraction where it was the *final* (triggering)
+    statement} — the paper's Figure 3."""
+    if not reports:
+        return {}
+    containing: Counter = Counter()
+    triggering: dict[str, Counter] = {}
+    for report in reports:
+        categories = {classify_statement(sql)
+                      for sql in report.test_case.statements}
+        for category in categories:
+            containing[category] += 1
+        final_category = classify_statement(
+            report.test_case.statements[-1])
+        triggering.setdefault(final_category, Counter())[
+            report.oracle.value] += 1
+    total = len(reports)
+    out: dict[str, dict[str, float]] = {}
+    for category, count in containing.items():
+        entry = {"share": count / total}
+        for oracle, n in triggering.get(category, {}).items():
+            entry[f"trigger_{oracle}"] = n / total
+        out[category] = entry
+    return out
+
+
+def constraint_statistics(reports: list[BugReport]) -> dict[str, float]:
+    """Fractions of test cases using UNIQUE / PRIMARY KEY / explicit
+    indexes / FOREIGN KEY (paper §4.3: 22.2% / 17.2% / 28.3% / 1.0%)."""
+    if not reports:
+        return {}
+    patterns = {
+        "UNIQUE": r"\bUNIQUE\b",
+        "PRIMARY KEY": r"\bPRIMARY\s+KEY\b",
+        "CREATE INDEX": r"\bCREATE\s+(UNIQUE\s+)?INDEX\b",
+        "FOREIGN KEY": r"\bFOREIGN\s+KEY\b",
+    }
+    counts = {name: 0 for name in patterns}
+    for report in reports:
+        text = " ".join(report.test_case.statements)
+        for name, pattern in patterns.items():
+            if re.search(pattern, text, re.IGNORECASE):
+                counts[name] += 1
+    total = len(reports)
+    return {name: count / total for name, count in counts.items()}
+
+
+def single_table_fraction(reports: list[BugReport]) -> float:
+    """Fraction of reports whose test case creates exactly one table
+    (the paper reports 90.0%)."""
+    if not reports:
+        return 0.0
+    single = 0
+    for report in reports:
+        creates = sum(
+            1 for sql in report.test_case.statements
+            if classify_statement(sql) == "CREATE TABLE")
+        if creates <= 1:
+            single += 1
+    return single / len(reports)

@@ -1,0 +1,111 @@
+"""Parallel campaigns — paper §3.4's performance recipe.
+
+"We parallelized the system by running each thread on a distinct
+database."  Each worker thread owns its own engines, runner and random
+stream (a forked seed), so there is no shared mutable state; results are
+merged and re-triaged globally, the same way the benchmark harness
+merges seed chunks.
+
+Python threads do not overlap CPU-bound work (the GIL), so against the
+pure-Python MiniDB this is about workload *shape*, not speedup; against
+an out-of-process DBMS adapter the same structure pipelines naturally.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.core.reports import BugReport, RunStatistics
+from repro.minidb.bugs import BUG_CATALOG
+
+
+@dataclass
+class ParallelCampaignConfig:
+    dialect: str = "sqlite"
+    seed: int = 0
+    threads: int = 4
+    databases_per_thread: int = 50
+    bug_ids: Optional[list[str]] = None
+    reduce: bool = True
+    max_reports_per_bug: int = 2
+
+
+@dataclass
+class ParallelCampaignResult:
+    config: ParallelCampaignConfig
+    stats: RunStatistics
+    reports: list[BugReport] = field(default_factory=list)
+    per_thread_reports: list[int] = field(default_factory=list)
+
+    @property
+    def detected_bug_ids(self) -> set[str]:
+        out: set[str] = set()
+        for report in self.reports:
+            out.update(report.attributed_bugs)
+        return out
+
+
+class ParallelCampaign:
+    """Runs one campaign per thread and merges the findings."""
+
+    def __init__(self, config: ParallelCampaignConfig):
+        self.config = config
+
+    def run(self) -> ParallelCampaignResult:
+        results: list[Optional[CampaignResult]] = \
+            [None] * self.config.threads
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                child = CampaignConfig(
+                    dialect=self.config.dialect,
+                    # Distinct seeds per thread: distinct databases.
+                    seed=self.config.seed + 7919 * (index + 1),
+                    databases=self.config.databases_per_thread,
+                    bug_ids=self.config.bug_ids,
+                    reduce=self.config.reduce,
+                    max_reports_per_bug=self.config.max_reports_per_bug)
+                results[index] = Campaign(child).run()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,),
+                                    name=f"pqs-worker-{i}")
+                   for i in range(self.config.threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return self._merge([r for r in results if r is not None])
+
+    def _merge(self, results: list[CampaignResult],
+               ) -> ParallelCampaignResult:
+        stats = RunStatistics()
+        merged = ParallelCampaignResult(config=self.config, stats=stats)
+        per_bug: dict[str, int] = {}
+        seen: set[str] = set()
+        for result in results:
+            stats.merge(result.stats)
+            merged.per_thread_reports.append(len(result.reports))
+            for report in result.reports:
+                primary = report.attributed_bugs[0]
+                if per_bug.get(primary, 0) >= \
+                        self.config.max_reports_per_bug:
+                    continue
+                per_bug[primary] = per_bug.get(primary, 0) + 1
+                if primary in seen:
+                    report.triage = "duplicate"
+                else:
+                    report.triage = BUG_CATALOG[primary].triage
+                    seen.add(primary)
+                merged.reports.append(report)
+        # merge() already accumulated the raw per-thread reports into
+        # stats.reports; keep only the merged, re-triaged ones visible.
+        stats.reports = list(merged.reports)
+        return merged

@@ -1,0 +1,213 @@
+"""The ``pqs`` command-line interface.
+
+Subcommands:
+
+* ``pqs hunt``   — run a bug-hunting campaign against defect-injected
+  MiniDB (the offline analogue of the paper's evaluation runs);
+* ``pqs sqlite`` — run the PQS loop against the real SQLite build
+  shipped with Python;
+* ``pqs bugs``   — list the injected-defect catalog and the paper bugs
+  each entry models;
+* ``pqs shell``  — a minimal interactive MiniDB shell, handy for
+  replaying reduced test cases by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaigns.campaign import Campaign, CampaignConfig
+from repro.core.runner import PQSRunner, RunnerConfig
+from repro.errors import DBCrash, DBError
+from repro.minidb.bugs import BUG_CATALOG, bugs_for_dialect
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return args.handler(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pqs",
+        description="Pivoted Query Synthesis — find logic bugs in "
+                    "database engines (OSDI 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command")
+
+    hunt = sub.add_parser("hunt", help="campaign against MiniDB with "
+                                       "injected defects")
+    hunt.add_argument("--dialect", default="sqlite",
+                      choices=["sqlite", "mysql", "postgres"])
+    hunt.add_argument("--databases", type=int, default=100)
+    hunt.add_argument("--seed", type=int, default=0)
+    hunt.add_argument("--bugs", default=None,
+                      help="comma-separated defect ids (default: all "
+                           "for the dialect)")
+    hunt.add_argument("--no-reduce", action="store_true",
+                      help="skip delta-debugging reduction")
+    hunt.set_defaults(handler=cmd_hunt)
+
+    sqlite_cmd = sub.add_parser("sqlite", help="PQS against the real "
+                                               "SQLite build")
+    sqlite_cmd.add_argument("--databases", type=int, default=25)
+    sqlite_cmd.add_argument("--seed", type=int, default=0)
+    sqlite_cmd.set_defaults(handler=cmd_sqlite)
+
+    bugs = sub.add_parser("bugs", help="list the injected-defect catalog")
+    bugs.add_argument("--dialect", default=None,
+                      choices=["sqlite", "mysql", "postgres"])
+    bugs.set_defaults(handler=cmd_bugs)
+
+    replay = sub.add_parser(
+        "replay", help="replay a ;-separated SQL test case against "
+                       "clean and defect-injected engines")
+    replay.add_argument("path", help="file of SQL statements (the last "
+                                     "one is the checked statement)")
+    replay.add_argument("--dialect", default="sqlite",
+                        choices=["sqlite", "mysql", "postgres"])
+    replay.add_argument("--bugs", default=None,
+                        help="comma-separated defect ids to enable "
+                             "(default: all for the dialect)")
+    replay.set_defaults(handler=cmd_replay)
+
+    paper = sub.add_parser("paper", help="print the paper-artifact "
+                                         "index (what reproduces what)")
+    paper.set_defaults(handler=cmd_paper)
+
+    shell = sub.add_parser("shell", help="interactive MiniDB shell")
+    shell.add_argument("--dialect", default="sqlite",
+                       choices=["sqlite", "mysql", "postgres"])
+    shell.add_argument("--enable-bug", action="append", default=[],
+                       help="defect id to inject (repeatable)")
+    shell.set_defaults(handler=cmd_shell)
+    return parser
+
+
+def cmd_hunt(args) -> int:
+    bug_ids = args.bugs.split(",") if args.bugs else None
+    config = CampaignConfig(dialect=args.dialect, seed=args.seed,
+                            databases=args.databases, bug_ids=bug_ids,
+                            reduce=not args.no_reduce)
+    result = Campaign(config).run()
+    print(f"statements={result.stats.statements} "
+          f"queries={result.stats.queries} "
+          f"expected-errors={result.stats.expected_errors}")
+    for report in result.reports:
+        print(f"\n[{report.oracle.value}] {report.message} "
+              f"(triage: {report.triage})")
+        print(f"  defect: {', '.join(report.attributed_bugs)}")
+        for statement in report.test_case.statements:
+            print(f"    {statement};")
+    print(f"\ndetected {len(result.detected_bug_ids)} distinct "
+          f"defect(s) in {len(result.reports)} report(s)")
+    return 0
+
+
+def cmd_sqlite(args) -> int:
+    from repro.adapters.sqlite3_adapter import SQLite3Connection
+    from repro.core.error_oracle import SQLITE3_DOCUMENTED_QUIRKS
+
+    runner = PQSRunner(SQLite3Connection,
+                       RunnerConfig(dialect="sqlite", seed=args.seed,
+                                    documented_quirks=SQLITE3_DOCUMENTED_QUIRKS))
+    stats = runner.run(args.databases)
+    print(f"databases={stats.databases} statements={stats.statements} "
+          f"queries={stats.queries} findings={len(stats.reports)}")
+    for report in stats.reports:
+        print(f"\n[{report.oracle.value}] {report.message}")
+        print(report.test_case.render())
+    if not stats.reports:
+        print("no findings — the production engine passed.")
+    return 0 if not stats.reports else 1
+
+
+def cmd_bugs(args) -> int:
+    bugs = (bugs_for_dialect(args.dialect) if args.dialect
+            else list(BUG_CATALOG.values()))
+    for bug in bugs:
+        print(f"{bug.bug_id}")
+        print(f"    dialect: {bug.dialect}  oracle: {bug.oracle}  "
+              f"component: {bug.component}  triage: {bug.triage}")
+        print(f"    models: {bug.paper_ref}")
+        print(f"    {bug.description}")
+    print(f"\n{len(bugs)} defect(s)")
+    return 0
+
+
+def cmd_paper(_args) -> int:
+    from repro.paper import format_index
+
+    print(format_index())
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.campaigns.replay import DifferentialReplayer
+    from repro.core.reports import TestCase
+    from repro.minidb.bugs import BugRegistry, bugs_for_dialect
+
+    with open(args.path) as handle:
+        text = handle.read()
+    statements = [s.strip() for s in text.split(";") if s.strip()]
+    if not statements:
+        print("no statements in file")
+        return 2
+    case = TestCase(statements=statements, dialect=args.dialect)
+    bug_ids = (args.bugs.split(",") if args.bugs
+               else [b.bug_id for b in bugs_for_dialect(args.dialect)])
+    replayer = DifferentialReplayer(args.dialect,
+                                    BugRegistry(set(bug_ids)))
+    manifests = replayer.manifests(case)
+    print(f"statements: {len(statements)}")
+    print(f"manifests (buggy vs clean engines disagree): {manifests}")
+    if manifests:
+        attributed = replayer.attribute(case)
+        print("attributed defects:")
+        for bug_id in attributed:
+            print(f"    {bug_id}: {BUG_CATALOG[bug_id].paper_ref}")
+        return 1
+    return 0
+
+
+def cmd_shell(args) -> int:
+    from repro.minidb.bugs import BugRegistry
+    from repro.minidb.engine import Engine
+
+    engine = Engine(args.dialect,
+                    bugs=BugRegistry(set(args.enable_bug)))
+    print(f"MiniDB shell ({args.dialect}); end statements with Enter, "
+          "Ctrl-D to exit")
+    while True:
+        try:
+            line = input("minidb> ").strip()
+        except EOFError:
+            print()
+            return 0
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit", ".q"):
+            return 0
+        try:
+            result = engine.execute(line.rstrip(";"))
+        except DBCrash as crash:
+            print(f"CRASH: {crash.message} (engine process gone; "
+                  "restarting)")
+            engine = Engine(args.dialect,
+                            bugs=BugRegistry(set(args.enable_bug)))
+            continue
+        except DBError as error:
+            print(f"error: {error.message}")
+            continue
+        if result.columns:
+            print("  " + " | ".join(result.columns))
+        for row in result.python_rows():
+            print("  " + " | ".join(repr(v) for v in row))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

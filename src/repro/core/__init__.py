@@ -1,0 +1,53 @@
+"""The paper's primary contribution: Pivoted Query Synthesis.
+
+Steps (paper Figure 1):
+
+1. generate a random database state — :mod:`repro.stategen`;
+2. select a random *pivot row* from each table — :mod:`repro.core.pivot`;
+3. generate random expressions over the schema (Algorithm 1) —
+   :mod:`repro.core.exprgen`;
+4. evaluate them on the pivot row with the exact interpreter
+   (Algorithm 2, :mod:`repro.interp`) and *rectify* them to TRUE
+   (Algorithm 3) — :mod:`repro.core.rectify`;
+5. synthesize a query using the rectified conditions in WHERE/JOIN
+   clauses — :mod:`repro.core.querygen`;
+6. + 7. run the query and check the pivot row is contained —
+   :mod:`repro.core.containment`.
+
+The *error oracle* (§3.3) and crash handling live in
+:mod:`repro.core.error_oracle`; the driving loop in
+:mod:`repro.core.runner`; test-case reduction in
+:mod:`repro.core.reducer`.
+"""
+
+from repro.core.containment import check_containment, containment_query
+from repro.core.error_oracle import ErrorOracle
+from repro.core.exprgen import ExpressionGenerator
+from repro.core.pivot import PivotSelector, PivotRow
+from repro.core.querygen import QueryGenerator, SynthesizedQuery
+from repro.core.rectify import rectify_condition
+from repro.core.reducer import TestCaseReducer
+from repro.core.reports import BugReport, Oracle, TestCase
+from repro.core.runner import PQSRunner, RunnerConfig
+from repro.core.schema import ColumnModel, SchemaModel, TableModel
+
+__all__ = [
+    "BugReport",
+    "ColumnModel",
+    "ErrorOracle",
+    "ExpressionGenerator",
+    "Oracle",
+    "PQSRunner",
+    "PivotRow",
+    "PivotSelector",
+    "QueryGenerator",
+    "RunnerConfig",
+    "SchemaModel",
+    "SynthesizedQuery",
+    "TableModel",
+    "TestCase",
+    "TestCaseReducer",
+    "check_containment",
+    "containment_query",
+    "rectify_condition",
+]

@@ -1,0 +1,201 @@
+"""The error oracle (paper §3.3).
+
+Random statement generation sometimes produces statements that
+legitimately fail — "an INSERT might fail when a value already present
+in a UNIQUE column is inserted again; preventing such an error would
+require scanning every row".  Rather than preventing them, SQLancer
+keeps a list of *expected* error messages per statement kind; anything
+else indicates a bug.  Corruption reports ("malformed database disk
+image") are always unexpected.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import DBError
+
+#: Message patterns that indicate corruption or internal inconsistency —
+#: unconditionally a bug, whatever the statement (paper §3.3).
+ALWAYS_UNEXPECTED = (
+    r"malformed",
+    r"disk image",
+    r"corrupt",
+    r"internal error",
+    r"bitmapset",
+    r"unexpected null value",
+)
+
+#: statement kind -> regexes of legitimate failures under random
+#: generation.  Kinds are the leading keyword(s) of the statement.
+_COMMON_DML_ERRORS = (
+    # SQLite's INTEGER PRIMARY KEY (rowid alias) rejects non-integers.
+    r"datatype mismatch",
+    r"UNIQUE constraint failed",
+    r"NOT NULL constraint failed",
+    r"Duplicate entry",
+    r"cannot be null",
+    r"violates not-null constraint",
+    r"duplicate key value",
+    r"out of range",
+    r"is of type",
+    r"invalid input syntax",
+    r"no such column",
+    r"has no column",
+    r"division by zero",
+    r"operator does not exist",
+    r"argument of WHERE must be type boolean",
+    r"integer overflow",
+    r"BIGINT value is out of range",
+    r"values were supplied",
+    r"values for",
+    r"sum/avg requires numeric",
+    r"Cannot add",
+    r"cannot start a transaction",
+    r"no transaction is active",
+)
+
+EXPECTED_ERRORS: dict[str, tuple[str, ...]] = {
+    "INSERT": _COMMON_DML_ERRORS,
+    "UPDATE": _COMMON_DML_ERRORS,
+    "DELETE": _COMMON_DML_ERRORS,
+    "ALTER": _COMMON_DML_ERRORS + (
+        r"duplicate column name",
+        r"already exists",
+    ),
+    "CREATE TABLE": (
+        r"already exists",
+        r"duplicate column name",
+        r"PRIMARY KEY missing",
+        r"multiple primary keys",
+        r"no such table",          # INHERITS target vanished
+        r"has different type",     # INHERITS column type mismatch
+    ),
+    "CREATE INDEX": _COMMON_DML_ERRORS + (
+        r"already exists",
+        r"no such table",
+        r"no such collation",
+        # Modern SQLite rejects LIKE in index expressions up front — a
+        # consequence of the very bug this paper reported (Listing 9).
+        # MiniDB models the 2019-era engine, which still accepted it.
+        r"non-deterministic functions prohibited",
+    ),
+    "CREATE VIEW": (
+        r"already exists",
+        r"no such table",
+        r"no such column",
+        r"ambiguous column name",
+        r"operator does not exist",
+        r"argument of WHERE must be type boolean",
+        r"division by zero",
+    ),
+    "CREATE STATISTICS": (
+        r"already exist",
+        r"no such table",
+        r"no such column",
+    ),
+    "DROP": (r"no such", r"cannot drop", r"backing a constraint"),
+    "SELECT": (
+        # The synthesized query is validated by the exact interpreter
+        # before being sent, so almost nothing is expected here.  The
+        # exceptions are name-resolution failures from views left stale
+        # by ALTER TABLE RENAME (corruption reports still dominate via
+        # ALWAYS_UNEXPECTED, which is checked first).
+        r"ambiguous column name",
+        r"no such column",
+        r"no such table",
+        r"does not exist",
+        # Runtime arithmetic errors: the synthesized expression is sound
+        # on the *pivot* row, but strict dialects may still fail on other
+        # rows of the scan (e.g. negating INT64_MIN) — a legitimate
+        # error, exactly like the paper's expected-error handling.
+        r"out of range",
+        r"division by zero",
+        r"integer overflow",
+    ),
+    "BEGIN": (r"within a transaction",),
+    "COMMIT": (r"no transaction is active",),
+    "ROLLBACK": (r"no transaction is active",),
+    # Maintenance statements and options: failures are findings (the
+    # paper found bugs precisely in REINDEX / VACUUM / REPAIR / CHECK /
+    # SET), so the expected lists are nearly empty.  The exception is
+    # the documented VACUUM-inside-transaction refusal.
+    "VACUUM": (r"within a transaction", r"transaction block"),
+    "REINDEX": (),
+    "ANALYZE": (),
+    "CHECK TABLE": (),
+    "REPAIR TABLE": (),
+    "DISCARD": (),
+    "PRAGMA": (),
+    "SET": (),
+}
+
+
+@dataclass(frozen=True)
+class ErrorVerdict:
+    expected: bool
+    statement_kind: str
+    message: str
+
+
+class ErrorOracle:
+    """Classifies engine errors as expected noise or findings.
+
+    ``documented_quirks`` suppresses message patterns that the target's
+    developers have explicitly documented as intended.  The canonical
+    example is the paper's Listing 9: SQLite's
+    ``malformed database schema ... non-deterministic functions
+    prohibited in index expressions`` was reported by the paper, triaged
+    as a *design* defect, and merely documented — modern SQLite still
+    exhibits it, so a harness pointed at a real SQLite build expects it,
+    while the MiniDB campaigns (which model the 2019 engine) count it.
+    """
+
+    def __init__(self, dialect: str,
+                 documented_quirks: tuple[str, ...] = ()):
+        self.dialect = dialect
+        self.documented_quirks = documented_quirks
+
+    def classify(self, sql: str, error: DBError) -> ErrorVerdict:
+        kind = statement_kind(sql)
+        message = error.message
+        for pattern in self.documented_quirks:
+            if re.search(pattern, message, re.IGNORECASE):
+                return ErrorVerdict(True, kind, message)
+        for pattern in ALWAYS_UNEXPECTED:
+            if re.search(pattern, message, re.IGNORECASE):
+                return ErrorVerdict(False, kind, message)
+        for pattern in EXPECTED_ERRORS.get(kind, ()):
+            if re.search(pattern, message, re.IGNORECASE):
+                return ErrorVerdict(True, kind, message)
+        return ErrorVerdict(False, kind, message)
+
+
+#: The quirks a current SQLite build is documented to exhibit.
+SQLITE3_DOCUMENTED_QUIRKS = (
+    r"non-deterministic functions prohibited in index expressions",
+)
+
+
+def statement_kind(sql: str) -> str:
+    """The leading keyword(s) that key the expected-error table."""
+    words = sql.strip().upper().split()
+    if not words:
+        return "UNKNOWN"
+    first = words[0]
+    if first == "CREATE" and len(words) > 1:
+        second = words[1]
+        if second == "UNIQUE":
+            return "CREATE INDEX"
+        if second in ("TABLE", "INDEX", "VIEW", "STATISTICS"):
+            return f"CREATE {second}"
+        return "CREATE TABLE"
+    if first in ("CHECK", "REPAIR") and len(words) > 1 and \
+            words[1] == "TABLE":
+        return f"{first} TABLE"
+    if first in ("INSERT", "UPDATE", "DELETE", "ALTER", "SELECT", "DROP",
+                 "VACUUM", "REINDEX", "ANALYZE", "DISCARD", "PRAGMA",
+                 "SET", "BEGIN", "COMMIT", "ROLLBACK", "VALUES"):
+        return first
+    return "UNKNOWN"

@@ -1,0 +1,268 @@
+"""Random expression generation — the paper's Algorithm 1.
+
+``generateExpression(depth)``: at maximum depth only leaf nodes (literal
+or column reference) are produced; otherwise composite operators from the
+dialect's catalog are drawn.  For SQLite and MySQL "SQLancer generates
+expressions of any type, because they provide implicit conversions to
+boolean; for PostgreSQL, which performs few implicit conversions, the
+generated root node must produce a boolean value" (§3.2) — here that is
+the ``boolean_root`` flag driving typed generation.
+
+The generator emits only the fragment the oracle interpreter models
+exactly (e.g. SUBSTR offsets are small literals), the same scoping
+decision SQLancer made for functions like ``printf`` (§5).
+"""
+
+from __future__ import annotations
+
+from repro.dialects import Dialect
+from repro.core.literals import LiteralGenerator
+from repro.rng import RandomSource
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    Expr,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.values import Value
+
+#: Operators that combine two boolean operands.
+_LOGICAL = (BinaryOp.AND, BinaryOp.OR)
+#: Comparison operators usable in strict boolean contexts.
+_PG_COMPARISONS = (BinaryOp.EQ, BinaryOp.NE, BinaryOp.LT, BinaryOp.LE,
+                   BinaryOp.GT, BinaryOp.GE)
+_PG_NUMERIC_OPS = (BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL)
+
+
+class ExpressionGenerator:
+    """Draws random expression trees over a set of visible columns."""
+
+    def __init__(self, dialect: Dialect, rng: RandomSource,
+                 max_depth: int = 4):
+        self.dialect = dialect
+        self.rng = rng
+        self.max_depth = max_depth
+        self.literals = LiteralGenerator(dialect.name, rng)
+        #: (node, bucket) pairs for the columns currently in scope.
+        self.columns: list[tuple[ColumnNode, str]] = []
+        #: Pivot-row values keyed by qualified column name; the template
+        #: generator draws constants from these (comparing a column with
+        #: a value that actually occurs reaches far more comparison code
+        #: than comparing with arbitrary constants).
+        self.pivot_values: dict[str, Value] = {}
+
+    def set_columns(self, columns: list[tuple[ColumnNode, str]],
+                    pivot_values: dict[str, Value] | None = None) -> None:
+        self.columns = columns
+        self.pivot_values = pivot_values or {}
+
+    # -- entry points -----------------------------------------------------
+    def condition(self) -> Expr:
+        """A candidate WHERE/JOIN condition (pre-rectification)."""
+        if self.dialect.boolean_root:
+            return self._pg(0, "boolean")
+        return self._dyn(0)
+
+    def scalar(self) -> Expr:
+        """An expression for a SELECT target (expressions-on-columns
+        extension, §3.4)."""
+        if self.dialect.boolean_root:
+            bucket = self.rng.choice(["number", "text", "boolean"])
+            return self._pg(0, bucket)
+        return self._dyn(0)
+
+    # -- dynamically-typed dialects (sqlite, mysql) ---------------------------
+    def _dyn(self, depth: int) -> Expr:
+        # Algorithm 1: at max depth, only LITERAL and COLUMN node types.
+        if depth >= self.max_depth or self.rng.flip(0.15):
+            return self._leaf()
+        if self.columns and self.rng.flip(0.18):
+            # Column-vs-literal comparison template: the shape most of
+            # the paper's reduced test cases boil down to (c0 IS NOT 1,
+            # c0 LIKE './', c0 <=> 2035382037, ...).
+            node, _bucket = self.rng.choice(self.columns)
+            op = self.rng.choice(self.dialect.binary_ops)
+            literal = self._template_literal(node)
+            if self.rng.flip():
+                return BinaryNode(op, node, literal)
+            return BinaryNode(op, literal, node)
+        if depth + 1 < self.max_depth and self.rng.flip(0.04):
+            # Stacked negation — semantically interesting for integers
+            # (NOT (NOT 123) is 1, not 123; paper Listing 13).
+            return UnaryNode(UnaryOp.NOT,
+                             UnaryNode(UnaryOp.NOT, self._dyn(depth + 2)))
+        choice = self.rng.int_between(0, 9)
+        if choice <= 3:
+            op = self.rng.choice(self.dialect.binary_ops)
+            return BinaryNode(op, self._dyn(depth + 1), self._dyn(depth + 1))
+        if choice == 4:
+            op = self.rng.choice(self.dialect.unary_ops)
+            return UnaryNode(op, self._dyn(depth + 1))
+        if choice == 5:
+            op = self.rng.choice(self.dialect.postfix_ops)
+            return PostfixNode(op, self._dyn(depth + 1))
+        if choice == 6:
+            return self._function(depth)
+        if choice == 7:
+            if self.rng.flip(0.5):
+                return CastNode(self._dyn(depth + 1),
+                                self.rng.choice(self.dialect.cast_types))
+            if self.dialect.collations and self.rng.flip():
+                return CollateNode(self._dyn(depth + 1),
+                                   self.rng.choice(self.dialect.collations))
+            return BetweenNode(self._dyn(depth + 1), self._dyn(depth + 1),
+                               self._dyn(depth + 1),
+                               negated=self.rng.flip())
+        if choice == 8:
+            items = tuple(self._dyn(depth + 1)
+                          for _ in range(self.rng.int_between(1, 3)))
+            return InListNode(self._dyn(depth + 1), items,
+                              negated=self.rng.flip())
+        whens = tuple((self._dyn(depth + 1), self._dyn(depth + 1))
+                      for _ in range(self.rng.int_between(1, 2)))
+        else_ = self._dyn(depth + 1) if self.rng.flip(0.7) else None
+        return CaseNode(None, whens, else_)
+
+    def _template_literal(self, column: ColumnNode) -> Expr:
+        pivot_value = self.pivot_values.get(column.qualified)
+        if pivot_value is not None and self.rng.flip(0.3) and \
+                not (isinstance(pivot_value.v, float)
+                     and pivot_value.v != pivot_value.v):
+            return LiteralNode(pivot_value)
+        return self.literals.any_literal()
+
+    def _leaf(self) -> Expr:
+        if self.columns and self.rng.flip(0.55):
+            node, _bucket = self.rng.choice(self.columns)
+            return node
+        return self.literals.any_literal()
+
+    def _function(self, depth: int) -> Expr:
+        sig = self.rng.choice(self.dialect.functions)
+        arity = self.rng.int_between(sig.min_arity, sig.max_arity)
+        if sig.name == "SUBSTR":
+            # Small literal offsets keep SUBSTR inside the exactly-
+            # modeled fragment (SQLite's int64 offset overflow corner).
+            args: list[Expr] = [self._dyn(depth + 1)]
+            for _ in range(arity - 1):
+                args.append(LiteralNode(
+                    Value.integer(self.rng.int_between(-6, 7))))
+            return FunctionNode(sig.name, tuple(args))
+        return FunctionNode(sig.name, tuple(self._dyn(depth + 1)
+                                            for _ in range(arity)))
+
+    # -- strict dialect (postgres) ------------------------------------------
+    def _pg(self, depth: int, bucket: str) -> Expr:
+        if depth >= self.max_depth or self.rng.flip(0.2):
+            return self._pg_leaf(bucket)
+        if bucket == "boolean":
+            return self._pg_boolean(depth)
+        if bucket == "number":
+            return self._pg_number(depth)
+        if bucket == "text":
+            return self._pg_text(depth)
+        return self._pg_leaf(bucket)
+
+    def _pg_leaf(self, bucket: str) -> Expr:
+        matching = [node for node, b in self.columns if b == bucket]
+        if matching and self.rng.flip(0.55):
+            return self.rng.choice(matching)
+        return self.literals.typed_literal(bucket)
+
+    def _pg_boolean(self, depth: int) -> Expr:
+        if self.columns and self.rng.flip(0.18):
+            # Column-vs-literal comparison template (well-typed).
+            node, bucket = self.rng.choice(self.columns)
+            if bucket in ("number", "text", "boolean"):
+                pivot_value = self.pivot_values.get(node.qualified)
+                if pivot_value is not None and not pivot_value.is_null \
+                        and self.rng.flip(0.3):
+                    literal: Expr = LiteralNode(pivot_value)
+                else:
+                    literal = self.literals.typed_literal(bucket)
+                op = self.rng.choice(
+                    _PG_COMPARISONS + (BinaryOp.IS, BinaryOp.IS_NOT))
+                if self.rng.flip():
+                    return BinaryNode(op, node, literal)
+                return BinaryNode(op, literal, node)
+        choice = self.rng.int_between(0, 6)
+        if choice <= 1:
+            op = self.rng.choice(_LOGICAL)
+            return BinaryNode(op, self._pg(depth + 1, "boolean"),
+                              self._pg(depth + 1, "boolean"))
+        if choice == 2:
+            return UnaryNode(UnaryOp.NOT, self._pg(depth + 1, "boolean"))
+        if choice == 3:
+            operand_bucket = self.rng.choice(["number", "text", "boolean"])
+            op = self.rng.choice(self.dialect.postfix_ops)
+            from repro.sqlast.nodes import PostfixOp
+
+            if op in (PostfixOp.IS_TRUE, PostfixOp.IS_FALSE,
+                      PostfixOp.IS_NOT_TRUE, PostfixOp.IS_NOT_FALSE):
+                operand_bucket = "boolean"
+            return PostfixNode(op, self._pg(depth + 1, operand_bucket))
+        if choice == 4:
+            return BinaryNode(self.rng.choice([BinaryOp.LIKE,
+                                               BinaryOp.NOT_LIKE]),
+                              self._pg(depth + 1, "text"),
+                              self._pg(depth + 1, "text"))
+        if choice == 5:
+            operand_bucket = self.rng.choice(["number", "text"])
+            return BetweenNode(self._pg(depth + 1, operand_bucket),
+                               self._pg(depth + 1, operand_bucket),
+                               self._pg(depth + 1, operand_bucket),
+                               negated=self.rng.flip())
+        operand_bucket = self.rng.choice(["number", "text", "boolean"])
+        op = self.rng.choice(
+            _PG_COMPARISONS + (BinaryOp.IS, BinaryOp.IS_NOT))
+        return BinaryNode(op, self._pg(depth + 1, operand_bucket),
+                          self._pg(depth + 1, operand_bucket))
+
+    def _pg_number(self, depth: int) -> Expr:
+        choice = self.rng.int_between(0, 4)
+        if choice <= 1:
+            op = self.rng.choice(_PG_NUMERIC_OPS)
+            return BinaryNode(op, self._pg(depth + 1, "number"),
+                              self._pg(depth + 1, "number"))
+        if choice == 2:
+            return UnaryNode(UnaryOp.MINUS, self._pg(depth + 1, "number"))
+        if choice == 3:
+            numeric_fns = [s for s in self.dialect.functions
+                           if s.result == "number" and s.args == "number"]
+            if numeric_fns:
+                sig = self.rng.choice(numeric_fns)
+                arity = self.rng.int_between(sig.min_arity, sig.max_arity)
+                return FunctionNode(sig.name,
+                                    tuple(self._pg(depth + 1, "number")
+                                          for _ in range(arity)))
+        if self.rng.flip():
+            return CastNode(self._pg(depth + 1, "number"),
+                            self.rng.choice(["INT", "FLOAT8"]))
+        return self._pg_leaf("number")
+
+    def _pg_text(self, depth: int) -> Expr:
+        choice = self.rng.int_between(0, 3)
+        if choice == 0:
+            return BinaryNode(BinaryOp.CONCAT,
+                              self._pg(depth + 1, "text"),
+                              self._pg(depth + 1, "text"))
+        if choice == 1:
+            text_fns = [s for s in self.dialect.functions
+                        if s.result == "text" and s.args == "text"]
+            if text_fns:
+                sig = self.rng.choice(text_fns)
+                return FunctionNode(sig.name, (self._pg(depth + 1, "text"),))
+        if choice == 2:
+            bucket = self.rng.choice(["number", "boolean", "text"])
+            return CastNode(self._pg(depth + 1, bucket), "TEXT")
+        return self._pg_leaf("text")

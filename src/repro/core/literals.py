@@ -1,0 +1,127 @@
+"""Random literal generation, per dialect and (for strict dialects) type.
+
+Literal pools are biased toward the values the paper's bug-triggering
+test cases used: boundary integers (TINYINT edges, INT_MAX, int64
+extremes), small doubles like 0.5 (the MySQL TEXT-boolean bug), strings
+with case variants, leading/trailing spaces (NOCASE/RTRIM), LIKE
+wildcards, and NULL with high probability — "most bugs were found with a
+low number of rows" containing boundary values.
+"""
+
+from __future__ import annotations
+
+from repro.rng import RandomSource
+from repro.sqlast.nodes import LiteralNode
+from repro.values import NULL, Value
+
+INTEGER_POOL = [0, 1, -1, 2, 3, 10, 100, 127, -128, 128, 255, 256,
+                32767, -32768, 2**31 - 1, -(2**31), 2**31,
+                2**63 - 1, -(2**63), 2035382037, 2851427734582196970]
+REAL_POOL = [0.0, 0.5, -0.5, 1.5, -1.5, 123.25, 1e10, -1e10, 1e-3,
+             9e99, -9e99]
+TEXT_POOL = ["", "a", "A", "b", "ab", "aB", "Ab", "abc", "5abc", "./",
+             "1.0", "0.5", " 12 ", "%", "a%", "_", "*", "9e99", "-1",
+             "u", "  a", "a  ", " a", "  b", "b ", "B", "z"]
+BLOB_POOL = [b"", b"a", b"ab", b"AB", b"zz", b"12"]
+#: Case-collision-dense pool: values equal under NOCASE but distinct
+#: under BINARY, plus padding variants for RTRIM.  The paper's collation
+#: bugs (Listings 4 and 5) need exactly such near-duplicate data.
+CASE_PAIR_POOL = ["a", "A", "b", "B", "ab", "AB", "aB", "Ab",
+                  "a ", "a  ", " a", "b ", "B  "]
+
+
+class LiteralGenerator:
+    """Draws literal nodes appropriate for a dialect and type bucket."""
+
+    def __init__(self, dialect_name: str, rng: RandomSource):
+        self.dialect = dialect_name
+        self.rng = rng
+
+    def any_literal(self, null_probability: float = 0.15) -> LiteralNode:
+        if self.rng.flip(null_probability):
+            return LiteralNode(NULL)
+        bucket = self.rng.choice(self._buckets())
+        return self.typed_literal(bucket, null_probability=0.0)
+
+    def typed_literal(self, bucket: str,
+                      null_probability: float = 0.15) -> LiteralNode:
+        """A literal in the coarse type *bucket* (number/text/blob/boolean)."""
+        if self.rng.flip(null_probability):
+            return LiteralNode(NULL)
+        if bucket == "number":
+            if self.rng.flip(0.3):
+                return LiteralNode(Value.real(self._real()))
+            return LiteralNode(Value.integer(self._integer()))
+        if bucket == "text":
+            return LiteralNode(Value.text(self._text()))
+        if bucket == "blob":
+            return LiteralNode(Value.blob(self.rng.choice(BLOB_POOL)))
+        if bucket == "boolean":
+            return LiteralNode(Value.boolean(self.rng.flip()))
+        if self.dialect == "postgres":
+            # 'any' in a strict dialect: favour numbers and text.
+            bucket = self.rng.choice(["number", "text", "boolean"])
+            return self.typed_literal(bucket, null_probability=0.0)
+        bucket = self.rng.choice(self._buckets())
+        return self.typed_literal(bucket, null_probability=0.0)
+
+    def _buckets(self) -> list[str]:
+        if self.dialect == "postgres":
+            return ["number", "text", "boolean"]
+        return ["number", "number", "text", "text", "blob"]
+
+    def _integer(self) -> int:
+        if self.rng.flip(0.6):
+            return self.rng.choice(INTEGER_POOL)
+        return self.rng.int_between(-1000, 1000)
+
+    def _real(self) -> float:
+        if self.rng.flip(0.6):
+            return self.rng.choice(REAL_POOL)
+        return round(self.rng.random() * 200 - 100, 3)
+
+    def _text(self) -> str:
+        if self.rng.flip(0.35):
+            return self.rng.choice(CASE_PAIR_POOL)
+        if self.rng.flip(0.7):
+            return self.rng.choice(TEXT_POOL)
+        return self.rng.short_text()
+
+    def insert_value(self, column_type: str | None,
+                     null_probability: float = 0.2) -> LiteralNode:
+        """A literal to INSERT into a column of the given declared type.
+
+        For the dynamically-typed dialects this intentionally draws from
+        *all* buckets regardless of the declared type — storing
+        ill-typed values in typed columns is exactly how the paper found
+        SQLite's type-flexibility bugs (§4.4).
+        """
+        if self.rng.flip(null_probability):
+            return LiteralNode(NULL)
+        if self.dialect == "postgres":
+            bucket = _pg_bucket(column_type)
+            return self.typed_literal(bucket, null_probability=0.0)
+        if self.dialect == "mysql" and self.rng.flip(0.7):
+            bucket = _mysql_bucket(column_type)
+            return self.typed_literal(bucket, null_probability=0.0)
+        return self.any_literal(null_probability=0.0)
+
+
+def _pg_bucket(column_type: str | None) -> str:
+    upper = (column_type or "TEXT").upper()
+    if "BOOL" in upper:
+        return "boolean"
+    if "TEXT" in upper or "CHAR" in upper:
+        return "text"
+    if "BYTEA" in upper:
+        return "blob"
+    return "number"
+
+
+def _mysql_bucket(column_type: str | None) -> str:
+    upper = (column_type or "INT").upper()
+    if "TEXT" in upper or "CHAR" in upper:
+        return "text"
+    if "BLOB" in upper:
+        return "blob"
+    return "number"

@@ -1,0 +1,63 @@
+"""Expression rectification — the paper's Algorithm 3.
+
+Given a random condition and its ternary value on the pivot row:
+
+* TRUE  → use the expression as-is;
+* FALSE → wrap in ``NOT``;
+* NULL  → append ``ISNULL``.
+
+The result is guaranteed TRUE for the pivot row, so a query filtering on
+it must fetch the pivot row.  The paper notes the same step generalizes
+to other logic systems (e.g. four-valued) by adjusting the mapping.
+"""
+
+from __future__ import annotations
+
+from repro.interp.base import Interpreter, Row, Ternary
+from repro.sqlast.nodes import Expr, PostfixNode, PostfixOp, UnaryNode, UnaryOp
+
+
+def rectify_condition(expr: Expr, interpreter: Interpreter,
+                      pivot_row: Row) -> Expr:
+    """Return a variant of *expr* that evaluates to TRUE on *pivot_row*.
+
+    May raise :class:`repro.interp.EvalError` for strict dialects when
+    the random expression is ill-typed; callers discard and redraw.
+    """
+    outcome = interpreter.evaluate_bool(expr, pivot_row)
+    return apply_rectification(expr, outcome)
+
+
+def apply_rectification(expr: Expr, outcome: Ternary) -> Expr:
+    if outcome is True:
+        return expr
+    if outcome is False:
+        return UnaryNode(UnaryOp.NOT, expr)
+    return PostfixNode(PostfixOp.ISNULL, expr)
+
+
+def verify_rectified(expr: Expr, interpreter: Interpreter,
+                     pivot_row: Row) -> bool:
+    """Sanity check used by tests and the paranoid runner mode."""
+    return interpreter.evaluate_bool(expr, pivot_row) is True
+
+
+def rectify_condition_to_false(expr: Expr, interpreter: Interpreter,
+                               pivot_row: Row) -> Expr:
+    """Rectify *expr* to FALSE on the pivot row.
+
+    The paper's §7 future-work extension: "we could also generate
+    conditions and check that the pivot row is NOT contained in the
+    result set, which might uncover additional bugs."  The mapping is
+    the dual of Algorithm 3:
+
+    * FALSE → as-is;
+    * TRUE  → wrap in ``NOT``;
+    * NULL  → append ``NOTNULL`` (NULL NOTNULL is FALSE).
+    """
+    outcome = interpreter.evaluate_bool(expr, pivot_row)
+    if outcome is False:
+        return expr
+    if outcome is True:
+        return UnaryNode(UnaryOp.NOT, expr)
+    return PostfixNode(PostfixOp.NOTNULL, expr)

@@ -1,0 +1,102 @@
+"""Test-case reduction.
+
+"SQLancer automatically deletes SQL statements that are unnecessary to
+reproduce a bug" (§4.1) — the reduced-statement counts are what the
+paper's Figure 2 (test-case LOC CDF) and Figure 3 (statement
+distribution) measure.
+
+The reducer is classic ddmin over the statement list: the final
+statement (the failing query / erroring statement) is always kept; the
+prefix is minimized against a caller-supplied predicate that replays the
+candidate and reports whether the failure still manifests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.reports import TestCase
+from repro.errors import ReductionError
+
+#: The predicate: does this candidate still exhibit the failure?
+FailurePredicate = Callable[[TestCase], bool]
+
+
+class TestCaseReducer:
+    """Minimizes a failing statement sequence with delta debugging."""
+
+    #: Not a pytest class, despite the name.
+    __test__ = False
+
+    def __init__(self, still_fails: FailurePredicate,
+                 max_replays: int = 2000):
+        self.still_fails = still_fails
+        self.max_replays = max_replays
+        self.replays = 0
+
+    def reduce(self, test_case: TestCase) -> TestCase:
+        """Return a 1-minimal variant of *test_case*.
+
+        Raises :class:`ReductionError` if the input does not fail to
+        begin with (a reducer bug or a flaky failure — both worth
+        surfacing loudly rather than silently returning garbage).
+        """
+        if not self._check(test_case):
+            raise ReductionError(
+                "test case does not reproduce its failure")
+        prefix = list(test_case.statements[:-1])
+        final = test_case.statements[-1]
+        prefix = self._ddmin(prefix, final, test_case)
+        prefix = self._one_by_one(prefix, final, test_case)
+        return TestCase(statements=prefix + [final],
+                        expected_row=test_case.expected_row,
+                        dialect=test_case.dialect)
+
+    # -- internals -----------------------------------------------------------
+    def _check(self, candidate: TestCase) -> bool:
+        if self.replays >= self.max_replays:
+            return False
+        self.replays += 1
+        return self.still_fails(candidate)
+
+    def _candidate(self, prefix: list[str], final: str,
+                   template: TestCase) -> TestCase:
+        return TestCase(statements=prefix + [final],
+                        expected_row=template.expected_row,
+                        dialect=template.dialect)
+
+    def _ddmin(self, prefix: list[str], final: str,
+               template: TestCase) -> list[str]:
+        granularity = 2
+        while len(prefix) >= 2:
+            chunk = max(1, len(prefix) // granularity)
+            reduced = False
+            start = 0
+            while start < len(prefix):
+                candidate = prefix[:start] + prefix[start + chunk:]
+                if self._check(self._candidate(candidate, final,
+                                               template)):
+                    prefix = candidate
+                    reduced = True
+                    # Restart at the same granularity on the smaller list.
+                    granularity = max(2, granularity - 1)
+                    start = 0
+                    continue
+                start += chunk
+            if not reduced:
+                if granularity >= len(prefix):
+                    break
+                granularity = min(len(prefix), granularity * 2)
+        return prefix
+
+    def _one_by_one(self, prefix: list[str], final: str,
+                    template: TestCase) -> list[str]:
+        """Final pass: try deleting each remaining statement singly."""
+        index = 0
+        while index < len(prefix):
+            candidate = prefix[:index] + prefix[index + 1:]
+            if self._check(self._candidate(candidate, final, template)):
+                prefix = candidate
+            else:
+                index += 1
+        return prefix

@@ -1,0 +1,81 @@
+"""Bug reports, test cases, and run statistics."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Oracle(enum.Enum):
+    """Which oracle detected a finding (paper Table 3's three columns)."""
+
+    CONTAINMENT = "contains"
+    ERROR = "error"
+    CRASH = "segfault"
+
+
+@dataclass
+class TestCase:
+    """A replayable sequence of SQL statements.
+
+    The last statement is the one that exposes the finding: the
+    synthesized query for containment findings, the erroring/crashing
+    statement otherwise.
+    """
+
+    #: Not a pytest class, despite the name.
+    __test__ = False
+
+    statements: list[str]
+    #: For containment findings: the literal pivot values the final
+    #: query must contain (rendered per dialect by the reducer/replayer).
+    expected_row: Optional[list] = None
+    dialect: str = "sqlite"
+
+    @property
+    def loc(self) -> int:
+        """Statement count — the 'LOC of the reduced test case' metric
+        behind the paper's Figure 2."""
+        return len(self.statements)
+
+    def render(self) -> str:
+        return ";\n".join(self.statements) + ";"
+
+
+@dataclass
+class BugReport:
+    """One finding, as the campaign records it."""
+
+    oracle: Oracle
+    dialect: str
+    test_case: TestCase
+    message: str = ""
+    seed: int = 0
+    #: Ground-truth attribution: ids of injected defects that reproduce
+    #: this test case (filled by the campaign's attribution pass).
+    attributed_bugs: list[str] = field(default_factory=list)
+    #: Table 2 status taxonomy: fixed / verified / docs / intended /
+    #: duplicate.
+    triage: str = "verified"
+    reduced: bool = False
+
+
+@dataclass
+class RunStatistics:
+    """Counters for throughput and distribution benchmarks."""
+
+    databases: int = 0
+    statements: int = 0
+    queries: int = 0
+    pivots: int = 0
+    expected_errors: int = 0
+    reports: list[BugReport] = field(default_factory=list)
+
+    def merge(self, other: "RunStatistics") -> None:
+        self.databases += other.databases
+        self.statements += other.statements
+        self.queries += other.queries
+        self.pivots += other.pivots
+        self.expected_errors += other.expected_errors
+        self.reports.extend(other.reports)

@@ -1,0 +1,348 @@
+"""The PQS driving loop — paper Figure 1, steps 1 through 7.
+
+One *database round*: generate random state (step 1), then repeatedly
+select pivot rows (step 2) and synthesize/check queries (steps 3–7).
+Findings from all three oracles are collected as replayable
+:class:`~repro.core.reports.BugReport` objects.
+
+Every statement sent to the target is logged, so a finding's test case
+is the exact statement prefix that reproduces it — the input to the
+reducer (and the raw material for the paper's Figures 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.adapters.base import DBMSConnection
+from repro.core.containment import check_containment
+from repro.core.error_oracle import ErrorOracle
+from repro.core.exprgen import ExpressionGenerator
+from repro.core.pivot import PivotRow, PivotSelector
+from repro.core.querygen import QueryGenerator
+from repro.core.reports import BugReport, Oracle, RunStatistics, TestCase
+from repro.core.schema import SchemaModel
+from repro.dialects import get_dialect
+from repro.errors import DBCrash, DBError
+from repro.interp import make_interpreter
+from repro.interp.base import EvalError
+from repro.rng import RandomSource
+from repro.stategen.actions import ActionGenerator
+
+
+@dataclass
+class RunnerConfig:
+    """Knobs for one PQS run; defaults follow the paper's §3.4 choices."""
+
+    dialect: str = "sqlite"
+    seed: int = 0
+    min_tables: int = 1
+    max_tables: int = 2
+    #: Rows per table — the paper found most bugs with 10–30 rows.
+    min_rows: int = 3
+    max_rows: int = 12
+    #: Additional random statements after the initial state.
+    extra_statements: int = 10
+    #: Pivot selections per database state.
+    pivots_per_database: int = 4
+    #: Synthesized queries per pivot row.
+    queries_per_pivot: int = 5
+    max_expression_depth: int = 4
+    expression_targets_probability: float = 0.4
+    aggregate_probability: float = 0.15
+    groupby_probability: float = 0.25
+    #: Check containment via INTERSECT (vs client-side) when supported.
+    use_intersect_probability: float = 0.3
+    #: Disable rectification (Algorithm 3) — ablation only; makes the
+    #: containment oracle unsound.
+    rectify: bool = True
+    #: Probability of the §7 negative-containment mode (condition FALSE
+    #: on the pivot row => the row must NOT be fetched).  Applied only
+    #: when the pivot row is value-unique within its (single) table.
+    negative_probability: float = 0.1
+    #: Error-message patterns the target's developers have documented as
+    #: intended (see ErrorOracle).  Pass
+    #: error_oracle.SQLITE3_DOCUMENTED_QUIRKS when driving a modern real
+    #: SQLite build.
+    documented_quirks: tuple = ()
+    #: Stop a database round after this many findings (keeps campaign
+    #: test cases small).
+    max_reports_per_database: int = 3
+
+
+@dataclass
+class DatabaseRound:
+    """Outcome of one database (state + queries)."""
+
+    reports: list[BugReport] = field(default_factory=list)
+    statements: int = 0
+    queries: int = 0
+    pivots: int = 0
+    expected_errors: int = 0
+
+
+class PQSRunner:
+    """Runs Pivoted Query Synthesis against one connection factory."""
+
+    def __init__(self, connection_factory: Callable[[], DBMSConnection],
+                 config: Optional[RunnerConfig] = None):
+        self.connection_factory = connection_factory
+        self.config = config or RunnerConfig()
+        self.rng = RandomSource(self.config.seed)
+        self.dialect = get_dialect(self.config.dialect)
+        self.interpreter = make_interpreter(self.config.dialect)
+        self.error_oracle = ErrorOracle(
+            self.config.dialect,
+            documented_quirks=tuple(self.config.documented_quirks))
+
+    # -- public -----------------------------------------------------------
+    def run(self, databases: int = 10) -> RunStatistics:
+        stats = RunStatistics()
+        for _ in range(databases):
+            round_ = self.run_database_round()
+            stats.databases += 1
+            stats.statements += round_.statements
+            stats.queries += round_.queries
+            stats.pivots += round_.pivots
+            stats.expected_errors += round_.expected_errors
+            stats.reports.extend(round_.reports)
+        return stats
+
+    def run_database_round(self) -> DatabaseRound:
+        """One full pass: state generation, pivots, queries, oracles."""
+        connection = self.connection_factory()
+        round_ = DatabaseRound()
+        # Fresh database => default run-time options; the oracle's LIKE
+        # semantics must track PRAGMA case_sensitive_like (§3.4: the
+        # paper's SQLite component models run-time options exactly).
+        if hasattr(self.interpreter.semantics, "like_case_sensitive"):
+            self.interpreter.semantics.like_case_sensitive = False
+        log: list[str] = []
+        schema = SchemaModel(dialect=self.config.dialect)
+        actions = ActionGenerator(self.dialect, schema, self.rng)
+        try:
+            self._generate_state(connection, schema, actions, log, round_)
+            if len(round_.reports) < self.config.max_reports_per_database:
+                self._query_phase(connection, schema, log, round_)
+        finally:
+            connection.close()
+        return round_
+
+    # -- step 1: random state ----------------------------------------------
+    def _generate_state(self, connection: DBMSConnection,
+                        schema: SchemaModel, actions: ActionGenerator,
+                        log: list[str], round_: DatabaseRound) -> None:
+        n_tables = self.rng.int_between(self.config.min_tables,
+                                        self.config.max_tables)
+        rows = self.rng.int_between(self.config.min_rows,
+                                    self.config.max_rows)
+        plan = actions.initial_statements(n_tables, rows)
+        for generated in plan:
+            self._run_statement(connection, generated.sql,
+                                generated.on_success, log, round_)
+            if len(round_.reports) >= self.config.max_reports_per_database:
+                return
+        for _ in range(self.config.extra_statements):
+            generated = actions.random_action()
+            if generated is None:
+                continue
+            self._run_statement(connection, generated.sql,
+                                generated.on_success, log, round_)
+            if len(round_.reports) >= self.config.max_reports_per_database:
+                return
+        closing = actions.close_transaction()
+        if closing is not None:
+            self._run_statement(connection, closing.sql,
+                                closing.on_success, log, round_)
+
+    def _run_statement(self, connection: DBMSConnection, sql: str,
+                       on_success, log: list[str],
+                       round_: DatabaseRound) -> None:
+        round_.statements += 1
+        try:
+            connection.execute(sql)
+        except DBCrash as crash:
+            log.append(sql)
+            round_.reports.append(self._report(Oracle.CRASH, log,
+                                               crash.message))
+        except DBError as error:
+            verdict = self.error_oracle.classify(sql, error)
+            if verdict.expected:
+                round_.expected_errors += 1
+                return
+            log.append(sql)
+            round_.reports.append(self._report(Oracle.ERROR, log,
+                                               error.message))
+        else:
+            log.append(sql)
+            if on_success is not None:
+                on_success()
+            self._track_option(sql)
+
+    _CSL_PATTERN = None
+
+    def _track_option(self, sql: str) -> None:
+        """Mirror semantics-affecting options into the oracle."""
+        if self.config.dialect != "sqlite":
+            return
+        import re
+
+        if PQSRunner._CSL_PATTERN is None:
+            PQSRunner._CSL_PATTERN = re.compile(
+                r"PRAGMA\s+case_sensitive_like\s*=\s*(\S+)", re.IGNORECASE)
+        match = PQSRunner._CSL_PATTERN.match(sql.strip())
+        if match:
+            value = match.group(1).strip("'\"").lower()
+            sensitive = value in ("1", "true", "on", "yes")
+            self.interpreter.semantics.like_case_sensitive = sensitive
+
+    # -- steps 2–7: pivots and queries ----------------------------------------
+    def _query_phase(self, connection: DBMSConnection,
+                     schema: SchemaModel, log: list[str],
+                     round_: DatabaseRound) -> None:
+        selector = PivotSelector(connection, schema, self.rng)
+        generator = ExpressionGenerator(
+            self.dialect, self.rng,
+            max_depth=self.config.max_expression_depth)
+        querygen = QueryGenerator(
+            generator, self.interpreter, self.rng,
+            self.config.expression_targets_probability,
+            self.config.aggregate_probability,
+            self.config.groupby_probability,
+            rectify=self.config.rectify)
+
+        for _ in range(self.config.pivots_per_database):
+            tables_rows = self._probe_relations(connection, schema, log,
+                                                round_)
+            if not tables_rows or \
+                    len(round_.reports) >= \
+                    self.config.max_reports_per_database:
+                return
+            # Mostly one table, sometimes two (90% of the paper's bug
+            # reports involved a single table).
+            count = 1 if len(tables_rows) == 1 or self.rng.flip(0.7) else 2
+            chosen = self.rng.sample(tables_rows, count)
+            pivot = selector.select(chosen)
+            round_.pivots += 1
+            for _ in range(self.config.queries_per_pivot):
+                self._one_query(connection, querygen, pivot, log, round_,
+                                chosen)
+                if len(round_.reports) >= \
+                        self.config.max_reports_per_database:
+                    return
+
+    def _probe_relations(self, connection: DBMSConnection,
+                         schema: SchemaModel, log: list[str],
+                         round_: DatabaseRound) -> list:
+        """SELECT * from every relation, feeding errors to the oracles."""
+        healthy = []
+        for table in schema.relations():
+            sql = f"SELECT * FROM {table.name}"
+            try:
+                rows = connection.execute(sql)
+            except DBCrash as crash:
+                round_.reports.append(self._report(
+                    Oracle.CRASH, log + [sql], crash.message))
+                continue
+            except DBError as error:
+                verdict = self.error_oracle.classify(sql, error)
+                if verdict.expected:
+                    round_.expected_errors += 1
+                else:
+                    round_.reports.append(self._report(
+                        Oracle.ERROR, log + [sql], error.message))
+                continue
+            if rows and all(len(r) == len(table.columns) for r in rows):
+                healthy.append((table, rows))
+        return healthy
+
+    def _one_query(self, connection: DBMSConnection,
+                   querygen: QueryGenerator, pivot: PivotRow,
+                   log: list[str], round_: DatabaseRound,
+                   chosen=None) -> None:
+        negative = (chosen is not None
+                    and self.rng.flip(self.config.negative_probability)
+                    and self._negative_mode_sound(pivot, chosen))
+        try:
+            if negative:
+                query = querygen.synthesize_negative(pivot)
+            else:
+                query = querygen.synthesize(pivot)
+        except EvalError:
+            return
+        round_.queries += 1
+        use_intersect = self.rng.flip(
+            self.config.use_intersect_probability)
+        try:
+            contained = check_containment(
+                connection, query, self.interpreter.semantics,
+                use_intersect=use_intersect)
+        except DBCrash as crash:
+            round_.reports.append(self._report(
+                Oracle.CRASH, log + [query.sql], crash.message))
+            return
+        except DBError as error:
+            verdict = self.error_oracle.classify(query.sql, error)
+            if verdict.expected:
+                round_.expected_errors += 1
+            else:
+                round_.reports.append(self._report(
+                    Oracle.ERROR, log + [query.sql], error.message))
+            return
+        if query.negative:
+            if contained:
+                report = self._report(
+                    Oracle.CONTAINMENT, log + [query.sql],
+                    "pivot row fetched although the condition is FALSE "
+                    "for it")
+                report.test_case.expected_row = list(query.expected)
+                round_.reports.append(report)
+            return
+        if not contained:
+            expected = [v for v in query.expected]
+            report = self._report(
+                Oracle.CONTAINMENT, log + [query.sql],
+                "pivot row not contained in result set")
+            report.test_case.expected_row = expected
+            round_.reports.append(report)
+
+    def _negative_mode_sound(self, pivot: PivotRow, chosen) -> bool:
+        """Negative containment is sound only for a single-table pivot
+        whose row is value-unique in that table — under the *same*
+        collation-aware equality the containment check uses, since an
+        equal-valued sibling would legitimately appear in the result."""
+        if len(pivot.tables) != 1:
+            return False
+        table = pivot.tables[0]
+        pivot_row = pivot.row_by_table[table.name]
+        collations = [c.collation for c in table.columns]
+        equal_count = 0
+        for model, rows in chosen:
+            if model.name != table.name:
+                continue
+            for row in rows:
+                if len(row) == len(pivot_row) and all(
+                        self._values_match(a, b, coll)
+                        for a, b, coll in zip(row, pivot_row, collations)):
+                    equal_count += 1
+        return equal_count == 1
+
+    def _values_match(self, a, b, collation) -> bool:
+        from repro.values import SQLType
+
+        if self.config.dialect == "sqlite" and \
+                collation not in (None, "BINARY") and \
+                a.t is SQLType.TEXT and b.t is SQLType.TEXT:
+            from repro.interp.sqlite_sem import storage_compare
+
+            return storage_compare(a, b, collation) == 0
+        return self.interpreter.semantics.values_equal(a, b)
+
+    def _report(self, oracle: Oracle, statements: list[str],
+                message: str) -> BugReport:
+        return BugReport(
+            oracle=oracle, dialect=self.config.dialect,
+            test_case=TestCase(statements=list(statements),
+                               dialect=self.config.dialect),
+            message=message, seed=self.config.seed)

@@ -1,0 +1,108 @@
+"""Tool-side schema model.
+
+SQLancer queries the DBMS for schema state rather than tracking it
+(paper §3.4) — our runner does verify relation existence through the
+target's schema table — but the *generator* additionally keeps this
+model of the tables it created: column affinities and collations feed
+the exact interpreter, and strict dialects need column types to build
+well-typed expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.interp.base import affinity_of_type_name
+from repro.sqlast.nodes import ColumnNode
+
+
+@dataclass
+class ColumnModel:
+    name: str
+    type_name: Optional[str] = None
+    collation: Optional[str] = None
+    primary_key: bool = False
+    unique: bool = False
+    not_null: bool = False
+
+    def affinity(self, dialect: str) -> Optional[str]:
+        if dialect != "sqlite" or self.type_name is None:
+            return None
+        return affinity_of_type_name(self.type_name)
+
+    def type_bucket(self, dialect: str) -> str:
+        """Coarse type for strict generation: number/text/boolean/blob/any."""
+        if self.type_name is None:
+            return "any"
+        upper = self.type_name.upper()
+        if "BOOL" in upper:
+            return "boolean"
+        if any(k in upper for k in ("INT", "FLOAT", "DOUBLE", "REAL",
+                                    "SERIAL", "NUMERIC", "DECIMAL")):
+            return "number"
+        if any(k in upper for k in ("TEXT", "CHAR", "CLOB", "VARCHAR")):
+            return "text"
+        if "BLOB" in upper or "BYTEA" in upper:
+            return "blob"
+        return "any"
+
+    def column_node(self, table: str, dialect: str) -> ColumnNode:
+        return ColumnNode(table=table, column=self.name,
+                          collation=self.collation,
+                          affinity=self.affinity(dialect))
+
+
+@dataclass
+class TableModel:
+    name: str
+    columns: list[ColumnModel] = field(default_factory=list)
+    without_rowid: bool = False
+    engine: Optional[str] = None
+    inherits: Optional[str] = None
+    is_view: bool = False
+
+    def column(self, name: str) -> ColumnModel:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise KeyError(name)
+
+
+@dataclass
+class SchemaModel:
+    """All relations the generator has created in the current database."""
+
+    dialect: str
+    tables: list[TableModel] = field(default_factory=list)
+    next_table_id: int = 0
+    next_index_id: int = 0
+    next_view_id: int = 0
+    index_names: list[str] = field(default_factory=list)
+
+    def base_tables(self) -> list[TableModel]:
+        return [t for t in self.tables if not t.is_view]
+
+    def relations(self) -> list[TableModel]:
+        return list(self.tables)
+
+    def table(self, name: str) -> TableModel:
+        for table in self.tables:
+            if table.name == name:
+                return table
+        raise KeyError(name)
+
+    def fresh_table_name(self) -> str:
+        name = f"t{self.next_table_id}"
+        self.next_table_id += 1
+        return name
+
+    def fresh_index_name(self) -> str:
+        name = f"i{self.next_index_id}"
+        self.next_index_id += 1
+        return name
+
+    def fresh_view_name(self) -> str:
+        name = f"v{self.next_view_id}"
+        self.next_view_id += 1
+        return name

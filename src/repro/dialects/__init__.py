@@ -1,0 +1,46 @@
+"""Dialect descriptors: what the generator may emit per system under test.
+
+The paper's central practical point is that SQL dialects differ so much
+that differential testing fails and per-DBMS implementations are needed
+(§2, §5).  SQLancer encodes those differences in per-DBMS components; we
+encode them declaratively here and parameterize one generator with them.
+
+A :class:`Dialect` describes the *testable fragment*: the operators,
+functions, casts, types, collations and statement forms that (a) the
+target accepts and (b) the oracle interpreter models exactly.  The PQS
+generator never steps outside this fragment — the same discipline that
+let the paper's authors keep their AST interpreter exact.
+"""
+
+from repro.dialects.base import Dialect, FunctionSig
+from repro.dialects.mysql import MYSQL_DIALECT
+from repro.dialects.postgres import POSTGRES_DIALECT
+from repro.dialects.sqlite import SQLITE_DIALECT
+
+_DIALECTS = {
+    "sqlite": SQLITE_DIALECT,
+    "mysql": MYSQL_DIALECT,
+    "postgres": POSTGRES_DIALECT,
+}
+
+
+def get_dialect(name: str) -> Dialect:
+    try:
+        return _DIALECTS[name]
+    except KeyError:
+        raise ValueError(f"unknown dialect: {name!r}") from None
+
+
+def dialect_names() -> list[str]:
+    return list(_DIALECTS)
+
+
+__all__ = [
+    "Dialect",
+    "FunctionSig",
+    "MYSQL_DIALECT",
+    "POSTGRES_DIALECT",
+    "SQLITE_DIALECT",
+    "dialect_names",
+    "get_dialect",
+]

@@ -1,0 +1,84 @@
+"""The :class:`Dialect` descriptor consumed by every generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlast.nodes import BinaryOp, PostfixOp, UnaryOp
+
+
+@dataclass(frozen=True, slots=True)
+class FunctionSig:
+    """A scalar function the generator may emit for a dialect."""
+
+    name: str
+    min_arity: int
+    max_arity: int
+    #: PostgreSQL needs typed generation; this is the coarse result type
+    #: bucket ('any' for the dynamically-typed dialects).
+    result: str = "any"
+    #: Argument type constraint for strict dialects ('any', 'number',
+    #: 'text').
+    args: str = "any"
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Everything the PQS generator needs to know about one target."""
+
+    name: str
+    #: Candidate declared column types (None = untyped, sqlite only).
+    column_types: tuple[Optional[str], ...]
+    #: Collation names usable in COLLATE clauses and column definitions.
+    collations: tuple[str, ...] = ()
+    #: CAST target type names.
+    cast_types: tuple[str, ...] = ()
+    binary_ops: tuple[BinaryOp, ...] = ()
+    unary_ops: tuple[UnaryOp, ...] = ()
+    postfix_ops: tuple[PostfixOp, ...] = ()
+    functions: tuple[FunctionSig, ...] = ()
+    #: WHERE requires a boolean-typed expression (PostgreSQL).
+    boolean_root: bool = False
+    #: Feature switches mirroring the paper's per-DBMS feature lists.
+    supports_glob: bool = False
+    supports_without_rowid: bool = False
+    supports_partial_indexes: bool = False
+    supports_expression_indexes: bool = True
+    supports_collate_in_index: bool = False
+    supports_views: bool = True
+    supports_inherits: bool = False
+    engines: tuple[str, ...] = ()
+    #: Maintenance statements the state generator may emit.
+    maintenance: tuple[str, ...] = ()
+    #: (option_name, candidate_values) pairs for PRAGMA/SET generation.
+    options: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    #: How the schema is introspected ('sqlite_master' or
+    #: 'information_schema.tables') — the paper queries DBMS state rather
+    #: than tracking it (§3.4), and so do our adapters.
+    schema_table: str = "sqlite_master"
+    #: Statement used to enable test-relevant conflict clauses.
+    supports_or_ignore: bool = False
+    supports_or_replace: bool = False
+
+    def function(self, name: str) -> FunctionSig:
+        for sig in self.functions:
+            if sig.name == name:
+                return sig
+        raise KeyError(name)
+
+
+#: Operators shared by every dialect's testable fragment.
+COMMON_BINARY_OPS = (
+    BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV,
+    BinaryOp.EQ, BinaryOp.NE, BinaryOp.LT, BinaryOp.LE, BinaryOp.GT,
+    BinaryOp.GE, BinaryOp.AND, BinaryOp.OR, BinaryOp.LIKE,
+    BinaryOp.NOT_LIKE, BinaryOp.CONCAT,
+)
+
+COMMON_UNARY_OPS = (UnaryOp.NOT, UnaryOp.MINUS, UnaryOp.PLUS)
+
+COMMON_POSTFIX_OPS = (
+    PostfixOp.ISNULL, PostfixOp.NOTNULL, PostfixOp.IS_TRUE,
+    PostfixOp.IS_FALSE, PostfixOp.IS_NOT_TRUE, PostfixOp.IS_NOT_FALSE,
+)

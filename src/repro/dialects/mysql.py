@@ -1,0 +1,60 @@
+"""The MySQL dialect descriptor.
+
+Per the paper (§2, §4.5): typed columns with ranges, unsigned integer
+types, the null-safe ``<=>`` operator, storage engines assignable per
+table, and the CHECK/REPAIR TABLE maintenance statements unique to MySQL.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.base import (
+    COMMON_BINARY_OPS,
+    COMMON_POSTFIX_OPS,
+    COMMON_UNARY_OPS,
+    Dialect,
+    FunctionSig,
+)
+from repro.sqlast.nodes import BinaryOp, UnaryOp
+
+MYSQL_DIALECT = Dialect(
+    name="mysql",
+    column_types=("TINYINT", "SMALLINT", "INT", "BIGINT",
+                  "INT UNSIGNED", "TINYINT UNSIGNED", "BIGINT UNSIGNED",
+                  "DOUBLE", "TEXT", "VARCHAR", "BLOB"),
+    collations=(),
+    cast_types=("SIGNED", "UNSIGNED", "CHAR", "DOUBLE"),
+    binary_ops=COMMON_BINARY_OPS + (
+        BinaryOp.MOD, BinaryOp.NULL_SAFE_EQ, BinaryOp.IS, BinaryOp.IS_NOT,
+        BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL, BinaryOp.SHR,
+    ),
+    unary_ops=COMMON_UNARY_OPS + (UnaryOp.BITNOT,),
+    postfix_ops=COMMON_POSTFIX_OPS,
+    functions=(
+        FunctionSig("ABS", 1, 1, result="number"),
+        FunctionSig("COALESCE", 2, 4),
+        FunctionSig("GREATEST", 2, 4),
+        FunctionSig("IFNULL", 2, 2),
+        FunctionSig("INSTR", 2, 2, result="number"),
+        FunctionSig("LEAST", 2, 4),
+        FunctionSig("LENGTH", 1, 1, result="number"),
+        FunctionSig("LOWER", 1, 1, result="text"),
+        FunctionSig("NULLIF", 2, 2),
+        FunctionSig("ROUND", 1, 1, result="number"),
+        FunctionSig("SUBSTR", 2, 3, result="text"),
+        FunctionSig("UPPER", 1, 1, result="text"),
+    ),
+    supports_partial_indexes=False,
+    supports_expression_indexes=True,
+    supports_collate_in_index=False,
+    supports_views=True,
+    engines=("INNODB", "MEMORY"),
+    maintenance=("ANALYZE", "CHECK TABLE", "REPAIR TABLE"),
+    options=(
+        ("key_cache_division_limit", ("50", "100")),
+        ("sql_buffer_result", ("0", "1")),
+        ("max_heap_table_size", ("16384", "65536")),
+    ),
+    schema_table="information_schema.tables",
+    supports_or_ignore=True,   # modeled after INSERT IGNORE
+    supports_or_replace=False,
+)

@@ -1,0 +1,56 @@
+"""The PostgreSQL dialect descriptor.
+
+Per the paper (§2, §4.6): strict typing with few implicit conversions
+(hence ``boolean_root=True`` — generated WHERE conditions must be
+boolean-typed, §3.2), table inheritance, SERIAL, and the
+DISCARD/CREATE STATISTICS statements unique to PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.base import Dialect, FunctionSig
+from repro.sqlast.nodes import BinaryOp, PostfixOp, UnaryOp
+
+POSTGRES_DIALECT = Dialect(
+    name="postgres",
+    column_types=("INT", "BIGINT", "FLOAT8", "TEXT", "BOOLEAN", "SERIAL"),
+    collations=(),
+    cast_types=("INT", "FLOAT8", "TEXT", "BOOLEAN"),
+    binary_ops=(
+        BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV,
+        BinaryOp.MOD, BinaryOp.EQ, BinaryOp.NE, BinaryOp.LT, BinaryOp.LE,
+        BinaryOp.GT, BinaryOp.GE, BinaryOp.IS, BinaryOp.IS_NOT,
+        BinaryOp.AND, BinaryOp.OR, BinaryOp.LIKE, BinaryOp.NOT_LIKE,
+        BinaryOp.CONCAT, BinaryOp.BITAND, BinaryOp.BITOR,
+    ),
+    unary_ops=(UnaryOp.NOT, UnaryOp.MINUS, UnaryOp.PLUS, UnaryOp.BITNOT),
+    postfix_ops=(PostfixOp.ISNULL, PostfixOp.NOTNULL, PostfixOp.IS_TRUE,
+                 PostfixOp.IS_FALSE, PostfixOp.IS_NOT_TRUE,
+                 PostfixOp.IS_NOT_FALSE),
+    functions=(
+        FunctionSig("ABS", 1, 1, result="number", args="number"),
+        FunctionSig("COALESCE", 2, 4),
+        FunctionSig("GREATEST", 2, 4),
+        FunctionSig("LEAST", 2, 4),
+        FunctionSig("LENGTH", 1, 1, result="number", args="text"),
+        FunctionSig("LOWER", 1, 1, result="text", args="text"),
+        FunctionSig("NULLIF", 2, 2),
+        FunctionSig("UPPER", 1, 1, result="text", args="text"),
+    ),
+    boolean_root=True,
+    supports_partial_indexes=True,
+    supports_expression_indexes=True,
+    supports_collate_in_index=False,
+    supports_views=True,
+    supports_inherits=True,
+    maintenance=("VACUUM", "VACUUM FULL", "REINDEX", "ANALYZE", "DISCARD",
+                 "CREATE STATISTICS"),
+    options=(
+        ("enable_seqscan", ("'on'", "'off'")),
+        ("enable_indexscan", ("'on'", "'off'")),
+        ("work_mem", ("'64kB'", "'4MB'")),
+    ),
+    schema_table="information_schema.tables",
+    supports_or_ignore=False,
+    supports_or_replace=False,
+)

@@ -1,0 +1,66 @@
+"""The SQLite dialect descriptor.
+
+Mirrors the paper's characterization (§2): the most flexible dialect —
+untyped columns, implicit conversions everywhere, COLLATE sequences,
+WITHOUT ROWID tables, partial and expression indexes, GLOB, PRAGMAs —
+which is exactly why the paper found the most bugs here.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.base import (
+    COMMON_BINARY_OPS,
+    COMMON_POSTFIX_OPS,
+    COMMON_UNARY_OPS,
+    Dialect,
+    FunctionSig,
+)
+from repro.sqlast.nodes import BinaryOp, UnaryOp
+
+SQLITE_DIALECT = Dialect(
+    name="sqlite",
+    column_types=(None, "INT", "INTEGER", "TEXT", "REAL", "BLOB",
+                  "NUMERIC"),
+    collations=("BINARY", "NOCASE", "RTRIM"),
+    cast_types=("INTEGER", "REAL", "TEXT", "BLOB", "NUMERIC"),
+    binary_ops=COMMON_BINARY_OPS + (
+        BinaryOp.MOD, BinaryOp.IS, BinaryOp.IS_NOT, BinaryOp.GLOB,
+        BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL, BinaryOp.SHR,
+    ),
+    unary_ops=COMMON_UNARY_OPS + (UnaryOp.BITNOT,),
+    postfix_ops=COMMON_POSTFIX_OPS,
+    functions=(
+        FunctionSig("ABS", 1, 1, result="number"),
+        FunctionSig("COALESCE", 2, 4),
+        FunctionSig("HEX", 1, 1, result="text"),
+        FunctionSig("IFNULL", 2, 2),
+        FunctionSig("INSTR", 2, 2, result="number"),
+        FunctionSig("LENGTH", 1, 1, result="number"),
+        FunctionSig("LOWER", 1, 1, result="text"),
+        FunctionSig("LTRIM", 1, 2, result="text"),
+        FunctionSig("MAX", 2, 4),
+        FunctionSig("MIN", 2, 4),
+        FunctionSig("NULLIF", 2, 2),
+        FunctionSig("ROUND", 1, 1, result="number"),
+        FunctionSig("RTRIM", 1, 2, result="text"),
+        FunctionSig("SUBSTR", 2, 3, result="text"),
+        FunctionSig("TRIM", 1, 2, result="text"),
+        FunctionSig("TYPEOF", 1, 1, result="text"),
+        FunctionSig("UPPER", 1, 1, result="text"),
+    ),
+    supports_glob=True,
+    supports_without_rowid=True,
+    supports_partial_indexes=True,
+    supports_expression_indexes=True,
+    supports_collate_in_index=True,
+    supports_views=True,
+    maintenance=("VACUUM", "REINDEX", "ANALYZE"),
+    options=(
+        ("case_sensitive_like", ("0", "1")),
+        ("reverse_unordered_selects", ("0", "1")),
+        ("automatic_index", ("0", "1")),
+    ),
+    schema_table="sqlite_master",
+    supports_or_ignore=True,
+    supports_or_replace=True,
+)

@@ -1,0 +1,371 @@
+"""Interpreter driver, three-valued logic, and static expression analysis.
+
+SQL's ``WHERE`` logic is ternary: expressions evaluate to TRUE, FALSE or
+NULL (unknown).  We model the logical layer with ``Optional[bool]`` (``None``
+means NULL) and materialize results back into dialect values.
+
+The driver is deliberately naive — the paper notes "all operations are
+implemented naively and do not perform any optimizations, since the
+bottleneck of our approach is the DBMS evaluating the queries".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import PQSError
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    Expr,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.values import NULL, Value
+
+#: Evaluation environment: qualified column name ("t0.c0") -> stored value.
+Row = Mapping[str, Value]
+
+Ternary = Optional[bool]
+
+
+class EvalError(PQSError):
+    """Evaluation failed in a way the engine would also report as an error.
+
+    Strict dialects (PostgreSQL) raise this for type mismatches and division
+    by zero.  The generator treats it as "discard and redraw", since a query
+    built on such an expression would error rather than mis-answer.
+    """
+
+
+def t_not(a: Ternary) -> Ternary:
+    if a is None:
+        return None
+    return not a
+
+
+def t_and(a: Ternary, b: Ternary) -> Ternary:
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def t_or(a: Ternary, b: Ternary) -> Ternary:
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Static analysis: affinity and collation of expressions (SQLite rules)
+# ---------------------------------------------------------------------------
+
+def expr_affinity(expr: Expr) -> Optional[str]:
+    """Type affinity of an expression, per SQLite's static rules.
+
+    Column references carry their column's affinity; ``CAST`` imposes the
+    affinity of its target type; ``COLLATE`` is transparent.  Unary ``+``
+    *strips* affinity — that is SQLite's documented idiom for defeating
+    affinity conversion in comparisons.  Everything else has no affinity.
+    """
+    if isinstance(expr, ColumnNode):
+        return expr.affinity
+    if isinstance(expr, CastNode):
+        return affinity_of_type_name(expr.type_name)
+    if isinstance(expr, CollateNode):
+        return expr_affinity(expr.operand)
+    return None
+
+
+def affinity_of_type_name(type_name: str) -> str:
+    """SQLite's declared-type → affinity mapping (its §3.1 rules)."""
+    upper = type_name.upper()
+    if "INT" in upper:
+        return "INTEGER"
+    if "CHAR" in upper or "CLOB" in upper or "TEXT" in upper:
+        return "TEXT"
+    if "BLOB" in upper or upper == "":
+        return "BLOB"
+    if "REAL" in upper or "FLOA" in upper or "DOUB" in upper:
+        return "REAL"
+    return "NUMERIC"
+
+
+def expr_collation(expr: Expr) -> tuple[Optional[str], bool]:
+    """Collating sequence of an expression: ``(name, explicit)``.
+
+    An explicit ``COLLATE`` operator anywhere in the operand wins over
+    implicit column collations; this mirrors SQLite's rules for choosing
+    the collating sequence of a comparison.
+    """
+    if isinstance(expr, CollateNode):
+        return expr.collation, True
+    if isinstance(expr, ColumnNode):
+        return expr.collation, False
+    if isinstance(expr, CastNode):
+        return expr_collation(expr.operand)
+    if isinstance(expr, UnaryNode) and expr.op is UnaryOp.PLUS:
+        # Unary + strips *implicit* collation binding in SQLite but keeps
+        # explicit COLLATE operators.
+        name, explicit = expr_collation(expr.operand)
+        return (name, True) if explicit else (None, False)
+    return None, False
+
+
+def comparison_collation(left: Expr, right: Expr) -> str:
+    """The collating sequence a comparison of *left* and *right* uses."""
+    lname, lexp = expr_collation(left)
+    rname, rexp = expr_collation(right)
+    if lexp and lname:
+        return lname
+    if rexp and rname:
+        return rname
+    if lname:
+        return lname
+    if rname:
+        return rname
+    return "BINARY"
+
+
+# ---------------------------------------------------------------------------
+# Semantics interface
+# ---------------------------------------------------------------------------
+
+class Semantics:
+    """Dialect-specific value semantics consumed by :class:`Interpreter`.
+
+    Subclasses implement every hook; the base class only fixes the
+    interface.  All hooks receive and return :class:`Value` objects.
+    """
+
+    name = "abstract"
+
+    def to_bool(self, v: Value) -> Ternary:
+        raise NotImplementedError
+
+    def bool_value(self, b: Ternary) -> Value:
+        """Materialize a ternary logical result as a dialect value."""
+        raise NotImplementedError
+
+    def compare(self, op: BinaryOp, left: Expr, lv: Value,
+                right: Expr, rv: Value) -> Ternary:
+        raise NotImplementedError
+
+    def arithmetic(self, op: BinaryOp, a: Value, b: Value) -> Value:
+        raise NotImplementedError
+
+    def bitwise(self, op, a: Value, b: Value) -> Value:
+        raise NotImplementedError
+
+    def negate(self, v: Value) -> Value:
+        raise NotImplementedError
+
+    def bitnot(self, v: Value) -> Value:
+        raise NotImplementedError
+
+    def concat(self, a: Value, b: Value) -> Value:
+        raise NotImplementedError
+
+    def like(self, text: Value, pattern: Value) -> Ternary:
+        raise NotImplementedError
+
+    def glob(self, text: Value, pattern: Value) -> Ternary:
+        raise NotImplementedError
+
+    def cast(self, v: Value, type_name: str) -> Value:
+        raise NotImplementedError
+
+    def call(self, name: str, args: list[Value],
+             first_arg_collation: str | None = None) -> Value:
+        """Invoke a scalar function.
+
+        ``first_arg_collation`` carries the collating sequence of the first
+        argument *expression* — SQLite's scalar MIN/MAX (and NULLIF)
+        compare text using it.
+        """
+        raise NotImplementedError
+
+    def values_equal(self, a: Value, b: Value) -> bool:
+        """Row-membership equality used by the containment check and IN."""
+        raise NotImplementedError
+
+
+class Interpreter:
+    """Evaluate expression ASTs against a pivot row (paper Algorithm 2)."""
+
+    def __init__(self, semantics: Semantics):
+        self.semantics = semantics
+
+    # -- public API ----------------------------------------------------------
+    def evaluate(self, expr: Expr, row: Row) -> Value:
+        """Evaluate *expr* with column references bound from *row*."""
+        return self._eval(expr, row)
+
+    def evaluate_bool(self, expr: Expr, row: Row) -> Ternary:
+        """Evaluate *expr* in a boolean context (for WHERE/JOIN conditions)."""
+        return self.semantics.to_bool(self._eval(expr, row))
+
+    # -- dispatch -------------------------------------------------------------
+    def _eval(self, expr: Expr, row: Row) -> Value:
+        sem = self.semantics
+        if isinstance(expr, LiteralNode):
+            return expr.value
+        if isinstance(expr, ColumnNode):
+            try:
+                return row[expr.qualified]
+            except KeyError:
+                raise EvalError(f"unbound column {expr.qualified}") from None
+        if isinstance(expr, UnaryNode):
+            return self._eval_unary(expr, row)
+        if isinstance(expr, PostfixNode):
+            return self._eval_postfix(expr, row)
+        if isinstance(expr, BinaryNode):
+            return self._eval_binary(expr, row)
+        if isinstance(expr, BetweenNode):
+            return self._eval_between(expr, row)
+        if isinstance(expr, InListNode):
+            return self._eval_in(expr, row)
+        if isinstance(expr, CastNode):
+            return sem.cast(self._eval(expr.operand, row), expr.type_name)
+        if isinstance(expr, CollateNode):
+            return self._eval(expr.operand, row)
+        if isinstance(expr, CaseNode):
+            return self._eval_case(expr, row)
+        if isinstance(expr, FunctionNode):
+            args = [self._eval(arg, row) for arg in expr.args]
+            collation = None
+            if expr.args:
+                collation = expr_collation(expr.args[0])[0]
+            return sem.call(expr.name, args, first_arg_collation=collation)
+        raise EvalError(f"cannot evaluate node {expr!r}")
+
+    def _eval_unary(self, expr: UnaryNode, row: Row) -> Value:
+        sem = self.semantics
+        v = self._eval(expr.operand, row)
+        if expr.op is UnaryOp.NOT:
+            return sem.bool_value(t_not(sem.to_bool(v)))
+        if expr.op is UnaryOp.MINUS:
+            return sem.negate(v)
+        if expr.op is UnaryOp.PLUS:
+            return v
+        if expr.op is UnaryOp.BITNOT:
+            return sem.bitnot(v)
+        raise EvalError(f"unknown unary op {expr.op}")
+
+    def _eval_postfix(self, expr: PostfixNode, row: Row) -> Value:
+        sem = self.semantics
+        v = self._eval(expr.operand, row)
+        op = expr.op
+        if op is PostfixOp.ISNULL:
+            return sem.bool_value(v.is_null)
+        if op is PostfixOp.NOTNULL:
+            return sem.bool_value(not v.is_null)
+        # IS TRUE / IS FALSE family is two-valued: NULL IS TRUE = FALSE.
+        b = sem.to_bool(v)
+        if op is PostfixOp.IS_TRUE:
+            return sem.bool_value(b is True)
+        if op is PostfixOp.IS_FALSE:
+            return sem.bool_value(b is False)
+        if op is PostfixOp.IS_NOT_TRUE:
+            return sem.bool_value(b is not True)
+        if op is PostfixOp.IS_NOT_FALSE:
+            return sem.bool_value(b is not False)
+        raise EvalError(f"unknown postfix op {op}")
+
+    def _eval_binary(self, expr: BinaryNode, row: Row) -> Value:
+        sem = self.semantics
+        op = expr.op
+        if op.is_logical:
+            # AND/OR do evaluate both sides here; SQL has no mandated
+            # short-circuit order and both operand trees are side-effect free.
+            lb = sem.to_bool(self._eval(expr.left, row))
+            rb = sem.to_bool(self._eval(expr.right, row))
+            out = t_and(lb, rb) if op is BinaryOp.AND else t_or(lb, rb)
+            return sem.bool_value(out)
+        lv = self._eval(expr.left, row)
+        rv = self._eval(expr.right, row)
+        if op in (BinaryOp.LIKE, BinaryOp.NOT_LIKE):
+            out = sem.like(lv, rv)
+            if op is BinaryOp.NOT_LIKE:
+                out = t_not(out)
+            return sem.bool_value(out)
+        if op is BinaryOp.GLOB:
+            return sem.bool_value(sem.glob(lv, rv))
+        if op is BinaryOp.CONCAT:
+            return sem.concat(lv, rv)
+        if op in (BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV,
+                  BinaryOp.MOD):
+            return sem.arithmetic(op, lv, rv)
+        if op in (BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL, BinaryOp.SHR):
+            return sem.bitwise(op, lv, rv)
+        if op.is_comparison:
+            return sem.bool_value(sem.compare(op, expr.left, lv, expr.right, rv))
+        raise EvalError(f"unknown binary op {op}")
+
+    def _eval_between(self, expr: BetweenNode, row: Row) -> Value:
+        sem = self.semantics
+        v = self._eval(expr.operand, row)
+        lo = self._eval(expr.low, row)
+        hi = self._eval(expr.high, row)
+        ge = sem.compare(BinaryOp.GE, expr.operand, v, expr.low, lo)
+        le = sem.compare(BinaryOp.LE, expr.operand, v, expr.high, hi)
+        out = t_and(ge, le)
+        if expr.negated:
+            out = t_not(out)
+        return sem.bool_value(out)
+
+    def _eval_in(self, expr: InListNode, row: Row) -> Value:
+        sem = self.semantics
+        v = self._eval(expr.operand, row)
+        saw_null = False
+        found = False
+        for item in expr.items:
+            iv = self._eval(item, row)
+            # The affinity of an IN comparison is that of the LHS only; the
+            # items' own affinities are ignored (SQLite rule), so the item
+            # is presented as a bare literal.
+            eq = sem.compare(BinaryOp.EQ, expr.operand, v, LiteralNode(iv), iv)
+            if eq is True:
+                found = True
+                break
+            if eq is None:
+                saw_null = True
+        if found:
+            out: Ternary = True
+        elif saw_null:
+            out = None
+        else:
+            out = False
+        if expr.negated:
+            out = t_not(out)
+        return sem.bool_value(out)
+
+    def _eval_case(self, expr: CaseNode, row: Row) -> Value:
+        sem = self.semantics
+        if expr.operand is not None:
+            base = self._eval(expr.operand, row)
+            for cond, result in expr.whens:
+                cv = self._eval(cond, row)
+                if sem.compare(BinaryOp.EQ, expr.operand, base, cond, cv) is True:
+                    return self._eval(result, row)
+        else:
+            for cond, result in expr.whens:
+                if sem.to_bool(self._eval(cond, row)) is True:
+                    return self._eval(result, row)
+        if expr.else_ is not None:
+            return self._eval(expr.else_, row)
+        return NULL

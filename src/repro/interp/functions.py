@@ -1,0 +1,321 @@
+"""Scalar SQL function implementations shared by the dialect semantics.
+
+The function surface is deliberately the subset SQLancer modeled exactly:
+the paper notes it skipped functions that would have required large
+implementation effort (e.g. ``printf``), and the generator only emits
+functions the oracle interpreter models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+from repro.interp.base import EvalError
+from repro.values import NULL, SQLType, Value, fits_int64
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.interp.sqlite_sem import SQLiteSemantics
+
+
+#: name -> (min_arity, max_arity); max of None means unbounded.
+SQLITE_FUNCTIONS: dict[str, tuple[int, int | None]] = {
+    "ABS": (1, 1),
+    "COALESCE": (2, None),
+    "HEX": (1, 1),
+    "IFNULL": (2, 2),
+    "INSTR": (2, 2),
+    "LENGTH": (1, 1),
+    "LOWER": (1, 1),
+    "LTRIM": (1, 2),
+    "MAX": (2, None),
+    "MIN": (2, None),
+    "NULLIF": (2, 2),
+    "ROUND": (1, 2),
+    "RTRIM": (1, 2),
+    "SUBSTR": (2, 3),
+    "TRIM": (1, 2),
+    "TYPEOF": (1, 1),
+    "UPPER": (1, 1),
+}
+
+MYSQL_FUNCTIONS: dict[str, tuple[int, int | None]] = {
+    "ABS": (1, 1),
+    "COALESCE": (2, None),
+    "GREATEST": (2, None),
+    "IFNULL": (2, 2),
+    "INSTR": (2, 2),
+    "LEAST": (2, None),
+    "LENGTH": (1, 1),
+    "LOWER": (1, 1),
+    "NULLIF": (2, 2),
+    "ROUND": (1, 2),
+    "SUBSTR": (2, 3),
+    "UPPER": (1, 1),
+}
+
+POSTGRES_FUNCTIONS: dict[str, tuple[int, int | None]] = {
+    "ABS": (1, 1),
+    "COALESCE": (2, None),
+    "GREATEST": (2, None),
+    "LEAST": (2, None),
+    "LENGTH": (1, 1),
+    "LOWER": (1, 1),
+    "NULLIF": (2, 2),
+    "UPPER": (1, 1),
+}
+
+
+def check_arity(catalog: dict[str, tuple[int, int | None]], name: str,
+                nargs: int) -> None:
+    try:
+        lo, hi = catalog[name.upper()]
+    except KeyError:
+        raise EvalError(f"no such function: {name}") from None
+    if nargs < lo or (hi is not None and nargs > hi):
+        raise EvalError(f"wrong number of arguments to function {name}()")
+
+
+def call_sqlite_function(sem: "SQLiteSemantics", name: str,
+                         args: list[Value],
+                         first_arg_collation: str | None = None) -> Value:
+    from repro.interp.sqlite_sem import (
+        storage_compare,
+        to_int64,
+        to_numeric,
+        to_text,
+    )
+
+    check_arity(SQLITE_FUNCTIONS, name, len(args))
+    fn = name.upper()
+    collation = first_arg_collation or "BINARY"
+
+    if fn == "TYPEOF":
+        v = args[0]
+        if v.t is SQLType.BOOLEAN:
+            return Value.text("integer")
+        return Value.text(v.t.value)
+
+    if fn == "COALESCE":
+        for v in args:
+            if not v.is_null:
+                return v
+        return NULL
+
+    if fn == "IFNULL":
+        return args[0] if not args[0].is_null else args[1]
+
+    if fn == "NULLIF":
+        a, b = args
+        if a.is_null or b.is_null:
+            return a
+        if storage_compare(a, b, collation) == 0:
+            return NULL
+        return a
+
+    if fn in ("MIN", "MAX"):
+        # Scalar min/max compare with the collation of the *first* argument.
+        # Tie behaviour follows SQLite's `(cmp ^ mask) >= 0` update rule:
+        # MIN keeps the *last* of equal arguments, MAX keeps the *first*.
+        if any(v.is_null for v in args):
+            return NULL
+        best = args[0]
+        for v in args[1:]:
+            cmp = storage_compare(v, best, collation)
+            if (fn == "MIN" and cmp <= 0) or (fn == "MAX" and cmp > 0):
+                best = v
+        return best
+
+    if fn == "ABS":
+        v = args[0]
+        if v.is_null:
+            return NULL
+        if v.t is SQLType.INTEGER or v.t is SQLType.BOOLEAN:
+            i = abs(to_int64(v))  # type: ignore[arg-type]
+            if not fits_int64(i):
+                raise EvalError("integer overflow")
+            return Value.integer(i)
+        # REAL, TEXT and BLOB arguments all produce a REAL result
+        # (abs('380') is 380.0, abs(X'6162') is 0.0).
+        num = to_numeric(v)
+        assert num is not None
+        return Value.real(abs(float(num)))
+
+    if fn == "LENGTH":
+        v = args[0]
+        if v.is_null:
+            return NULL
+        if v.t is SQLType.BLOB:
+            return Value.integer(len(bytes(v.v)))
+        return Value.integer(len(to_text(v)))
+
+    if fn in ("LOWER", "UPPER"):
+        v = args[0]
+        if v.is_null:
+            return NULL
+        text = to_text(v)
+        folded = _ascii_case(text, lower=(fn == "LOWER"))
+        return Value.text(folded)
+
+    if fn in ("TRIM", "LTRIM", "RTRIM"):
+        return _trim(fn, args)
+
+    if fn == "SUBSTR":
+        return _substr(args)
+
+    if fn == "INSTR":
+        a, b = args
+        if a.is_null or b.is_null:
+            return NULL
+        return Value.integer(to_text(a).find(to_text(b)) + 1)
+
+    if fn == "ROUND":
+        v = args[0]
+        num = to_numeric(v)
+        if num is None:
+            return NULL
+        digits = 0
+        if len(args) == 2:
+            d = to_int64(args[1])
+            if d is None:
+                return NULL
+            digits = max(0, min(30, d))
+        return Value.real(_sqlite_round(float(num), digits))
+
+    if fn == "HEX":
+        v = args[0]
+        if v.is_null:
+            return Value.text("")
+        if v.t is SQLType.BLOB:
+            return Value.text(bytes(v.v).hex().upper())
+        return Value.text(to_text(v).encode("utf-8").hex().upper())
+
+    raise EvalError(f"no such function: {name}")
+
+
+def _ascii_case(text: str, lower: bool) -> str:
+    out = []
+    for c in text:
+        if lower and "A" <= c <= "Z":
+            out.append(chr(ord(c) + 32))
+        elif not lower and "a" <= c <= "z":
+            out.append(chr(ord(c) - 32))
+        else:
+            out.append(c)
+    return "".join(out)
+
+
+def _trim(fn: str, args: list[Value]) -> Value:
+    from repro.interp.sqlite_sem import to_text
+
+    v = args[0]
+    if v.is_null:
+        return NULL
+    chars = " "
+    if len(args) == 2:
+        if args[1].is_null:
+            return NULL
+        chars = to_text(args[1])
+    text = to_text(v)
+    if not chars:
+        return Value.text(text)
+    if fn in ("TRIM", "LTRIM"):
+        text = text.lstrip(chars)
+    if fn in ("TRIM", "RTRIM"):
+        text = text.rstrip(chars)
+    return Value.text(text)
+
+
+def _substr(args: list[Value]) -> Value:
+    from repro.interp.sqlite_sem import to_int64, to_text
+
+    v = args[0]
+    if any(a.is_null for a in args):
+        return NULL
+    # SUBSTR on a BLOB slices bytes and returns a BLOB; an *empty* BLOB
+    # input yields NULL (SQLite's blob pointer is NULL for zero bytes and
+    # substrFunc bails out without setting a result).
+    if v.t is SQLType.BLOB:
+        seq: str | bytes = bytes(v.v)
+        if not seq:
+            return NULL
+    else:
+        seq = to_text(v)
+    start = to_int64(args[1]) or 0
+    length = None
+    if len(args) == 3:
+        length = to_int64(args[2])
+    out = _slice_substr(seq, start, length)
+    if isinstance(out, bytes):
+        return Value.blob(out)
+    return Value.text(out)
+
+
+def _slice_substr(seq: str | bytes, p1: int,
+                  length: int | None) -> str | bytes:
+    """Transliteration of SQLite's ``substrFunc`` index arithmetic.
+
+    1-based indexing; a negative start counts from the end, and when it
+    overshoots the beginning the requested length is *reduced* by the
+    overshoot (``SUBSTR('abc', -5, 3)`` yields ``'a'``); a negative length
+    takes characters before the start position.
+    """
+    n = len(seq)
+    if length is None:
+        # The 2-argument form behaves like an effectively unbounded
+        # length (SQLite uses the max string size), which matters for
+        # the p1==0 "consume one unit of length" rule.
+        p2 = 2**62
+        neg_p2 = False
+    else:
+        neg_p2 = length < 0
+        p2 = -length if neg_p2 else length
+    if p1 < 0:
+        p1 += n
+        if p1 < 0:
+            if not neg_p2:
+                p2 += p1
+                if p2 < 0:
+                    p2 = 0
+            p1 = 0
+    elif p1 > 0:
+        p1 -= 1
+    elif p2 > 0:
+        p2 -= 1
+    if neg_p2:
+        p1 -= p2
+        if p1 < 0:
+            p2 += p1
+            p1 = 0
+    if p1 + p2 > n:
+        p2 = n - p1
+        if p2 < 0:
+            p2 = 0
+    return seq[p1:p1 + p2]
+
+
+def _sqlite_round(x: float, digits: int) -> float:
+    """SQLite's round(): decimal-string based, half away from zero.
+
+    SQLite formats the value through its own printf (≈15 significant
+    decimal digits) and re-parses, so ``round(0.15, 1)`` is ``0.2`` even
+    though 0.15's binary value is slightly below 0.15.  We mirror that by
+    rounding the 15-significant-digit decimal rendering.  Exact only for
+    ``digits`` within the float's precision — the generator draws small
+    digit counts (0–8), matching SQLancer's modeled fragment.
+    """
+    import decimal
+
+    if math.isinf(x) or math.isnan(x):
+        return x
+    if x < -4503599627370496.0 or x > 4503599627370496.0:
+        # No fractional part representable; nothing to round.
+        return x
+    if digits == 0:
+        if x >= 0:
+            return float(int(x + 0.5))
+        return float(-int(-x + 0.5))
+    quantum = decimal.Decimal(1).scaleb(-digits)
+    dec = decimal.Decimal(format(x, ".15g"))
+    out = dec.quantize(quantum, rounding=decimal.ROUND_HALF_UP)
+    return float(out)

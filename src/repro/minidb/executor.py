@@ -1,0 +1,692 @@
+"""The SELECT pipeline: scan → join → filter → group → project → distinct
+→ compound → order → limit.
+
+Execution is naive nested-loop/materialize-everything — the paper sizes
+databases at 10–30 rows precisely so that query evaluation cost stays
+trivial — but it is a *real* pipeline: rows flow from access paths chosen
+by the planner, through the engine-side evaluator, into result sets.
+Several injected defects live here (MEMORY-engine scans, inherited
+GROUP BY, skip-scan DISTINCT, stale-index detection).
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CatalogError, DBCrash, DBError, IntegrityError, UnsupportedError
+from repro.interp.base import EvalError
+from repro.minidb import statements as st
+from repro.minidb.catalog import Table
+from repro.minidb.planner import AccessPath, Scope, bind, choose_path, rewrite
+from repro.sqlast.nodes import ColumnNode, Expr, FunctionNode, LiteralNode, walk
+from repro.sqlast.render import render_expr
+from repro.sqlast.transform import transform
+from repro.values import NULL, SQLType, Value, int_or_real
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.minidb.engine import Engine, ResultSet
+
+#: Function names that are aggregates (MIN/MAX only in their 1-arg form).
+ALWAYS_AGGREGATE = frozenset({"COUNT", "SUM", "AVG", "TOTAL"})
+
+
+def is_aggregate_call(node: Expr) -> bool:
+    if not isinstance(node, FunctionNode):
+        return False
+    if node.name.upper() in ALWAYS_AGGREGATE:
+        return True
+    return node.name.upper() in ("MIN", "MAX") and len(node.args) == 1
+
+
+@dataclass
+class SourceRow:
+    """One joined row: qualified-name environment plus per-table rowids."""
+
+    env: dict[str, Value]
+    tables: dict[str, int] = field(default_factory=dict)
+
+
+class SelectExecutor:
+    """Executes one (bound) SELECT statement against an engine."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.catalog = engine.catalog
+        self.bugs = engine.bugs
+        self.dialect = engine.dialect
+        self.interp = engine.interp
+        self.semantics = engine.semantics
+
+    # -- public entry -----------------------------------------------------
+    def execute(self, select: st.Select) -> "ResultSet":
+        from repro.minidb.engine import ResultSet
+
+        columns, rows = self._run(select)
+        return ResultSet(columns=columns, rows=rows)
+
+    def _run(self, select: st.Select) -> tuple[list[str], list[tuple]]:
+        scope_tables = self._scope_tables(select)
+        scope = Scope(scope_tables, self.dialect)
+        bound = self._bind_select(select, scope)
+        self._planning_defect_checks(bound, scope_tables)
+
+        where = None
+        if bound.where is not None:
+            where = rewrite(bound.where, self.dialect, self.bugs, scope)
+
+        skip_scan_index = None
+        source_rows: list[SourceRow] = []
+        if scope_tables:
+            source_rows, skip_scan_index = self._from_rows(
+                bound, scope_tables, where)
+        else:
+            source_rows = [SourceRow(env={})]
+
+        if where is not None:
+            source_rows = [row for row in source_rows
+                           if self._eval_bool_where(where, row) is True]
+
+        columns, projected = self._project(bound, source_rows)
+
+        if bound.distinct:
+            projected = self._distinct(projected, source_rows,
+                                       skip_scan_index)
+
+        if bound.compound is not None:
+            kind, rhs = bound.compound
+            rhs_columns, rhs_rows = self._run(rhs)
+            if len(rhs_columns) != len(columns):
+                raise DBError("SELECTs to the left and right of "
+                              f"{kind} do not have the same number of "
+                              "result columns")
+            projected = self._combine(kind, projected, rhs_rows)
+
+        if bound.order_by:
+            projected = self._order(bound, projected, source_rows)
+
+        if bound.limit is not None:
+            projected = self._limit(bound, projected)
+        return columns, projected
+
+    # -- FROM clause -----------------------------------------------------------
+    def _scope_tables(self, select: st.Select) -> list[tuple[str, Table]]:
+        names = list(select.tables) + [j.table for j in select.joins]
+        out: list[tuple[str, Table]] = []
+        for name in names:
+            out.append((name, self.engine.resolve_relation(name)))
+        return out
+
+    def _bind_select(self, select: st.Select, scope: Scope) -> st.Select:
+        bound = st.Select(
+            items=[st.SelectItem(
+                expr=bind(item.expr, scope) if item.expr else None,
+                star_table=item.star_table, alias=item.alias)
+                for item in select.items],
+            tables=select.tables,
+            joins=[st.JoinClause(kind=j.kind, table=j.table,
+                                 on=bind(j.on, scope) if j.on else None)
+                   for j in select.joins],
+            where=bind(select.where, scope) if select.where else None,
+            group_by=[bind(e, scope) for e in select.group_by],
+            having=bind(select.having, scope) if select.having else None,
+            order_by=[st.OrderItem(expr=bind(o.expr, scope),
+                                   descending=o.descending)
+                      for o in select.order_by],
+            limit=select.limit, offset=select.offset,
+            distinct=select.distinct, compound=select.compound)
+        return bound
+
+    def _from_rows(self, select: st.Select,
+                   scope_tables: list[tuple[str, Table]],
+                   where: Optional[Expr],
+                   ) -> tuple[list[SourceRow], Optional[object]]:
+        """Scan + join all FROM sources into combined rows."""
+        skip_scan_index = None
+        plain = scope_tables[:len(select.tables)]
+        combined: list[SourceRow] = [SourceRow(env={})]
+        for visible, table in plain:
+            indexes = self.catalog.indexes_on(table.name)
+            if self.dialect == "postgres" and \
+                    self.catalog.has_table(table.name) and \
+                    self.catalog.children_of(table.name):
+                # A parent's indexes do not cover inherited child rows;
+                # an inheritance scan must walk the heap of every table.
+                indexes = []
+            path = choose_path(table, where, indexes, select.distinct,
+                               self.bugs)
+            if path.kind == "skip-scan":
+                skip_scan_index = path.index
+            scanned = self._scan(visible, table, path)
+            combined = [self._merge(a, b) for a in combined for b in scanned]
+        for join, (visible, table) in zip(
+                select.joins, scope_tables[len(select.tables):]):
+            scanned = self._scan(visible, table,
+                                 AccessPath("full-scan", table.name))
+            combined = self._join(combined, scanned, join, visible, table)
+        return combined, skip_scan_index
+
+    def _scan(self, visible: str, table: Table,
+              path: AccessPath) -> list[SourceRow]:
+        rows = self.engine.scan_rows(table, path)
+        out = []
+        for rowid, row in rows:
+            env = {f"{visible}.{col}": row[col] for col in row}
+            out.append(SourceRow(env=env, tables={visible: rowid}))
+        return out
+
+    @staticmethod
+    def _merge(a: SourceRow, b: SourceRow) -> SourceRow:
+        env = dict(a.env)
+        env.update(b.env)
+        tables = dict(a.tables)
+        tables.update(b.tables)
+        return SourceRow(env=env, tables=tables)
+
+    def _join(self, left: list[SourceRow], right: list[SourceRow],
+              join: st.JoinClause, visible: str,
+              table: Table) -> list[SourceRow]:
+        out: list[SourceRow] = []
+        null_env = {f"{visible}.{col}": NULL
+                    for col in table.column_names()}
+        for lrow in left:
+            matched = False
+            for rrow in right:
+                merged = self._merge(lrow, rrow)
+                if join.on is None or \
+                        self._eval_bool_where(join.on, merged) is True:
+                    matched = True
+                    out.append(merged)
+            if join.kind == "LEFT" and not matched:
+                padded = SourceRow(env=dict(lrow.env),
+                                   tables=dict(lrow.tables))
+                padded.env.update(null_env)
+                out.append(padded)
+        return out
+
+    # -- evaluation ------------------------------------------------------------
+    def _eval(self, expr: Expr, row: SourceRow) -> Value:
+        try:
+            return self.interp.evaluate(expr, row.env)
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
+
+    def _eval_bool_where(self, expr: Expr, row: SourceRow):
+        env = row.env
+        if self.bugs.on("mysql-memory-engine-join"):
+            env = self._memory_clamped(env, row)
+        try:
+            return self.interp.semantics.to_bool(
+                self.interp.evaluate(expr, env))
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
+
+    def _memory_clamped(self, env: dict[str, Value],
+                        row: SourceRow) -> dict[str, Value]:
+        """Defect: MEMORY-engine scans clamp negative ints to 0 during
+        predicate evaluation (paper Listing 11 analogue)."""
+        memory_tables = {visible for visible in row.tables
+                         if self._is_memory(visible)}
+        if not memory_tables:
+            return env
+        clamped = dict(env)
+        for key, value in env.items():
+            table = key.split(".", 1)[0]
+            if (table in memory_tables and value.t is SQLType.INTEGER
+                    and int(value.v) < 0):
+                clamped[key] = Value.integer(0)
+        return clamped
+
+    def _is_memory(self, visible: str) -> bool:
+        try:
+            table = self.catalog.table(visible)
+        except CatalogError:
+            return False
+        return (table.engine or "").upper() == "MEMORY"
+
+    # -- projection -------------------------------------------------------------
+    def _project(self, select: st.Select, rows: list[SourceRow],
+                 ) -> tuple[list[str], list[tuple]]:
+        has_aggregate = any(
+            item.expr is not None and any(is_aggregate_call(n)
+                                          for n in walk(item.expr))
+            for item in select.items)
+        if select.group_by or has_aggregate:
+            return self._project_grouped(select, rows)
+        columns = self._output_columns(select, rows)
+        out = []
+        for row in rows:
+            values = []
+            for item in select.items:
+                if item.expr is None:
+                    values.extend(self._star_values(item, row, select))
+                else:
+                    values.append(self._eval(item.expr, row))
+            out.append(tuple(values))
+        return columns, out
+
+    def _output_columns(self, select: st.Select,
+                        rows: list[SourceRow]) -> list[str]:
+        columns: list[str] = []
+        for item in select.items:
+            if item.expr is None:
+                columns.extend(self._star_names(item, select))
+            elif item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ColumnNode):
+                columns.append(item.expr.column)
+            else:
+                columns.append(render_expr(item.expr))
+        return columns
+
+    def _star_tables(self, item: st.SelectItem,
+                     select: st.Select) -> list[str]:
+        if item.star_table is not None:
+            return [item.star_table]
+        return list(select.tables) + [j.table for j in select.joins]
+
+    def _star_names(self, item: st.SelectItem,
+                    select: st.Select) -> list[str]:
+        names = []
+        for visible in self._star_tables(item, select):
+            table = self.engine.resolve_relation(visible)
+            names.extend(table.column_names())
+        return names
+
+    def _star_values(self, item: st.SelectItem, row: SourceRow,
+                     select: st.Select) -> list[Value]:
+        values = []
+        for visible in self._star_tables(item, select):
+            table = self.engine.resolve_relation(visible)
+            for col in table.column_names():
+                values.append(row.env.get(f"{visible}.{col}", NULL))
+        return values
+
+    # -- grouping / aggregates ------------------------------------------------
+    def _project_grouped(self, select: st.Select, rows: list[SourceRow],
+                         ) -> tuple[list[str], list[tuple]]:
+        columns = self._output_columns(select, rows)
+        for item in select.items:
+            if item.expr is None:
+                raise UnsupportedError(
+                    "star projection with aggregates is not supported")
+        groups = self._group(select, rows)
+        out: list[tuple] = []
+        for group_rows in groups:
+            if select.having is not None:
+                keep = self.semantics.to_bool(
+                    self._eval_aggregate_expr(select.having, group_rows))
+                if keep is not True:
+                    continue
+            values = tuple(self._eval_aggregate_expr(item.expr, group_rows)
+                           for item in select.items if item.expr is not None)
+            out.append(values)
+        return columns, out
+
+    def _group(self, select: st.Select,
+               rows: list[SourceRow]) -> list[list[SourceRow]]:
+        if not select.group_by:
+            # Aggregates with no GROUP BY: one group over all rows.
+            return [rows] if rows else [[]]
+        group_exprs = list(select.group_by)
+        if self.bugs.on("pg-inherit-groupby"):
+            group_exprs = self._inherit_groupby_defect(select, group_exprs)
+        keyed: dict[tuple, list[SourceRow]] = {}
+        for row in rows:
+            key = tuple(self._canon(self._eval(e, row))
+                        for e in group_exprs)
+            keyed.setdefault(key, []).append(row)
+        return list(keyed.values())
+
+    def _inherit_groupby_defect(self, select: st.Select,
+                                group_exprs: list[Expr]) -> list[Expr]:
+        """Defect: when grouping a table with inheritance children, trust
+        the parent's PRIMARY KEY and group by the PK columns only
+        (paper Listing 15)."""
+        for name in select.tables:
+            if not self.catalog.has_table(name):
+                continue
+            table = self.catalog.table(name)
+            if not self.catalog.children_of(name) or not table.pk_columns:
+                continue
+            pk = {c.lower() for c in table.pk_columns}
+            grouped = {e.column.lower() for e in group_exprs
+                       if isinstance(e, ColumnNode)}
+            if pk <= grouped:
+                return [e for e in group_exprs
+                        if isinstance(e, ColumnNode)
+                        and e.column.lower() in pk]
+        return group_exprs
+
+    def _canon(self, v: Value):
+        """Hashable canonical form implementing grouping equality."""
+        if v.t is SQLType.NULL:
+            return ("null",)
+        if v.is_numeric:
+            num = int(v.v) if v.t is not SQLType.REAL else float(v.v)
+            if isinstance(num, float) and num == int(num):
+                num = int(num)
+            if isinstance(v.v, bool):
+                num = int(v.v)
+            return ("num", num)
+        if v.t is SQLType.TEXT:
+            text = str(v.v)
+            if self.dialect == "mysql":
+                text = text.lower()
+            return ("text", text)
+        return ("blob", bytes(v.v))
+
+    def _eval_aggregate_expr(self, expr: Expr,
+                             group_rows: list[SourceRow]) -> Value:
+        """Evaluate an expression that may contain aggregate calls by
+        substituting each aggregate with its computed literal."""
+
+        def visit(node: Expr) -> Optional[Expr]:
+            if is_aggregate_call(node):
+                return LiteralNode(self._aggregate(node, group_rows))
+            return None
+
+        substituted = transform(expr, visit)
+        env = group_rows[0].env if group_rows else {}
+        try:
+            return self.interp.evaluate(substituted, env)
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
+
+    def _aggregate(self, call: FunctionNode,
+                   group_rows: list[SourceRow]) -> Value:
+        name = call.name.upper()
+        if name == "COUNT" and not call.args:
+            return Value.integer(len(group_rows))
+        arg = call.args[0]
+        values = [self._eval(arg, row) for row in group_rows]
+        present = [v for v in values if not v.is_null]
+        if name == "COUNT":
+            return Value.integer(len(present))
+        if name == "TOTAL":
+            return Value.real(sum(self._as_number(v) for v in present))
+        if name in ("SUM", "AVG"):
+            if not present:
+                return NULL
+            numbers = [self._as_number(v) for v in present]
+            total = sum(numbers)
+            if name == "AVG":
+                return Value.real(float(total) / len(numbers))
+            if any(isinstance(n, float) for n in numbers):
+                return Value.real(float(total))
+            return int_or_real(int(total))
+        if name in ("MIN", "MAX"):
+            if not present:
+                return NULL
+            best = present[0]
+            for v in present[1:]:
+                cmp = self._compare_values(v, best)
+                if (name == "MIN" and cmp < 0) or (name == "MAX" and cmp > 0):
+                    best = v
+            return best
+        raise UnsupportedError(f"unknown aggregate: {name}")
+
+    def _as_number(self, v: Value) -> int | float:
+        if self.dialect == "sqlite":
+            from repro.interp.sqlite_sem import to_numeric
+
+            num = to_numeric(v)
+        elif self.dialect == "mysql":
+            from repro.interp.mysql_sem import to_number
+
+            num = to_number(v)
+        else:
+            if v.t is SQLType.INTEGER:
+                num = int(v.v)
+            elif v.t is SQLType.REAL:
+                num = float(v.v)
+            else:
+                raise DBError(f"function sum/avg requires numeric input, "
+                              f"not {v.t.value}")
+        assert num is not None
+        return num
+
+    def _compare_values(self, a: Value, b: Value) -> int:
+        if self.dialect == "sqlite":
+            from repro.interp.sqlite_sem import storage_compare
+
+            return storage_compare(a, b)
+        if a.is_null and b.is_null:
+            return 0
+        if a.is_null:
+            return -1
+        if b.is_null:
+            return 1
+        if self.dialect == "mysql":
+            return self.semantics._cmp(a, b)
+        try:
+            return self.semantics._cmp(a, b)
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
+
+    # -- distinct / compound / order / limit -------------------------------------
+    def _distinct(self, projected: list[tuple], source: list[SourceRow],
+                  skip_scan_index) -> list[tuple]:
+        if skip_scan_index is not None and source and \
+                len(source) == len(projected):
+            # Defect path (sqlite-skip-scan-distinct): deduplicate on the
+            # index's leading expression instead of the projected row.
+            lead = skip_scan_index.exprs[0].expr
+            seen_keys = []
+            out = []
+            for row, src in zip(projected, source):
+                try:
+                    key = self._eval(self._rebind_lead(lead, src), src)
+                except DBError:
+                    key = NULL
+                if any(self.semantics.values_equal(key, s)
+                       for s in seen_keys):
+                    continue
+                seen_keys.append(key)
+                out.append(row)
+            return out
+        out = []
+        for row in projected:
+            if not any(self._rows_equal(row, kept) for kept in out):
+                out.append(row)
+        return out
+
+    def _rebind_lead(self, lead: Expr, src: SourceRow) -> Expr:
+        table = next(iter(src.tables), "")
+
+        def visit(node: Expr) -> Optional[Expr]:
+            if isinstance(node, ColumnNode) and not node.table:
+                return ColumnNode(table=table, column=node.column)
+            return None
+
+        return transform(lead, visit)
+
+    def _rows_equal(self, a: tuple, b: tuple) -> bool:
+        return len(a) == len(b) and all(
+            self.semantics.values_equal(x, y) for x, y in zip(a, b))
+
+    def _combine(self, kind: str, left: list[tuple],
+                 right: list[tuple]) -> list[tuple]:
+        if kind == "UNION ALL":
+            return left + right
+        if kind == "UNION":
+            out: list[tuple] = []
+            for row in left + right:
+                if not any(self._rows_equal(row, kept) for kept in out):
+                    out.append(row)
+            return out
+        if kind == "INTERSECT":
+            out = []
+            for row in left:
+                if any(self._rows_equal(row, r) for r in right) and \
+                        not any(self._rows_equal(row, kept) for kept in out):
+                    out.append(row)
+            return out
+        if kind == "EXCEPT":
+            out = []
+            for row in left:
+                if not any(self._rows_equal(row, r) for r in right) and \
+                        not any(self._rows_equal(row, kept) for kept in out):
+                    out.append(row)
+            return out
+        raise UnsupportedError(f"unsupported compound operator: {kind}")
+
+    def _order(self, select: st.Select, projected: list[tuple],
+               source: list[SourceRow]) -> list[tuple]:
+        # ORDER BY over projected rows: when the source rows are still
+        # 1:1 with projected rows we can evaluate arbitrary expressions;
+        # otherwise (post-DISTINCT/aggregate) only ordinal references and
+        # output columns order deterministically — MiniDB sorts by the
+        # projected tuple in that case.
+        if source and len(source) == len(projected) and \
+                not select.group_by and not select.distinct \
+                and select.compound is None:
+            keyed = []
+            for row, src in zip(projected, source):
+                key = tuple(self._eval(item.expr, src)
+                            for item in select.order_by)
+                keyed.append((key, row))
+            keyed.sort(key=functools.cmp_to_key(
+                lambda a, b: self._order_cmp(a[0], b[0], select.order_by)))
+            return [row for _, row in keyed]
+        ordered = list(projected)
+        ordered.sort(key=functools.cmp_to_key(
+            lambda a, b: self._tuple_cmp(a, b)))
+        return ordered
+
+    def _order_cmp(self, a: tuple, b: tuple,
+                   items: list[st.OrderItem]) -> int:
+        for av, bv, item in zip(a, b, items):
+            cmp = self._null_aware_cmp(av, bv)
+            if cmp != 0:
+                return -cmp if item.descending else cmp
+        return 0
+
+    def _tuple_cmp(self, a: tuple, b: tuple) -> int:
+        for av, bv in zip(a, b):
+            cmp = self._null_aware_cmp(av, bv)
+            if cmp != 0:
+                return cmp
+        return 0
+
+    def _null_aware_cmp(self, a: Value, b: Value) -> int:
+        if a.is_null and b.is_null:
+            return 0
+        if a.is_null:
+            # SQLite and MySQL order NULLs first; PostgreSQL orders last.
+            return 1 if self.dialect == "postgres" else -1
+        if b.is_null:
+            return -1 if self.dialect == "postgres" else 1
+        try:
+            return self._compare_values(a, b)
+        except DBError:
+            return 0
+
+    def _limit(self, select: st.Select,
+               projected: list[tuple]) -> list[tuple]:
+        limit = self._int_const(select.limit)
+        offset = 0
+        if select.offset is not None:
+            offset = max(0, self._int_const(select.offset))
+        if limit < 0:
+            return projected[offset:]
+        return projected[offset:offset + limit]
+
+    def _int_const(self, expr: Expr) -> int:
+        value = self._eval(expr, SourceRow(env={}))
+        if value.t is not SQLType.INTEGER:
+            raise DBError("LIMIT/OFFSET must be an integer")
+        return int(value.v)
+
+    # -- injected planning-time defects ----------------------------------------
+    def _planning_defect_checks(
+            self, select: st.Select,
+            scope_tables: list[tuple[str, Table]]) -> None:
+        where = select.where
+        for visible, table in scope_tables:
+            if self.bugs.on("pg-stats-bitmap-error") and where is not None:
+                if self._has_statistics(table) and table.analyzed and \
+                        self._has_expression_index(table) and \
+                        self._has_boolean_combination(where):
+                    raise DBError("negative bitmapset member not allowed")
+            if self.bugs.on("pg-statistics-crash") and where is not None:
+                if self._has_statistics(table) and \
+                        self._has_is_true_over_or(where):
+                    raise DBCrash("server process terminated by signal 11")
+            if self.bugs.on("pg-index-null-error") and where is not None:
+                tainted = self._tainted_index_column(table)
+                if tainted and self._compares_column(where, visible,
+                                                     tainted[0]):
+                    raise DBError('found unexpected null value in index '
+                                  f'"{tainted[1]}"')
+            if self.bugs.on("sqlite-rename-expr-index"):
+                for index in self.catalog.indexes_on(table.name):
+                    missing = self._index_missing_column(index, table)
+                    if missing:
+                        raise IntegrityError(
+                            f"malformed database schema ({index.name}) - "
+                            f"no such column: {missing}")
+
+    def _has_statistics(self, table: Table) -> bool:
+        return any(s.table.lower() == table.name.lower()
+                   for s in self.catalog.statistics.values())
+
+    def _has_expression_index(self, table: Table) -> bool:
+        return any(idx.is_expression_index
+                   for idx in self.catalog.indexes_on(table.name))
+
+    @staticmethod
+    def _has_boolean_combination(where: Expr) -> bool:
+        from repro.sqlast.nodes import BinaryNode
+
+        return any(isinstance(n, BinaryNode) and n.op.is_logical
+                   for n in walk(where))
+
+    @staticmethod
+    def _has_is_true_over_or(where: Expr) -> bool:
+        from repro.sqlast.nodes import BinaryNode, BinaryOp, PostfixNode, PostfixOp
+
+        for node in walk(where):
+            if isinstance(node, PostfixNode) and node.op in (
+                    PostfixOp.IS_TRUE, PostfixOp.IS_NOT_FALSE):
+                if any(isinstance(k, BinaryNode)
+                       and k.op in (BinaryOp.OR, BinaryOp.AND)
+                       for k in walk(node.operand)):
+                    return True
+        return False
+
+    def _tainted_index_column(self,
+                              table: Table) -> Optional[tuple[str, str]]:
+        for index in self.catalog.indexes_on(table.name):
+            if getattr(index, "null_tainted", False):
+                lead = index.exprs[0].expr
+                if isinstance(lead, ColumnNode):
+                    return lead.column, index.name
+        return None
+
+    @staticmethod
+    def _compares_column(where: Expr, visible: str, column: str) -> bool:
+        from repro.sqlast.nodes import BinaryNode
+
+        for node in walk(where):
+            if isinstance(node, BinaryNode) and node.op.is_comparison:
+                for side in (node.left, node.right):
+                    if isinstance(side, ColumnNode) and \
+                            side.column.lower() == column.lower():
+                        return True
+        return False
+
+    @staticmethod
+    def _index_missing_column(index, table: Table) -> Optional[str]:
+        for indexed in index.exprs:
+            for node in walk(indexed.expr):
+                if isinstance(node, ColumnNode) and \
+                        not table.has_column(node.column):
+                    return node.column
+        if index.where is not None:
+            for node in walk(index.where):
+                if isinstance(node, ColumnNode) and \
+                        not table.has_column(node.column):
+                    return node.column
+        return None

@@ -1,0 +1,177 @@
+"""Parsed statement representations.
+
+The parser turns SQL text into these dataclasses; the engine dispatches on
+their type.  Expressions inside statements are shared :mod:`repro.sqlast`
+nodes — the same node classes the PQS generator builds — so the engine-side
+evaluator and the oracle interpreter consume identical trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sqlast.nodes import Expr
+
+
+@dataclass(slots=True)
+class ColumnDef:
+    name: str
+    type_name: Optional[str]          # None only in the sqlite dialect
+    primary_key: bool = False
+    unique: bool = False
+    not_null: bool = False
+    collation: Optional[str] = None
+    default: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class TableConstraint:
+    kind: str                          # 'PRIMARY KEY' | 'UNIQUE'
+    columns: list[str] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class CreateTable:
+    name: str
+    columns: list[ColumnDef]
+    constraints: list[TableConstraint] = field(default_factory=list)
+    without_rowid: bool = False        # sqlite
+    engine: Optional[str] = None       # mysql: INNODB | MEMORY | CSV
+    inherits: Optional[str] = None     # postgres
+    if_not_exists: bool = False
+
+
+@dataclass(slots=True)
+class IndexedExpr:
+    expr: Expr
+    collation: Optional[str] = None
+    descending: bool = False
+
+
+@dataclass(slots=True)
+class CreateIndex:
+    name: str
+    table: str
+    exprs: list[IndexedExpr]
+    unique: bool = False
+    where: Optional[Expr] = None       # partial index predicate
+    if_not_exists: bool = False
+
+
+@dataclass(slots=True)
+class CreateView:
+    name: str
+    select: "Select"
+    if_not_exists: bool = False
+
+
+@dataclass(slots=True)
+class CreateStatistics:                # postgres
+    name: str
+    columns: list[str]
+    table: str
+
+
+@dataclass(slots=True)
+class Drop:
+    kind: str                          # 'TABLE' | 'INDEX' | 'VIEW'
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(slots=True)
+class Insert:
+    table: str
+    columns: Optional[list[str]]       # None means "all, in schema order"
+    rows: list[list[Expr]]
+    on_conflict: Optional[str] = None  # 'IGNORE' | 'REPLACE'
+
+
+@dataclass(slots=True)
+class Update:
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Optional[Expr] = None
+    on_conflict: Optional[str] = None  # 'REPLACE' (sqlite UPDATE OR REPLACE)
+
+
+@dataclass(slots=True)
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class AlterTable:
+    table: str
+    action: str                        # 'RENAME TO'|'RENAME COLUMN'|'ADD COLUMN'
+    new_name: Optional[str] = None
+    column: Optional[str] = None
+    column_def: Optional[ColumnDef] = None
+
+
+@dataclass(slots=True)
+class JoinClause:
+    kind: str                          # 'INNER' | 'LEFT' | 'CROSS'
+    table: str
+    on: Optional[Expr] = None
+
+
+@dataclass(slots=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(slots=True)
+class SelectItem:
+    expr: Optional[Expr]               # None means a star
+    star_table: Optional[str] = None   # table-qualified star (t.*)
+    alias: Optional[str] = None
+
+
+@dataclass(slots=True)
+class Select:
+    items: list[SelectItem]
+    tables: list[str] = field(default_factory=list)
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+    distinct: bool = False
+    compound: Optional[tuple[str, "Select"]] = None  # ('INTERSECT'|..., rhs)
+
+
+@dataclass(slots=True)
+class Maintenance:
+    """VACUUM / REINDEX / ANALYZE / CHECK TABLE / REPAIR TABLE / DISCARD."""
+
+    command: str                       # upper-case command word
+    target: Optional[str] = None       # table/index name if given
+    full: bool = False                 # VACUUM FULL (postgres)
+    for_upgrade: bool = False          # CHECK TABLE .. FOR UPGRADE (mysql)
+
+
+@dataclass(slots=True)
+class SetOption:
+    """PRAGMA name [= value] (sqlite) or SET [GLOBAL] name = value."""
+
+    name: str
+    value: Optional[Expr] = None
+    scope: Optional[str] = None        # 'GLOBAL' | 'SESSION' | None
+
+
+@dataclass(slots=True)
+class TransactionStmt:
+    action: str                        # 'BEGIN' | 'COMMIT' | 'ROLLBACK'
+
+
+Statement = (
+    CreateTable | CreateIndex | CreateView | CreateStatistics | Drop
+    | Insert | Update | Delete | AlterTable | Select | Maintenance
+    | SetOption | TransactionStmt
+)

@@ -1,0 +1,208 @@
+"""SQL tokenizer for MiniDB.
+
+Hand-written single-pass scanner.  Produces a flat list of
+:class:`Token` objects; the parser works over that list with one token of
+lookahead.  Number/string/blob literal syntax follows SQLite, which is a
+superset of what the MySQL- and PostgreSQL-style dialects need here
+(dialect-specific lexical differences, e.g. MySQL backslash escapes, are
+confined to how the *generator* renders literals).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    BLOB = "blob"
+    OP = "op"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (upper-cased).  Anything else
+#: alphabetic is an identifier.
+KEYWORDS = frozenset("""
+    ABORT ADD ALL ALTER ANALYZE AND AS ASC BEGIN BETWEEN BY CASE CAST CHECK
+    COLLATE COLUMN COMMIT CONSTRAINT CREATE CROSS DEFAULT DELETE DESC
+    DISCARD DISTINCT DROP ELSE END ENGINE ESCAPE EXCEPT EXISTS FAIL FALSE
+    FOR FOREIGN FROM FULL GLOB GROUP HAVING IF IGNORE IN INDEX INHERITS
+    INNER INSERT INTERSECT INTO IS ISNULL JOIN KEY LEFT LIKE LIMIT NOT
+    NOTNULL NULL OFFSET ON OR ORDER OUTER PRAGMA PRIMARY REFERENCES REINDEX
+    RENAME REPAIR REPLACE ROLLBACK ROWID SELECT SET STATISTICS TABLE THEN
+    TO TRANSACTION TRUE UNION UNIQUE UPDATE UPGRADE USING VACUUM VALUES
+    VIEW WHEN WHERE WITHOUT GLOBAL SESSION LOCAL
+""".split())
+
+#: Multi-character operators, longest first so the scanner is greedy.
+MULTI_OPS = ["<=>", "||", "<<", ">>", "<=", ">=", "==", "!=", "<>"]
+SINGLE_OPS = "+-*/%&|~<>=(),.;"
+
+# ASCII-only digit tests: the SQL lexical grammar has no Unicode digits.
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    type: TokenType
+    text: str
+    pos: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def is_kw(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.upper in names
+
+    def is_op(self, *ops: str) -> bool:
+        return self.type is TokenType.OP and self.text in ops
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Scan *sql* into tokens; raises :class:`ParseError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        c = sql[i]
+        if c in " \t\r\n\f\v":
+            i += 1
+            continue
+        if c == "-" and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if c == "/" and sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end < 0:
+                raise ParseError("unterminated block comment")
+            i = end + 2
+            continue
+        if c == "'":
+            text, i = _scan_string(sql, i)
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if c in ('"', "`", "["):
+            text, i = _scan_quoted_ident(sql, i)
+            tokens.append(Token(TokenType.IDENT, text, i))
+            continue
+        if c in "xX" and i + 1 < n and sql[i + 1] == "'":
+            text, i = _scan_blob(sql, i)
+            tokens.append(Token(TokenType.BLOB, text, i))
+            continue
+        if "0" <= c <= "9" or (c == "." and i + 1 < n
+                               and "0" <= sql[i + 1] <= "9"):
+            tok, i = _scan_number(sql, i)
+            tokens.append(tok)
+            continue
+        if c.isalpha() or c == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, word, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        matched = False
+        for op in MULTI_OPS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if c in SINGLE_OPS:
+            tokens.append(Token(TokenType.OP, c, i))
+            i += 1
+            continue
+        raise ParseError(f"unrecognized token {c!r} at offset {i}")
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _scan_string(sql: str, i: int) -> tuple[str, int]:
+    """Scan a single-quoted string with '' escaping; returns (value, next)."""
+    out = []
+    i += 1
+    n = len(sql)
+    while i < n:
+        c = sql[i]
+        if c == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(c)
+        i += 1
+    raise ParseError("unterminated string literal")
+
+
+def _scan_quoted_ident(sql: str, i: int) -> tuple[str, int]:
+    open_ch = sql[i]
+    close_ch = {"[": "]"}.get(open_ch, open_ch)
+    out = []
+    i += 1
+    n = len(sql)
+    while i < n:
+        c = sql[i]
+        if c == close_ch:
+            if close_ch != "]" and i + 1 < n and sql[i + 1] == close_ch:
+                out.append(close_ch)
+                i += 2
+                continue
+            return "".join(out), i + 1
+        out.append(c)
+        i += 1
+    raise ParseError("unterminated quoted identifier")
+
+
+def _scan_blob(sql: str, i: int) -> tuple[str, int]:
+    """Scan ``X'ABCD'``; the token text is the hex payload."""
+    i += 2  # skip x'
+    start = i
+    n = len(sql)
+    while i < n and sql[i] != "'":
+        i += 1
+    if i >= n:
+        raise ParseError("unterminated blob literal")
+    payload = sql[start:i]
+    if len(payload) % 2 != 0 or any(c not in "0123456789abcdefABCDEF"
+                                    for c in payload):
+        raise ParseError(f"malformed blob literal: X'{payload}'")
+    return payload, i + 1
+
+
+def _scan_number(sql: str, i: int) -> tuple[Token, int]:
+    start = i
+    n = len(sql)
+    is_float = False
+    while i < n and "0" <= sql[i] <= "9":
+        i += 1
+    if i < n and sql[i] == ".":
+        is_float = True
+        i += 1
+        while i < n and "0" <= sql[i] <= "9":
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and "0" <= sql[j] <= "9":
+            is_float = True
+            i = j
+            while i < n and "0" <= sql[i] <= "9":
+                i += 1
+    text = sql[start:i]
+    ttype = TokenType.FLOAT if is_float else TokenType.INTEGER
+    return Token(ttype, text, start), i

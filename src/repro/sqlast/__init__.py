@@ -1,0 +1,48 @@
+"""Expression abstract syntax trees.
+
+The PQS generator builds these trees (paper Algorithm 1), the exact
+interpreter in :mod:`repro.interp` evaluates them against the pivot row
+(Algorithm 2), the rectifier wraps them to yield TRUE (Algorithm 3), and
+:mod:`repro.sqlast.render` turns them into dialect-specific SQL text for the
+system under test.
+"""
+
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    Expr,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+    walk,
+)
+from repro.sqlast.render import render_expr
+
+__all__ = [
+    "BetweenNode",
+    "BinaryNode",
+    "BinaryOp",
+    "CaseNode",
+    "CastNode",
+    "CollateNode",
+    "ColumnNode",
+    "Expr",
+    "FunctionNode",
+    "InListNode",
+    "LiteralNode",
+    "PostfixNode",
+    "PostfixOp",
+    "UnaryNode",
+    "UnaryOp",
+    "render_expr",
+    "walk",
+]

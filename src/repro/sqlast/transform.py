@@ -1,0 +1,130 @@
+"""Structural transformation over immutable expression trees.
+
+:func:`transform` applies *fn* bottom-up: children are rebuilt first, then
+``fn`` is given each (already-rebuilt) node and may return a replacement.
+Because nodes are frozen dataclasses, an unchanged subtree is returned
+as-is (no copying).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    Expr,
+    FunctionNode,
+    InListNode,
+    PostfixNode,
+    UnaryNode,
+)
+
+
+def fold_negative_literals(expr: Expr) -> Expr:
+    """Normalize parse-equivalent forms the way the parser produces them.
+
+    Two rewrites, both semantics-preserving:
+
+    * ``-(numeric literal)`` folds into a negative literal (the parser
+      performs this fold, matching SQLite's handling of
+      ``-9223372036854775808``);
+    * ``x IS [NOT] NULL-literal`` becomes the postfix ISNULL/NOTNULL
+      node, because that is how the rendered text ``x IS NOT NULL``
+      reparses.
+
+    Applying this to generator output makes ``parse(render(e)) ==
+    fold(e)`` an exact round-trip property.
+    """
+    from repro.sqlast.nodes import (
+        BinaryNode,
+        BinaryOp,
+        LiteralNode,
+        PostfixNode,
+        PostfixOp,
+        UnaryNode,
+        UnaryOp,
+    )
+    from repro.values import SQLType, Value, fits_int64
+
+    def visit(node: Expr) -> Optional[Expr]:
+        if isinstance(node, UnaryNode) and node.op is UnaryOp.MINUS and \
+                isinstance(node.operand, LiteralNode):
+            value = node.operand.value
+            if value.t is SQLType.INTEGER:
+                negated = -int(value.v)
+                if fits_int64(negated):
+                    return LiteralNode(Value.integer(negated))
+                return LiteralNode(Value.real(float(negated)))
+            if value.t is SQLType.REAL:
+                return LiteralNode(Value.real(-float(value.v)))
+        if isinstance(node, BinaryNode) and \
+                node.op in (BinaryOp.IS, BinaryOp.IS_NOT) and \
+                isinstance(node.right, LiteralNode) and \
+                node.right.value.is_null:
+            op = PostfixOp.ISNULL if node.op is BinaryOp.IS \
+                else PostfixOp.NOTNULL
+            return PostfixNode(op, node.left)
+        return None
+
+    return transform(expr, visit)
+
+
+def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    """Rebuild *expr* bottom-up, replacing nodes where *fn* returns one."""
+    rebuilt = _rebuild(expr, fn)
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt
+
+
+def _rebuild(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
+    if isinstance(expr, UnaryNode):
+        child = transform(expr.operand, fn)
+        return expr if child is expr.operand else UnaryNode(expr.op, child)
+    if isinstance(expr, PostfixNode):
+        child = transform(expr.operand, fn)
+        return expr if child is expr.operand else PostfixNode(expr.op, child)
+    if isinstance(expr, BinaryNode):
+        left = transform(expr.left, fn)
+        right = transform(expr.right, fn)
+        if left is expr.left and right is expr.right:
+            return expr
+        return BinaryNode(expr.op, left, right)
+    if isinstance(expr, BetweenNode):
+        operand = transform(expr.operand, fn)
+        low = transform(expr.low, fn)
+        high = transform(expr.high, fn)
+        if (operand is expr.operand and low is expr.low
+                and high is expr.high):
+            return expr
+        return BetweenNode(operand, low, high, expr.negated)
+    if isinstance(expr, InListNode):
+        operand = transform(expr.operand, fn)
+        items = tuple(transform(item, fn) for item in expr.items)
+        if operand is expr.operand and all(a is b for a, b
+                                           in zip(items, expr.items)):
+            return expr
+        return InListNode(operand, items, expr.negated)
+    if isinstance(expr, CastNode):
+        child = transform(expr.operand, fn)
+        return expr if child is expr.operand else CastNode(child,
+                                                           expr.type_name)
+    if isinstance(expr, CollateNode):
+        child = transform(expr.operand, fn)
+        return expr if child is expr.operand else CollateNode(
+            child, expr.collation)
+    if isinstance(expr, CaseNode):
+        operand = transform(expr.operand, fn) if expr.operand else None
+        whens = tuple((transform(c, fn), transform(r, fn))
+                      for c, r in expr.whens)
+        else_ = transform(expr.else_, fn) if expr.else_ else None
+        return CaseNode(operand, whens, else_)
+    if isinstance(expr, FunctionNode):
+        args = tuple(transform(arg, fn) for arg in expr.args)
+        if all(a is b for a, b in zip(args, expr.args)):
+            return expr
+        return FunctionNode(expr.name, args)
+    return expr

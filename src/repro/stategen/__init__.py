@@ -1,0 +1,20 @@
+"""Random database state generation — step 1 of the paper's approach.
+
+Generates ``CREATE TABLE``/``INSERT`` plus the wider statement mix the
+paper credits with exposing bugs: ``UPDATE``, ``DELETE``,
+``ALTER TABLE``, ``CREATE INDEX``, ``CREATE VIEW``, DBMS-specific
+maintenance (``REPAIR TABLE``/``CHECK TABLE`` for MySQL, ``DISCARD``/
+``CREATE STATISTICS`` for PostgreSQL, ``VACUUM``/``REINDEX`` for SQLite
+and PostgreSQL) and run-time options (``PRAGMA``/``SET``).
+"""
+
+from repro.stategen.actions import ActionGenerator, GeneratedStatement
+from repro.stategen.data_gen import DataGenerator
+from repro.stategen.schema_gen import SchemaGenerator
+
+__all__ = [
+    "ActionGenerator",
+    "DataGenerator",
+    "GeneratedStatement",
+    "SchemaGenerator",
+]

@@ -1,0 +1,100 @@
+"""Random DML: INSERT / UPDATE / DELETE.
+
+Row counts stay low (the paper found most bugs with 10–30 rows and
+keeps them small to avoid join blowup, §3.4); values come from the
+boundary-biased literal pools; UPDATE and DELETE conditions are simple
+comparisons so that random state mutation rarely wipes whole tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.literals import LiteralGenerator
+from repro.core.schema import ColumnModel, SchemaModel, TableModel
+from repro.dialects import Dialect
+from repro.rng import RandomSource
+from repro.sqlast.render import render_literal
+
+
+class DataGenerator:
+    """Generates INSERT / UPDATE / DELETE statements."""
+
+    def __init__(self, dialect: Dialect, schema: SchemaModel,
+                 rng: RandomSource):
+        self.dialect = dialect
+        self.schema = schema
+        self.rng = rng
+        self.literals = LiteralGenerator(dialect.name, rng)
+
+    # -- INSERT ------------------------------------------------------------
+    def insert(self, table: TableModel, max_rows: int = 5) -> str:
+        conflict = ""
+        if self.dialect.supports_or_replace and self.rng.flip(0.1):
+            conflict = "OR REPLACE "
+        elif self.dialect.supports_or_ignore and self.rng.flip(0.25):
+            conflict = "OR IGNORE "
+        columns = list(table.columns)
+        if len(columns) > 1 and self.rng.flip(0.4):
+            columns = self.rng.sample(columns,
+                                      self.rng.int_between(1, len(columns)))
+        col_sql = ", ".join(c.name for c in columns)
+        n_rows = self.rng.int_between(1, max_rows)
+        rows = []
+        for _ in range(n_rows):
+            values = [self._insert_literal(c, table) for c in columns]
+            rows.append(f"({', '.join(values)})")
+        return (f"INSERT {conflict}INTO {table.name}({col_sql}) "
+                f"VALUES {', '.join(rows)}")
+
+    def _insert_literal(self, column: ColumnModel,
+                        table: TableModel | None = None) -> str:
+        # Inheritance children bias their (unconstrained) copy of the
+        # parent's key column toward small values — parent/child key
+        # collisions are what expose the Listing 15 caveat.
+        if (table is not None and table.inherits
+                and column.primary_key
+                and column.type_bucket(self.dialect.name) == "number"
+                and self.rng.flip(0.6)):
+            return str(self.rng.int_between(0, 3))
+        node = self.literals.insert_value(column.type_name,
+                                          null_probability=0.0
+                                          if column.not_null else 0.2)
+        return render_literal(node.value, self.dialect.name)
+
+    # -- UPDATE ------------------------------------------------------------
+    def update(self, table: TableModel) -> str:
+        conflict = ""
+        if self.dialect.supports_or_replace and self.rng.flip(0.15):
+            conflict = "OR REPLACE "
+        n_assignments = self.rng.int_between(1, min(2, len(table.columns)))
+        targets = self.rng.sample(table.columns, n_assignments)
+        assignments = ", ".join(
+            f"{c.name} = {self._insert_literal(c, table)}"
+            for c in targets)
+        sql = f"UPDATE {conflict}{table.name} SET {assignments}"
+        if self.rng.flip(0.5):
+            sql += f" WHERE {self._simple_condition(table)}"
+        return sql
+
+    # -- DELETE ------------------------------------------------------------
+    def delete(self, table: TableModel) -> str:
+        sql = f"DELETE FROM {table.name}"
+        if self.rng.flip(0.85):
+            sql += f" WHERE {self._simple_condition(table)}"
+        return sql
+
+    # -- helpers ------------------------------------------------------------
+    def _simple_condition(self, table: TableModel) -> str:
+        """A comparison usable in UPDATE/DELETE WHERE for any dialect."""
+        column = self.rng.choice(table.columns)
+        if self.rng.flip(0.2):
+            suffix = ("ISNULL" if self.dialect.name == "sqlite"
+                      else "IS NULL")
+            return f"{column.name} {suffix}"
+        bucket = column.type_bucket(self.dialect.name)
+        if bucket == "any":
+            bucket = self.rng.choice(["number", "text"])
+        literal = render_literal(
+            self.literals.typed_literal(bucket, 0.1).value,
+            self.dialect.name)
+        op = self.rng.choice(["=", "<", ">", "<=", ">=", "!="])
+        return f"{column.name} {op} {literal}"

@@ -1,0 +1,191 @@
+"""Random DDL: tables, indexes, views.
+
+Feature draws mirror the paper's §4.3/§4.4 statistics: UNIQUE columns in
+roughly a fifth of schemas, PRIMARY KEYs slightly less, explicit
+CREATE INDEX more common than either, COLLATE clauses and WITHOUT ROWID
+tables for SQLite, storage engines for MySQL, INHERITS for PostgreSQL.
+"""
+
+from __future__ import annotations
+
+from repro.core.literals import LiteralGenerator
+from repro.core.schema import ColumnModel, SchemaModel, TableModel
+from repro.dialects import Dialect
+from repro.rng import RandomSource
+from repro.sqlast.render import render_literal
+
+
+class SchemaGenerator:
+    """Generates CREATE TABLE / CREATE INDEX / CREATE VIEW statements."""
+
+    def __init__(self, dialect: Dialect, schema: SchemaModel,
+                 rng: RandomSource):
+        self.dialect = dialect
+        self.schema = schema
+        self.rng = rng
+        self.literals = LiteralGenerator(dialect.name, rng)
+
+    # -- CREATE TABLE -------------------------------------------------------
+    def create_table(self) -> tuple[str, TableModel]:
+        """Returns (sql, table_model); register the model on success."""
+        name = self.schema.fresh_table_name()
+        n_columns = self.rng.int_between(1, 4)
+        columns = [self._column(i) for i in range(n_columns)]
+
+        inherits = None
+        if (self.dialect.supports_inherits and self.schema.base_tables()
+                and self.rng.flip(0.3)):
+            inherits = self.rng.choice(self.schema.base_tables())
+            # PostgreSQL rejects children that redeclare a merged column
+            # with a different type, so redeclarations copy the parent's
+            # (paper Listing 15 does exactly this: c0 INT in both).
+            for col in columns:
+                for parent_col in inherits.columns:
+                    if parent_col.name == col.name:
+                        col.type_name = parent_col.type_name
+
+        pk_column = None
+        if inherits is None and self.rng.flip(0.3):
+            pk_column = self.rng.choice(columns)
+            pk_column.primary_key = True
+
+        without_rowid = (self.dialect.supports_without_rowid
+                         and pk_column is not None and self.rng.flip(0.3))
+        engine = None
+        if self.dialect.engines and self.rng.flip(0.4):
+            engine = self.rng.choice(self.dialect.engines)
+
+        defs = []
+        for col in columns:
+            parts = [col.name]
+            if col.type_name is not None:
+                parts.append(col.type_name)
+            if col.primary_key:
+                parts.append("PRIMARY KEY")
+            if col.unique:
+                parts.append("UNIQUE")
+            if col.not_null:
+                parts.append("NOT NULL")
+            if col.collation is not None:
+                parts.append(f"COLLATE {col.collation}")
+            defs.append(" ".join(parts))
+        sql = f"CREATE TABLE {name}({', '.join(defs)})"
+        if without_rowid:
+            sql += " WITHOUT ROWID"
+        if engine is not None:
+            sql += f" ENGINE = {engine}"
+        if inherits is not None:
+            sql += f" INHERITS ({inherits.name})"
+
+        model_columns = list(columns)
+        if inherits is not None:
+            # PostgreSQL merges same-named columns, parent's first.  The
+            # parent's primary_key flag is preserved on the child model:
+            # the child has no PK *constraint* (the Listing 15 caveat),
+            # but the data generator uses the flag to bias child rows
+            # toward parent-key collisions.
+            merged = [ColumnModel(name=c.name, type_name=c.type_name,
+                                  collation=c.collation,
+                                  primary_key=c.primary_key)
+                      for c in inherits.columns]
+            names = {c.name for c in merged}
+            merged.extend(c for c in columns if c.name not in names)
+            model_columns = merged
+        model = TableModel(name=name, columns=model_columns,
+                           without_rowid=without_rowid, engine=engine,
+                           inherits=inherits.name if inherits else None)
+        return sql, model
+
+    def _column(self, index: int) -> ColumnModel:
+        type_name = self.rng.choice(self.dialect.column_types)
+        collation = None
+        if self.dialect.name == "sqlite" and self.rng.flip(0.3):
+            # NOCASE weighted highest: the paper's collation bugs
+            # (Listings 4, 7) clustered there.
+            collation = self.rng.weighted_choice(
+                ["NOCASE", "RTRIM", "BINARY"], [3.0, 2.0, 1.0])
+        # SERIAL as a non-first column keeps inserts simple; allow rarely.
+        if type_name == "SERIAL" and self.rng.flip(0.7):
+            type_name = "INT"
+        return ColumnModel(name=f"c{index}", type_name=type_name,
+                           collation=collation,
+                           unique=self.rng.flip(0.22),
+                           not_null=self.rng.flip(0.08))
+
+    # -- CREATE INDEX -------------------------------------------------------
+    def create_index(self, table: TableModel) -> str:
+        name = self.schema.fresh_index_name()
+        unique = "UNIQUE " if self.rng.flip(0.25) else ""
+        n_exprs = self.rng.int_between(1, 2)
+        exprs = [self._indexed_expr(table) for _ in range(n_exprs)]
+        sql = (f"CREATE {unique}INDEX {name} ON {table.name}"
+               f"({', '.join(exprs)})")
+        if self.dialect.supports_partial_indexes and self.rng.flip(0.3):
+            column = self.rng.choice(table.columns)
+            predicate = self.rng.choice([
+                f"{column.name} NOT NULL"
+                if self.dialect.name == "sqlite"
+                else f"{column.name} IS NOT NULL",
+                f"{column.name} IS NOT NULL",
+            ])
+            sql += f" WHERE {predicate}"
+        return sql
+
+    def _indexed_expr(self, table: TableModel) -> str:
+        column = self.rng.choice(table.columns)
+        kind = self.rng.random()
+        bucket = column.type_bucket(self.dialect.name)
+        # Strict dialects get type-matched index expressions so the
+        # per-row index evaluation does not reject every later INSERT.
+        strict = self.dialect.name == "postgres"
+        if kind < 0.6 or not self.dialect.supports_expression_indexes:
+            expr = column.name
+        elif kind < 0.75 and (not strict or bucket == "number"):
+            literal = render_literal(
+                self.literals.typed_literal("number", 0.0).value,
+                self.dialect.name)
+            expr = f"({column.name} + {literal})"
+        elif kind < 0.9 and (not strict or bucket == "text"):
+            literal = render_literal(
+                self.literals.typed_literal("text", 0.0).value,
+                self.dialect.name)
+            expr = f"({column.name} || {literal})"
+        else:
+            if strict:
+                expr = (f"({column.name} AND {column.name})"
+                        if bucket == "boolean" else column.name)
+            else:
+                literal = render_literal(
+                    self.literals.typed_literal("text", 0.0).value,
+                    self.dialect.name)
+                expr = f"({column.name} LIKE {literal})"
+        if self.dialect.supports_collate_in_index and self.rng.flip(0.4):
+            collation = self.rng.weighted_choice(
+                ["NOCASE", "RTRIM", "BINARY"], [3.0, 2.0, 1.0])
+            expr += f" COLLATE {collation}"
+        if self.rng.flip(0.15):
+            expr += " DESC"
+        return expr
+
+    # -- CREATE VIEW ----------------------------------------------------------
+    def create_view(self, table: TableModel) -> tuple[str, TableModel]:
+        name = self.schema.fresh_view_name()
+        n_cols = self.rng.int_between(1, len(table.columns))
+        chosen = self.rng.sample(table.columns, n_cols)
+        cols_sql = ", ".join(f"{table.name}.{c.name}" for c in chosen)
+        sql = f"CREATE VIEW {name} AS SELECT {cols_sql} FROM {table.name}"
+        model = TableModel(
+            name=name,
+            columns=[ColumnModel(name=c.name, type_name=c.type_name,
+                                 collation=c.collation) for c in chosen],
+            is_view=True)
+        return sql, model
+
+    # -- CREATE STATISTICS (postgres) -----------------------------------------
+    def create_statistics(self, table: TableModel) -> str:
+        name = f"s{self.schema.next_index_id}"
+        self.schema.next_index_id += 1
+        count = min(len(table.columns), 2)
+        cols = self.rng.sample(table.columns, count)
+        col_sql = ", ".join(c.name for c in cols)
+        return f"CREATE STATISTICS {name} ON {col_sql} FROM {table.name}"

@@ -1,0 +1,69 @@
+"""difference_kind(): the post-reduction oracle re-derivation."""
+
+from repro.campaigns.replay import DifferentialReplayer
+from repro.core.reports import TestCase
+from repro.minidb.bugs import BugRegistry
+
+
+def replayer(*bugs):
+    return DifferentialReplayer("sqlite", BugRegistry(set(bugs)))
+
+
+class TestDifferenceKind:
+    def test_rows_difference(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+            "INSERT INTO t0(c0) VALUES (0), (NULL)",
+            "SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1",
+        ])
+        rep = replayer("sqlite-partial-index-is-not")
+        assert rep.difference_kind(case) == "rows"
+
+    def test_error_difference(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t1 (c0, c1 REAL PRIMARY KEY)",
+            "INSERT INTO t1(c0, c1) VALUES (1, 2.0), (1, 3.0)",
+            "UPDATE OR REPLACE t1 SET c1 = 1",
+            "SELECT DISTINCT * FROM t1 WHERE c1 = 1.0",
+        ])
+        rep = replayer("sqlite-real-pk-corrupt")
+        assert rep.difference_kind(case) == "error"
+
+    def test_crash_difference(self):
+        from repro.campaigns.replay import DifferentialReplayer as DR
+
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0 INT)",
+            "CREATE INDEX i0 ON t0((t0.c0 || 1))",
+            "CHECK TABLE t0 FOR UPGRADE",
+        ])
+        rep = DR("mysql", BugRegistry({"mysql-check-table-crash"}))
+        assert rep.difference_kind(case) == "crash"
+
+    def test_no_difference(self):
+        case = TestCase(statements=["CREATE TABLE t0(c0)",
+                                    "SELECT * FROM t0"])
+        rep = replayer("sqlite-partial-index-is-not")
+        assert rep.difference_kind(case) is None
+
+    def test_campaign_rederives_oracle(self):
+        """End to end: a pg campaign's inherit-groupby report always
+        carries the containment oracle after reduction, regardless of
+        which oracle first surfaced the raw finding."""
+        from repro.campaigns.campaign import Campaign, CampaignConfig
+
+        found = None
+        for seed in (1, 4, 0, 2, 3):
+            config = CampaignConfig(dialect="postgres", seed=seed,
+                                    databases=100,
+                                    bug_ids=["pg-inherit-groupby"])
+            result = Campaign(config).run()
+            for report in result.reports:
+                if report.attributed_bugs[0] == "pg-inherit-groupby":
+                    found = report
+                    break
+            if found:
+                break
+        assert found is not None
+        assert found.oracle.value == "contains"

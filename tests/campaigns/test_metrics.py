@@ -1,0 +1,103 @@
+"""Tests for the Figure 2/3 and §4.3 statistics."""
+
+import pytest
+
+from repro.campaigns.metrics import (
+    classify_statement,
+    constraint_statistics,
+    mean_loc,
+    single_table_fraction,
+    statement_distribution,
+)
+from repro.campaigns.metrics import testcase_loc_cdf as loc_cdf
+from repro.core.reports import BugReport, Oracle, TestCase
+
+
+def report(statements, oracle=Oracle.CONTAINMENT):
+    return BugReport(oracle=oracle, dialect="sqlite",
+                     test_case=TestCase(statements=statements))
+
+
+class TestClassifyStatement:
+    @pytest.mark.parametrize("sql,category", [
+        ("PRAGMA x = 1", "OPTION"),
+        ("SET GLOBAL a = 1", "OPTION"),
+        ("ALTER TABLE t RENAME TO u", "ALTER TABLE"),
+        ("CHECK TABLE t", "REPAIR/CHECK TABLE"),
+        ("REPAIR TABLE t", "REPAIR/CHECK TABLE"),
+        ("BEGIN", "TRANSACTION"),
+        ("CREATE STATISTICS s ON a FROM t", "CREATE STATS"),
+        ("DROP INDEX i", "DROP INDEX"),
+        ("SELECT 1", "SELECT"),
+        ("CREATE TABLE t(a)", "CREATE TABLE"),
+    ])
+    def test_mapping(self, sql, category):
+        assert classify_statement(sql) == category
+
+
+class TestLocCdf:
+    def test_cdf_monotone_and_complete(self):
+        reports = [report(["A"] * n + ["SELECT 1"]) for n in (1, 2, 2, 5)]
+        points = loc_cdf(reports)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_mean(self):
+        reports = [report(["A", "B"]), report(["A", "B", "C", "D"])]
+        assert mean_loc(reports) == 3.0
+
+    def test_empty(self):
+        assert loc_cdf([]) == []
+        assert mean_loc([]) == 0.0
+
+
+class TestStatementDistribution:
+    def test_shares(self):
+        reports = [
+            report(["CREATE TABLE t(a)", "INSERT INTO t VALUES (1)",
+                    "SELECT 1"]),
+            report(["CREATE TABLE t(a)", "SELECT 1"],
+                   oracle=Oracle.ERROR),
+        ]
+        dist = statement_distribution(reports)
+        assert dist["CREATE TABLE"]["share"] == 1.0
+        assert dist["INSERT"]["share"] == 0.5
+        assert dist["SELECT"]["trigger_contains"] == 0.5
+        assert dist["SELECT"]["trigger_error"] == 0.5
+
+    def test_triggering_statement_is_final(self):
+        reports = [report(["CREATE TABLE t(a)", "VACUUM"],
+                          oracle=Oracle.ERROR)]
+        dist = statement_distribution(reports)
+        assert dist["VACUUM"]["trigger_error"] == 1.0
+        assert "trigger_error" not in dist["CREATE TABLE"]
+
+
+class TestConstraintStatistics:
+    def test_counts(self):
+        reports = [
+            report(["CREATE TABLE t(a UNIQUE)", "SELECT 1"]),
+            report(["CREATE TABLE t(a PRIMARY KEY)",
+                    "CREATE INDEX i ON t(a)", "SELECT 1"]),
+        ]
+        stats = constraint_statistics(reports)
+        assert stats["UNIQUE"] == 0.5
+        assert stats["PRIMARY KEY"] == 0.5
+        assert stats["CREATE INDEX"] == 0.5
+        assert stats["FOREIGN KEY"] == 0.0
+
+    def test_unique_index_counts_both(self):
+        reports = [report(["CREATE UNIQUE INDEX i ON t(a)", "SELECT 1"])]
+        stats = constraint_statistics(reports)
+        assert stats["UNIQUE"] == 1.0 and stats["CREATE INDEX"] == 1.0
+
+
+class TestSingleTableFraction:
+    def test_fraction(self):
+        reports = [
+            report(["CREATE TABLE a(x)", "SELECT 1"]),
+            report(["CREATE TABLE a(x)", "CREATE TABLE b(y)",
+                    "SELECT 1"]),
+        ]
+        assert single_table_fraction(reports) == 0.5

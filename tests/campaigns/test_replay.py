@@ -1,0 +1,93 @@
+"""Differential replay: manifestation and attribution."""
+
+from repro.campaigns.replay import DifferentialReplayer, StatementOutcome
+from repro.core.reports import TestCase
+from repro.minidb.bugs import BugRegistry
+
+LISTING1 = TestCase(statements=[
+    "CREATE TABLE t0(c0)",
+    "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+    "INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL)",
+    "SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1",
+])
+
+CLEAN_CASE = TestCase(statements=[
+    "CREATE TABLE t0(c0)",
+    "INSERT INTO t0(c0) VALUES (1)",
+    "SELECT c0 FROM t0",
+])
+
+
+def replayer(*bugs):
+    registry = BugRegistry(set(bugs) if bugs
+                           else {"sqlite-partial-index-is-not",
+                                 "sqlite-skip-scan-distinct"})
+    return DifferentialReplayer("sqlite", registry)
+
+
+class TestManifests:
+    def test_defect_case_manifests(self):
+        assert replayer().manifests(LISTING1)
+
+    def test_clean_case_does_not(self):
+        assert not replayer().manifests(CLEAN_CASE)
+
+    def test_prefix_errors_tolerated(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "CREATE TABLE t0(c0)",           # fails on both engines
+            "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+            "INSERT INTO t0(c0) VALUES (0), (1), (NULL)",
+            "SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1",
+        ])
+        assert replayer().manifests(case)
+
+    def test_crash_manifests(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0 INT)",
+            "CREATE INDEX i0 ON t0((t0.c0 || 1))",
+            "CHECK TABLE t0 FOR UPGRADE",
+        ])
+        rep = DifferentialReplayer(
+            "mysql", BugRegistry({"mysql-check-table-crash"}))
+        assert rep.manifests(case)
+
+    def test_error_manifests(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0 INT) ENGINE = MEMORY",
+            "REPAIR TABLE t0",
+        ])
+        rep = DifferentialReplayer(
+            "mysql", BugRegistry({"mysql-repair-memory-error"}))
+        assert rep.manifests(case)
+
+
+class TestAttribution:
+    def test_attributes_to_single_defect(self):
+        out = replayer().attribute(LISTING1)
+        assert out == ["sqlite-partial-index-is-not"]
+
+    def test_attribution_empty_for_clean_case(self):
+        assert replayer().attribute(CLEAN_CASE) == []
+
+    def test_candidates_filter(self):
+        out = replayer().attribute(
+            LISTING1, candidates=["sqlite-skip-scan-distinct"])
+        assert out == []
+
+
+class TestOutcomes:
+    def test_row_outcomes_order_insensitive(self):
+        a = StatementOutcome("rows", payload=("x", "y"))
+        b = StatementOutcome("rows", payload=("x", "y"))
+        assert replayer()._equivalent(a, b)
+
+    def test_error_vs_rows_differ(self):
+        a = StatementOutcome("rows")
+        b = StatementOutcome("error", message="boom")
+        assert not replayer()._equivalent(a, b)
+
+    def test_different_errors_differ(self):
+        a = StatementOutcome("error", message="x")
+        b = StatementOutcome("error", message="y")
+        assert not replayer()._equivalent(a, b)

@@ -1,0 +1,50 @@
+"""The benchmark suite's shared table formatter (imported via path since
+benchmarks/ is not a package)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+BENCH = Path(__file__).parent.parent.parent / "benchmarks"
+
+
+def load_shared():
+    spec = importlib.util.spec_from_file_location("_shared_under_test",
+                                                  BENCH / "_shared.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["_shared_under_test"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        shared = load_shared()
+        table = shared.format_table(["a", "bbb"], [["x", 1], ["yy", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_wide_cells_stretch_columns(self):
+        shared = load_shared()
+        table = shared.format_table(["h"], [["wide-cell-content"]])
+        header, rule, row = table.splitlines()
+        assert len(rule) >= len("wide-cell-content")
+
+
+class TestPaperConstants:
+    def test_table3_totals_match_paper(self):
+        shared = load_shared()
+        totals = {"contains": 0, "error": 0, "segfault": 0}
+        for row in shared.PAPER_TABLE3.values():
+            for key in totals:
+                totals[key] += row[key]
+        assert totals == {"contains": 61, "error": 34, "segfault": 4}
+
+    def test_focus_hints_reference_known_defects(self):
+        from repro.minidb.bugs import BUG_CATALOG
+
+        shared = load_shared()
+        for bug_id in shared.FOCUS_HINTS:
+            assert bug_id in BUG_CATALOG

@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make `tests/support` importable as a plain package regardless of cwd.
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.minidb.bugs import BugRegistry
+from repro.minidb.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    """A clean SQLite-dialect MiniDB engine."""
+    return Engine("sqlite")
+
+
+@pytest.fixture
+def mysql_engine():
+    return Engine("mysql")
+
+
+@pytest.fixture
+def pg_engine():
+    return Engine("postgres")
+
+
+def make_engine(dialect: str = "sqlite", *bug_ids: str) -> Engine:
+    """Engine factory with specific defects enabled."""
+    return Engine(dialect, bugs=BugRegistry(set(bug_ids)))
+
+
+def rows(result) -> list[tuple]:
+    """ResultSet -> plain Python tuples."""
+    return result.python_rows()
+
+
+def run(engine: Engine, *statements: str):
+    """Execute statements in order; returns the last result set."""
+    result = None
+    for sql in statements:
+        result = engine.execute(sql)
+    return result

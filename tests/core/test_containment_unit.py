@@ -1,0 +1,104 @@
+"""Containment-check unit behaviour: collation-aware matching, INTERSECT
+gating, and NaN handling."""
+
+import pytest
+
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.core.containment import (
+    _intersect_safe,
+    _target_collations,
+    check_containment,
+    containment_query,
+)
+from repro.core.querygen import SynthesizedQuery
+from repro.interp import get_semantics
+from repro.sqlast.nodes import CollateNode, ColumnNode, LiteralNode
+from repro.values import Value
+
+
+def query(sql, targets, expected, **kwargs):
+    return SynthesizedQuery(sql=sql, targets=targets, expected=expected,
+                            **kwargs)
+
+
+class TestCollationAwareMatch:
+    def test_nocase_representative_counts_as_contained(self):
+        conn = MiniDBConnection("sqlite")
+        conn.execute("CREATE TABLE t(a TEXT COLLATE NOCASE)")
+        conn.execute("INSERT INTO t(a) VALUES ('AB')")
+        target = ColumnNode("t", "a", collation="NOCASE",
+                            affinity="TEXT")
+        q = query("SELECT a FROM t WHERE 1", [target],
+                  [Value.text("ab")])
+        assert check_containment(conn, q, get_semantics("sqlite"))
+
+    def test_binary_columns_stay_strict(self):
+        conn = MiniDBConnection("sqlite")
+        conn.execute("CREATE TABLE t(a TEXT)")
+        conn.execute("INSERT INTO t(a) VALUES ('AB')")
+        target = ColumnNode("t", "a", affinity="TEXT")
+        q = query("SELECT a FROM t WHERE 1", [target],
+                  [Value.text("ab")])
+        assert not check_containment(conn, q, get_semantics("sqlite"))
+
+    def test_collations_extracted_from_targets(self):
+        targets = [ColumnNode("t", "a", collation="NOCASE"),
+                   CollateNode(LiteralNode(Value.text("x")), "RTRIM"),
+                   LiteralNode(Value.integer(1))]
+        q = query("SELECT 1", targets,
+                  [Value.text("a"), Value.text("x"), Value.integer(1)])
+        assert _target_collations(q, "sqlite") == ["NOCASE", "RTRIM",
+                                                   None]
+        assert _target_collations(q, "postgres") == [None, None, None]
+
+
+class TestIntersectGating:
+    def test_extreme_reals_not_intersect_safe(self):
+        assert _intersect_safe(Value.real(1.0))
+        assert _intersect_safe(Value.real(0.0))
+        assert not _intersect_safe(Value.real(9.1e-297))
+        assert not _intersect_safe(Value.real(4e250))
+        assert not _intersect_safe(Value.real(float("nan")))
+        assert _intersect_safe(Value.text("x"))
+
+    def test_order_by_disables_intersect(self):
+        conn = MiniDBConnection("sqlite")
+        conn.execute("CREATE TABLE t(a)")
+        conn.execute("INSERT INTO t(a) VALUES (1)")
+        q = query("SELECT a FROM t WHERE 1 ORDER BY a",
+                  [ColumnNode("t", "a")], [Value.integer(1)],
+                  has_order_by=True)
+        # Must not raise (an INTERSECT over ORDER BY would), and match.
+        assert check_containment(conn, q, get_semantics("sqlite"),
+                                 use_intersect=True)
+
+    def test_intersect_query_rendering(self):
+        q = query("SELECT a FROM t WHERE 1", [ColumnNode("t", "a")],
+                  [Value.integer(3), Value.text("x'y")])
+        sql = containment_query(q, "sqlite")
+        assert sql == "SELECT 3, 'x''y' INTERSECT SELECT a FROM t WHERE 1"
+
+    def test_intersect_and_client_agree(self):
+        conn = MiniDBConnection("sqlite")
+        conn.execute("CREATE TABLE t(a)")
+        conn.execute("INSERT INTO t(a) VALUES (1), ('x')")
+        semantics = get_semantics("sqlite")
+        for value, present in ((Value.integer(1), True),
+                               (Value.text("x"), True),
+                               (Value.integer(9), False)):
+            q = query("SELECT a FROM t WHERE 1", [ColumnNode("t", "a")],
+                      [value])
+            assert check_containment(conn, q, semantics,
+                                     use_intersect=True) is present
+            assert check_containment(conn, q, semantics,
+                                     use_intersect=False) is present
+
+
+class TestRowArity:
+    def test_width_mismatch_never_matches(self):
+        conn = MiniDBConnection("sqlite")
+        conn.execute("CREATE TABLE t(a, b)")
+        conn.execute("INSERT INTO t(a, b) VALUES (1, 2)")
+        q = query("SELECT a, b FROM t WHERE 1", [ColumnNode("t", "a")],
+                  [Value.integer(1)])
+        assert not check_containment(conn, q, get_semantics("sqlite"))

@@ -1,0 +1,88 @@
+"""The error oracle's expected/unexpected classification (paper §3.3)."""
+
+import pytest
+
+from repro.core.error_oracle import ErrorOracle, statement_kind
+from repro.errors import DBError
+
+
+ORACLE = ErrorOracle("sqlite")
+
+
+class TestStatementKind:
+    @pytest.mark.parametrize("sql,kind", [
+        ("SELECT 1", "SELECT"),
+        ("select 1", "SELECT"),
+        ("INSERT INTO t VALUES (1)", "INSERT"),
+        ("CREATE TABLE t(a)", "CREATE TABLE"),
+        ("CREATE UNIQUE INDEX i ON t(a)", "CREATE INDEX"),
+        ("CREATE INDEX i ON t(a)", "CREATE INDEX"),
+        ("CREATE VIEW v AS SELECT 1", "CREATE VIEW"),
+        ("CREATE STATISTICS s ON a FROM t", "CREATE STATISTICS"),
+        ("CHECK TABLE t", "CHECK TABLE"),
+        ("REPAIR TABLE t", "REPAIR TABLE"),
+        ("PRAGMA x = 1", "PRAGMA"),
+        ("SET GLOBAL a = 1", "SET"),
+        ("VACUUM", "VACUUM"),
+        ("  REINDEX t", "REINDEX"),
+        ("", "UNKNOWN"),
+        ("GIBBERISH", "UNKNOWN"),
+    ])
+    def test_kinds(self, sql, kind):
+        assert statement_kind(sql) == kind
+
+
+class TestExpectedErrors:
+    @pytest.mark.parametrize("sql,message", [
+        ("INSERT INTO t VALUES (1)", "UNIQUE constraint failed: t.a"),
+        ("INSERT INTO t VALUES (1)", "NOT NULL constraint failed: t.a"),
+        ("INSERT INTO t VALUES (1)", "Duplicate entry for key 'PRIMARY'"),
+        ("UPDATE t SET a = 1", "duplicate key value violates unique "
+                              "constraint"),
+        ("INSERT INTO t VALUES (1)", "integer out of range"),
+        ("DELETE FROM t WHERE x", "division by zero"),
+        ("CREATE TABLE t(a)", "table t already exists"),
+        ("CREATE INDEX i ON t(a)", "no such table: t"),
+        ("SELECT a FROM v", "no such column: a"),
+        ("SELECT 1", "bigint out of range"),
+        ("CREATE TABLE c(a TEXT) INHERITS (p)",
+         'child table "c" has different type for column "a"'),
+    ])
+    def test_expected(self, sql, message):
+        verdict = ORACLE.classify(sql, DBError(message))
+        assert verdict.expected, (sql, message)
+
+
+class TestUnexpectedErrors:
+    @pytest.mark.parametrize("sql,message", [
+        # Corruption is always a finding, regardless of statement.
+        ("INSERT INTO t VALUES (1)", "database disk image is malformed"),
+        ("SELECT 1", "malformed database schema (i0)"),
+        ("VACUUM", "index is corrupted"),
+        ("SELECT 1", "negative bitmapset member not allowed"),
+        ("SELECT 1", 'found unexpected null value in index "i0"'),
+        # Maintenance failures are findings (paper §4.3/§4.4).
+        ("REINDEX", "UNIQUE constraint failed: t0.c0"),
+        ("VACUUM", "integer out of range"),
+        ("REPAIR TABLE t", "Incorrect key file for table 't'"),
+        ("SET GLOBAL key_cache_division_limit = 100",
+         "Incorrect arguments to SET"),
+        # A containment query reporting a random internal error.
+        ("SELECT 1", "stack overflow in frobnicator"),
+    ])
+    def test_unexpected(self, sql, message):
+        verdict = ORACLE.classify(sql, DBError(message))
+        assert not verdict.expected, (sql, message)
+
+    def test_corruption_beats_expected_list(self):
+        # 'malformed' matches ALWAYS_UNEXPECTED even on an INSERT whose
+        # expected list is broad.
+        verdict = ORACLE.classify(
+            "INSERT INTO t VALUES (1)",
+            DBError("malformed database schema (x) - no such column: c"))
+        assert not verdict.expected
+
+    def test_verdict_carries_context(self):
+        verdict = ORACLE.classify("SELECT 1", DBError("boom"))
+        assert verdict.statement_kind == "SELECT"
+        assert verdict.message == "boom"

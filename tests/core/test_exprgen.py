@@ -1,0 +1,144 @@
+"""Expression generation (paper Algorithm 1): depth bound, fragment
+discipline, and strict-dialect well-typedness."""
+
+import pytest
+
+from repro.core.exprgen import ExpressionGenerator
+from repro.dialects import get_dialect
+from repro.interp import make_interpreter
+from repro.interp.base import EvalError
+from repro.rng import RandomSource
+from repro.sqlast.nodes import ColumnNode, FunctionNode, LiteralNode, depth, walk
+from repro.values import SQLType, Value
+
+
+def make_generator(dialect="sqlite", seed=1, max_depth=4):
+    gen = ExpressionGenerator(get_dialect(dialect), RandomSource(seed),
+                              max_depth=max_depth)
+    return gen
+
+
+class TestDepthBound:
+    @pytest.mark.parametrize("max_depth", [1, 2, 4, 6])
+    def test_depth_never_exceeded(self, max_depth):
+        gen = make_generator(max_depth=max_depth)
+        for _ in range(300):
+            expr = gen.condition()
+            # A node per level plus one leaf: depth <= max_depth + 1.
+            assert depth(expr) <= max_depth + 1
+
+    def test_max_depth_zero_gives_leaves(self):
+        gen = make_generator(max_depth=0)
+        for _ in range(50):
+            expr = gen.condition()
+            assert isinstance(expr, (LiteralNode, ColumnNode))
+
+
+class TestColumnUsage:
+    def test_columns_referenced_when_available(self):
+        gen = make_generator(seed=3)
+        node = ColumnNode("t0", "c0", affinity="INTEGER")
+        gen.set_columns([(node, "number")])
+        used = 0
+        for _ in range(200):
+            expr = gen.condition()
+            if any(isinstance(n, ColumnNode) for n in walk(expr)):
+                used += 1
+        assert used > 100
+
+    def test_no_columns_means_constant_expressions(self):
+        gen = make_generator(seed=4)
+        for _ in range(100):
+            expr = gen.condition()
+            assert not any(isinstance(n, ColumnNode) for n in walk(expr))
+
+    def test_pivot_value_literals_drawn(self):
+        gen = make_generator(seed=5)
+        node = ColumnNode("t0", "c0")
+        sentinel = Value.integer(424242)
+        gen.set_columns([(node, "number")], {"t0.c0": sentinel})
+        seen = False
+        for _ in range(300):
+            expr = gen.condition()
+            for n in walk(expr):
+                if isinstance(n, LiteralNode) and n.value == sentinel:
+                    seen = True
+        assert seen
+
+
+class TestFragmentDiscipline:
+    def test_substr_offsets_are_small_literals(self):
+        gen = make_generator(seed=6)
+        for _ in range(500):
+            expr = gen.condition()
+            for node in walk(expr):
+                if isinstance(node, FunctionNode) and \
+                        node.name == "SUBSTR":
+                    for arg in node.args[1:]:
+                        assert isinstance(arg, LiteralNode)
+                        assert abs(int(arg.value.v)) <= 7
+
+    def test_only_dialect_functions_used(self):
+        dialect = get_dialect("mysql")
+        gen = make_generator("mysql", seed=7)
+        allowed = {sig.name for sig in dialect.functions}
+        for _ in range(400):
+            for node in walk(gen.condition()):
+                if isinstance(node, FunctionNode):
+                    assert node.name in allowed
+
+    def test_no_glob_outside_sqlite(self):
+        from repro.sqlast.nodes import BinaryNode, BinaryOp
+
+        gen = make_generator("postgres", seed=8)
+        for _ in range(300):
+            for node in walk(gen.condition()):
+                if isinstance(node, BinaryNode):
+                    assert node.op is not BinaryOp.GLOB
+
+
+class TestPostgresWellTypedness:
+    """Generated PG conditions almost always evaluate without type errors
+    — the point of typed generation (§3.2)."""
+
+    def test_boolean_root_evaluates(self):
+        gen = make_generator("postgres", seed=9)
+        node = ColumnNode("t0", "c0")
+        gen.set_columns([(node, "number")],
+                        {"t0.c0": Value.integer(3)})
+        interp = make_interpreter("postgres")
+        ok = errors = 0
+        for _ in range(400):
+            expr = gen.condition()
+            try:
+                out = interp.evaluate_bool(expr, {"t0.c0":
+                                                  Value.integer(3)})
+            except EvalError:
+                errors += 1
+                continue
+            assert out in (True, False, None)
+            ok += 1
+        # Division by zero and overflow still slip through; type errors
+        # should not dominate.
+        assert ok > errors * 3
+
+    def test_scalar_buckets(self):
+        gen = make_generator("postgres", seed=10)
+        interp = make_interpreter("postgres")
+        types = set()
+        for _ in range(300):
+            expr = gen.scalar()
+            try:
+                value = interp.evaluate(expr, {})
+            except EvalError:
+                continue
+            types.add(value.t)
+        assert SQLType.TEXT in types
+        assert SQLType.INTEGER in types or SQLType.REAL in types
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a, b = make_generator(seed=11), make_generator(seed=11)
+        assert [a.condition() for _ in range(30)] == \
+            [b.condition() for _ in range(30)]

@@ -1,0 +1,118 @@
+"""Literal generator tests: dialect/type discipline and pool shape."""
+
+import pytest
+
+from repro.core.literals import (
+    BLOB_POOL,
+    CASE_PAIR_POOL,
+    INTEGER_POOL,
+    LiteralGenerator,
+    REAL_POOL,
+    TEXT_POOL,
+)
+from repro.rng import RandomSource
+from repro.values import SQLType
+
+
+def gen(dialect="sqlite", seed=1):
+    return LiteralGenerator(dialect, RandomSource(seed))
+
+
+class TestPools:
+    def test_boundary_integers_present(self):
+        assert 2**63 - 1 in INTEGER_POOL
+        assert -(2**63) in INTEGER_POOL
+        assert 127 in INTEGER_POOL and -128 in INTEGER_POOL
+        # The paper's own bug-triggering constants:
+        assert 2035382037 in INTEGER_POOL          # Listing 12
+        assert 2851427734582196970 in INTEGER_POOL  # Listing 2
+
+    def test_text_pool_has_collation_fodder(self):
+        assert "a" in TEXT_POOL and "A" in TEXT_POOL
+        assert any(t.endswith(" ") for t in TEXT_POOL)   # RTRIM
+        assert any(t.startswith(" ") for t in TEXT_POOL)
+        assert "%" in TEXT_POOL and "_" in TEXT_POOL     # LIKE
+        assert "./" in TEXT_POOL                          # Listing 7
+        assert "0.5" in TEXT_POOL                         # MySQL bool bug
+
+    def test_case_pair_pool_collides_under_nocase(self):
+        from repro.values import collate_nocase
+
+        lowered = {}
+        collisions = 0
+        for text in CASE_PAIR_POOL:
+            for other in CASE_PAIR_POOL:
+                if text != other and collate_nocase(text, other) == 0:
+                    collisions += 1
+        assert collisions >= 6
+
+    def test_blob_pool_is_nul_free_ascii(self):
+        for blob in BLOB_POOL:
+            assert all(0 < byte < 128 for byte in blob)
+
+
+class TestTypedDraws:
+    @pytest.mark.parametrize("bucket,expected_types", [
+        ("number", {SQLType.INTEGER, SQLType.REAL}),
+        ("text", {SQLType.TEXT}),
+        ("blob", {SQLType.BLOB}),
+        ("boolean", {SQLType.BOOLEAN}),
+    ])
+    def test_bucket_types(self, bucket, expected_types):
+        generator = gen("postgres")
+        seen = set()
+        for _ in range(200):
+            node = generator.typed_literal(bucket, null_probability=0.0)
+            seen.add(node.value.t)
+        assert seen <= expected_types
+        assert seen
+
+    def test_null_probability_extremes(self):
+        generator = gen()
+        assert all(generator.typed_literal("number", 1.0).value.is_null
+                   for _ in range(20))
+        assert not any(
+            generator.typed_literal("number", 0.0).value.is_null
+            for _ in range(20))
+
+    def test_any_literal_sqlite_spans_storage_classes(self):
+        generator = gen("sqlite")
+        seen = {generator.any_literal().value.t for _ in range(400)}
+        assert {SQLType.INTEGER, SQLType.REAL, SQLType.TEXT,
+                SQLType.BLOB, SQLType.NULL} <= seen
+
+    def test_any_literal_postgres_never_blob(self):
+        generator = gen("postgres")
+        seen = {generator.any_literal().value.t for _ in range(300)}
+        assert SQLType.BLOB not in seen
+
+
+class TestInsertValues:
+    def test_postgres_insert_values_match_column_type(self):
+        generator = gen("postgres")
+        for _ in range(100):
+            node = generator.insert_value("INT", null_probability=0.0)
+            assert node.value.t in (SQLType.INTEGER, SQLType.REAL)
+        for _ in range(100):
+            node = generator.insert_value("TEXT", null_probability=0.0)
+            assert node.value.t is SQLType.TEXT
+        for _ in range(100):
+            node = generator.insert_value("BOOLEAN",
+                                          null_probability=0.0)
+            assert node.value.t is SQLType.BOOLEAN
+
+    def test_sqlite_insert_values_ignore_declared_type(self):
+        """Storing ill-typed values is how the paper found SQLite's
+        type-flexibility bugs (§4.4)."""
+        generator = gen("sqlite", seed=3)
+        seen = {generator.insert_value("INT",
+                                       null_probability=0.0).value.t
+                for _ in range(300)}
+        assert SQLType.TEXT in seen and SQLType.INTEGER in seen
+
+    def test_not_null_columns_never_get_null(self):
+        generator = gen()
+        assert not any(
+            generator.insert_value("INT", null_probability=0.0
+                                   ).value.is_null
+            for _ in range(50))

@@ -1,0 +1,106 @@
+"""Delta-debugging reducer tests: 1-minimality, monotone and
+non-monotone predicates, and replay budgets."""
+
+import pytest
+
+from repro.core.reducer import TestCaseReducer
+from repro.core.reports import TestCase
+from repro.errors import ReductionError
+
+
+def case(*statements):
+    return TestCase(statements=list(statements))
+
+
+class TestReduction:
+    def test_removes_irrelevant_statements(self):
+        needed = {"CREATE", "INSERT-2", "FAIL"}
+
+        def still_fails(candidate):
+            return needed <= set(candidate.statements)
+
+        original = case("CREATE", "INSERT-1", "INSERT-2", "INSERT-3",
+                        "PRAGMA", "ANALYZE", "FAIL")
+        reduced = TestCaseReducer(still_fails).reduce(original)
+        assert set(reduced.statements) == needed
+
+    def test_final_statement_always_kept(self):
+        def still_fails(candidate):
+            return candidate.statements[-1] == "FAIL"
+
+        reduced = TestCaseReducer(still_fails).reduce(
+            case("A", "B", "FAIL"))
+        assert reduced.statements == ["FAIL"]
+
+    def test_order_preserved(self):
+        def still_fails(candidate):
+            stmts = candidate.statements
+            return "A" in stmts and "C" in stmts and \
+                stmts.index("A") < stmts.index("C")
+
+        reduced = TestCaseReducer(still_fails).reduce(
+            case("A", "B", "C", "D", "FAIL"))
+        assert reduced.statements == ["A", "C", "FAIL"]
+
+    def test_one_minimality(self):
+        # Every remaining statement is necessary: deleting any single
+        # one must break the predicate.
+        needed = {"S1", "S4", "S7"}
+
+        def still_fails(candidate):
+            return needed <= set(candidate.statements)
+
+        original = case(*[f"S{i}" for i in range(10)], "FAIL")
+        reduced = TestCaseReducer(still_fails).reduce(original)
+        for index in range(len(reduced.statements) - 1):
+            candidate = case(*(reduced.statements[:index]
+                               + reduced.statements[index + 1:]))
+            assert not still_fails(candidate)
+
+    def test_non_monotone_predicate(self):
+        # Failure requires an *odd* number of X statements — ddmin must
+        # still terminate with a failing case.
+        def still_fails(candidate):
+            return sum(1 for s in candidate.statements
+                       if s == "X") % 2 == 1
+
+        original = case("X", "X", "X", "Y", "FAIL")
+        reduced = TestCaseReducer(still_fails).reduce(original)
+        assert still_fails(reduced)
+        assert len(reduced.statements) <= len(original.statements)
+
+    def test_rejects_non_failing_input(self):
+        reducer = TestCaseReducer(lambda c: False)
+        with pytest.raises(ReductionError):
+            reducer.reduce(case("A", "FAIL"))
+
+    def test_replay_budget_counts(self):
+        reducer = TestCaseReducer(lambda c: True)
+        reducer.reduce(case("A", "B", "C", "FAIL"))
+        assert reducer.replays > 0
+
+    def test_budget_exhaustion_stops_cleanly(self):
+        calls = []
+
+        def still_fails(candidate):
+            calls.append(1)
+            return True
+
+        reducer = TestCaseReducer(still_fails, max_replays=3)
+        reduced = reducer.reduce(case("A", "B", "C", "D", "FAIL"))
+        # With only 3 replays allowed the result is valid but may not be
+        # minimal; the reducer must not loop forever.
+        assert reduced.statements[-1] == "FAIL"
+
+    def test_metadata_preserved(self):
+        original = TestCase(statements=["A", "FAIL"],
+                            expected_row=[1, 2], dialect="mysql")
+        reduced = TestCaseReducer(lambda c: True).reduce(original)
+        assert reduced.expected_row == [1, 2]
+        assert reduced.dialect == "mysql"
+
+    def test_loc_metric(self):
+        assert case("A", "B").loc == 2
+
+    def test_render(self):
+        assert case("A", "B").render() == "A;\nB;"

@@ -1,0 +1,64 @@
+"""Tool-side schema model tests."""
+
+import pytest
+
+from repro.core.schema import ColumnModel, SchemaModel, TableModel
+from repro.sqlast.nodes import ColumnNode
+
+
+class TestColumnModel:
+    def test_affinity_only_for_sqlite(self):
+        column = ColumnModel(name="c", type_name="INT")
+        assert column.affinity("sqlite") == "INTEGER"
+        assert column.affinity("mysql") is None
+        assert ColumnModel(name="c").affinity("sqlite") is None
+
+    @pytest.mark.parametrize("type_name,bucket", [
+        ("INT", "number"), ("BIGINT", "number"), ("DOUBLE", "number"),
+        ("SERIAL", "number"), ("TEXT", "text"), ("VARCHAR", "text"),
+        ("BOOLEAN", "boolean"), ("BLOB", "blob"), ("BYTEA", "blob"),
+        (None, "any"),
+    ])
+    def test_type_buckets(self, type_name, bucket):
+        assert ColumnModel(name="c", type_name=type_name).type_bucket(
+            "postgres" if type_name != "BLOB" else "mysql") == bucket
+
+    def test_column_node_annotations(self):
+        column = ColumnModel(name="c", type_name="INT",
+                             collation="NOCASE")
+        node = column.column_node("t", "sqlite")
+        assert node == ColumnNode("t", "c", collation="NOCASE",
+                                  affinity="INTEGER")
+        bare = column.column_node("t", "postgres")
+        assert bare.affinity is None
+
+
+class TestTableModel:
+    def test_column_lookup(self):
+        table = TableModel(name="t", columns=[ColumnModel(name="a")])
+        assert table.column("a").name == "a"
+        with pytest.raises(KeyError):
+            table.column("z")
+
+
+class TestSchemaModel:
+    def test_fresh_names(self):
+        schema = SchemaModel(dialect="sqlite")
+        assert [schema.fresh_table_name() for _ in range(2)] == \
+            ["t0", "t1"]
+        assert schema.fresh_index_name() == "i0"
+        assert schema.fresh_view_name() == "v0"
+
+    def test_base_tables_exclude_views(self):
+        schema = SchemaModel(dialect="sqlite", tables=[
+            TableModel(name="t", columns=[]),
+            TableModel(name="v", columns=[], is_view=True)])
+        assert [t.name for t in schema.base_tables()] == ["t"]
+        assert len(schema.relations()) == 2
+
+    def test_table_lookup(self):
+        schema = SchemaModel(dialect="sqlite", tables=[
+            TableModel(name="t", columns=[])])
+        assert schema.table("t").name == "t"
+        with pytest.raises(KeyError):
+            schema.table("nope")

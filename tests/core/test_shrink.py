@@ -1,0 +1,96 @@
+"""Expression-level query shrinking tests."""
+
+from repro.core.reports import TestCase
+from repro.core.shrink import QueryShrinker
+from repro.errors import DBError
+from repro.minidb.bugs import BugRegistry
+from repro.minidb.engine import Engine
+
+
+def engine_fails_predicate(bug_id: str, wrong_result_marker):
+    """A predicate replaying candidates against single-bug vs clean
+    engines (same scheme the campaign uses)."""
+    from repro.campaigns.replay import DifferentialReplayer
+
+    return DifferentialReplayer("sqlite",
+                                BugRegistry({bug_id})).manifests
+
+
+class TestShrinkMechanics:
+    def test_keeps_failure(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+            "INSERT INTO t0(c0) VALUES (0), (1), (NULL)",
+            "SELECT c0 FROM t0 WHERE ((t0.c0 IS NOT 1) AND (1 = 1))",
+        ])
+        manifests = engine_fails_predicate("sqlite-partial-index-is-not",
+                                           None)
+        assert manifests(case)
+        shrunk = QueryShrinker(manifests).shrink(case)
+        assert manifests(shrunk)
+
+    def test_shrinks_padded_condition(self):
+        # The padded AND-with-tautology must shrink toward the core
+        # `t0.c0 IS NOT 1` predicate.
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL",
+            "INSERT INTO t0(c0) VALUES (0), (1), (NULL)",
+            "SELECT c0 FROM t0 WHERE ((t0.c0 IS NOT 1) AND "
+            "((1 = 1) AND (2 = 2)))",
+        ])
+        manifests = engine_fails_predicate("sqlite-partial-index-is-not",
+                                           None)
+        shrunk = QueryShrinker(manifests).shrink(case)
+        final = shrunk.statements[-1]
+        assert "IS NOT 1" in final
+        assert len(final) < len(case.statements[-1])
+
+    def test_non_select_final_untouched(self):
+        case = TestCase(statements=["CREATE TABLE t0(c0)", "VACUUM"])
+        shrunk = QueryShrinker(lambda c: True).shrink(case)
+        assert shrunk.statements == case.statements
+
+    def test_select_without_where_untouched(self):
+        case = TestCase(statements=["CREATE TABLE t0(c0)",
+                                    "SELECT * FROM t0"])
+        shrunk = QueryShrinker(lambda c: True).shrink(case)
+        assert shrunk is case
+
+    def test_attempt_budget_respected(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "SELECT c0 FROM t0 WHERE ((1 = 1) AND ((2 = 2) AND "
+            "((3 = 3) AND (4 = 4))))",
+        ])
+        shrinker = QueryShrinker(lambda c: False, max_attempts=5)
+        shrinker.shrink(case)
+        assert shrinker.attempts <= 6
+
+    def test_never_grows(self):
+        case = TestCase(statements=[
+            "CREATE TABLE t0(c0)",
+            "SELECT c0 FROM t0 WHERE (t0.c0 = 1)",
+        ])
+        shrunk = QueryShrinker(lambda c: True).shrink(case)
+        assert len(shrunk.statements[-1]) <= len(case.statements[-1])
+
+
+class TestCampaignIntegration:
+    def test_campaign_reports_have_small_conditions(self):
+        from repro.campaigns.campaign import Campaign, CampaignConfig
+
+        result = None
+        for seed in range(6):
+            config = CampaignConfig(
+                dialect="sqlite", seed=seed, databases=60,
+                bug_ids=["sqlite-partial-index-is-not"])
+            result = Campaign(config).run()
+            if result.reports:
+                break
+        assert result is not None and result.reports
+        for report in result.reports:
+            final = report.test_case.statements[-1]
+            # Shrunk WHERE clauses stay compact.
+            assert len(final) < 400, final

@@ -1,0 +1,27 @@
+"""Helpers to evaluate SQL expression text through the oracle interpreter."""
+
+from __future__ import annotations
+
+from repro.interp import make_interpreter
+from repro.minidb.parser import parse_expression
+from repro.values import Value
+
+_INTERPRETERS = {name: make_interpreter(name)
+                 for name in ("sqlite", "mysql", "postgres")}
+
+
+def ev(sql: str, dialect: str = "sqlite", row: dict | None = None):
+    """Parse and evaluate an expression; returns the plain Python value."""
+    expr = parse_expression(sql)
+    env = {}
+    for key, value in (row or {}).items():
+        env[key] = value if isinstance(value, Value) else \
+            Value.from_python(value)
+    out = _INTERPRETERS[dialect].evaluate(expr, env)
+    return None if out.is_null else out.v
+
+
+def ev_value(sql: str, dialect: str = "sqlite"):
+    """Like :func:`ev` but returns the full Value (type inspection)."""
+    expr = parse_expression(sql)
+    return _INTERPRETERS[dialect].evaluate(expr, {})

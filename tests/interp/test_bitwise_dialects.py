@@ -1,0 +1,51 @@
+"""Bitwise operator semantics per dialect (SQLite exact; MySQL unsigned;
+PostgreSQL strict int8)."""
+
+import pytest
+
+from repro.interp.base import EvalError
+
+from .helpers import ev
+
+
+class TestSQLiteBitwise:
+    @pytest.mark.parametrize("sql,expected", [
+        ("6 & 3", 2), ("6 | 3", 7), ("~5", -6),
+        ("'6abc' & 7", 6),               # text casts via digit prefix
+        ("2.9 & 3", 2),                  # real truncates toward zero
+        ("1 << 62", 2**62),
+        ("1 << 63", -(2**63)),           # wraps into the sign bit
+        ("-1 >> 1", -1),                 # arithmetic shift
+        ("NULL & 1", None),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "sqlite") == expected
+
+
+class TestMySQLBitwise:
+    @pytest.mark.parametrize("sql,expected", [
+        ("6 & 3", 2),
+        ("~0", 2**64 - 1),               # unsigned 64-bit complement
+        ("-1 >> 1", 2**63 - 1),          # logical shift on unsigned
+        ("1 << 64", 0),
+        ("NULL | 1", None),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "mysql") == expected
+
+
+class TestPostgresBitwise:
+    def test_int_only(self):
+        assert ev("6 & 3", "postgres") == 2
+        assert ev("~5", "postgres") == -6
+        with pytest.raises(EvalError):
+            ev("1.5 & 1", "postgres")
+        with pytest.raises(EvalError):
+            ev("'6' | 1", "postgres")
+
+    def test_shift_count_wraps_mod_64(self):
+        assert ev("1 << 64", "postgres") == 1
+        assert ev("1 << 65", "postgres") == 2
+
+    def test_null_propagates(self):
+        assert ev("NULL & 1", "postgres") is None

@@ -1,0 +1,94 @@
+"""Cross-dialect semantic deltas, pinned pairwise.
+
+The paper's Table 1 targets differ in exactly these behaviours; each test
+documents one delta the dialect-specific oracles must preserve.
+"""
+
+import pytest
+
+from repro.interp.base import EvalError
+
+from .helpers import ev
+
+
+class TestDivision:
+    def test_sqlite_truncates(self):
+        assert ev("7 / 2", "sqlite") == 3
+
+    def test_mysql_decimal(self):
+        assert ev("7 / 2", "mysql") == 3.5
+
+    def test_postgres_truncates(self):
+        assert ev("7 / 2", "postgres") == 3
+
+    def test_division_by_zero_triptych(self):
+        assert ev("7 / 0", "sqlite") is None
+        assert ev("7 / 0", "mysql") is None
+        with pytest.raises(EvalError):
+            ev("7 / 0", "postgres")
+
+
+class TestStringEquality:
+    def test_sqlite_binary_default(self):
+        assert ev("'a' = 'A'", "sqlite") == 0
+
+    def test_mysql_case_insensitive(self):
+        assert ev("'a' = 'A'", "mysql") == 1
+
+    def test_postgres_binary(self):
+        assert ev("'a' = 'A'", "postgres") is False
+
+
+class TestImplicitConversion:
+    def test_text_number_comparison(self):
+        assert ev("'1' = 1", "sqlite") == 0     # no affinity on literals
+        assert ev("'1' = 1", "mysql") == 1      # numeric coercion
+        with pytest.raises(EvalError):
+            ev("'1' = 1", "postgres")           # operator does not exist
+
+    def test_boolean_context(self):
+        assert ev("NOT 'abc'", "sqlite") == 1
+        assert ev("NOT 'abc'", "mysql") == 1
+        with pytest.raises(EvalError):
+            ev("NOT 'abc'", "postgres")
+
+
+class TestLeastGreatestNulls:
+    def test_mysql_null_poisons(self):
+        assert ev("LEAST(1, NULL)", "mysql") is None
+
+    def test_postgres_ignores_nulls(self):
+        assert ev("LEAST(1, NULL)", "postgres") == 1
+
+    def test_sqlite_min_null_poisons(self):
+        assert ev("MIN(1, NULL)", "sqlite") is None
+
+
+class TestLikeCaseSensitivity:
+    def test_triptych(self):
+        assert ev("'ABC' LIKE 'abc'", "sqlite") == 1
+        assert ev("'ABC' LIKE 'abc'", "mysql") == 1
+        assert ev("'ABC' LIKE 'abc'", "postgres") is False
+
+
+class TestBooleanRepresentation:
+    def test_comparison_result_types(self):
+        from repro.values import SQLType
+
+        from .helpers import ev_value
+
+        assert ev_value("1 < 2", "sqlite").t is SQLType.INTEGER
+        assert ev_value("1 < 2", "mysql").t is SQLType.INTEGER
+        assert ev_value("1 < 2", "postgres").t is SQLType.BOOLEAN
+
+
+class TestNullSafeOperators:
+    def test_spaceship_mysql_only(self):
+        assert ev("NULL <=> NULL", "mysql") == 1
+        with pytest.raises(EvalError):
+            ev("NULL <=> NULL", "postgres")
+
+    def test_is_across_dialects(self):
+        assert ev("NULL IS NOT 1", "sqlite") == 1
+        assert ev("NULL IS NOT 1", "mysql") == 1
+        assert ev("NULL IS NOT 1", "postgres") is True

@@ -1,0 +1,158 @@
+"""SQLite scalar functions (validated against SQLite 3.40)."""
+
+import pytest
+
+from repro.interp.base import EvalError
+from repro.values import SQLType
+
+from .helpers import ev, ev_value
+
+
+class TestTypeof:
+    @pytest.mark.parametrize("sql,expected", [
+        ("TYPEOF(NULL)", "null"), ("TYPEOF(1)", "integer"),
+        ("TYPEOF(1.0)", "real"), ("TYPEOF('a')", "text"),
+        ("TYPEOF(X'61')", "blob"),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestNullHandling:
+    @pytest.mark.parametrize("sql,expected", [
+        ("COALESCE(NULL, 1)", 1),
+        ("COALESCE(NULL, NULL, 'x')", "x"),
+        ("IFNULL(NULL, 2)", 2),
+        ("IFNULL(3, 2)", 3),
+        ("NULLIF(1, 1)", None),
+        ("NULLIF(1, 2)", 1),
+        ("NULLIF(NULL, 1)", None),
+        ("NULLIF(1, NULL)", 1),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestScalarMinMax:
+    def test_basic(self):
+        assert ev("MIN(3, 1, 2)") == 1
+        assert ev("MAX(3, 1, 2)") == 3
+
+    def test_null_poisons(self):
+        assert ev("MIN(1, NULL)") is None
+
+    def test_cross_type_ordering(self):
+        assert ev("MIN(X'', 'z')") == "z"   # text sorts before blob
+
+    def test_min_tie_keeps_last_max_keeps_first(self):
+        # SQLite's (cmp ^ mask) >= 0 update rule.
+        assert ev_value("MIN(0, 0.0)").t is SQLType.REAL
+        assert ev_value("MAX(0, 0.0)").t is SQLType.INTEGER
+
+    def test_collation_of_first_argument(self):
+        assert ev("MIN('a' COLLATE NOCASE, 'A')") == "A"
+        assert ev("MAX('a', 'A' COLLATE NOCASE)") == "a"
+
+
+class TestAbsLength:
+    def test_abs_integer(self):
+        assert ev("ABS(-5)") == 5
+
+    def test_abs_text_is_real(self):
+        got = ev_value("ABS('380')")
+        assert got.t is SQLType.REAL and got.v == 380.0
+
+    def test_abs_blob_is_zero_real(self):
+        assert ev("ABS(X'6162')") == 0.0
+
+    def test_abs_int64_min_overflows(self):
+        with pytest.raises(EvalError, match="integer overflow"):
+            ev("ABS(-9223372036854775808)")
+
+    def test_length(self):
+        assert ev("LENGTH('abc')") == 3
+        assert ev("LENGTH(X'414243')") == 3
+        assert ev("LENGTH(12.5)") == 4
+        assert ev("LENGTH(NULL)") is None
+
+
+class TestCase_Functions:
+    def test_upper_lower_ascii_only(self):
+        assert ev("UPPER('abÿ')") == "ABÿ"
+        assert ev("LOWER('ABÿ')") == "abÿ"
+
+
+class TestTrim:
+    def test_default_space(self):
+        assert ev("TRIM('  a  ')") == "a"
+        assert ev("LTRIM('  a  ')") == "a  "
+        assert ev("RTRIM('  a  ')") == "  a"
+
+    def test_char_set(self):
+        assert ev("TRIM('xxaxx', 'x')") == "a"
+        assert ev("LTRIM('xya', 'yx')") == "a"
+
+    def test_null_charset(self):
+        assert ev("TRIM('a', NULL)") is None
+
+
+class TestSubstr:
+    @pytest.mark.parametrize("sql,expected", [
+        ("SUBSTR('hello', 2)", "ello"),
+        ("SUBSTR('hello', 2, 2)", "el"),
+        ("SUBSTR('hello', -2)", "lo"),
+        ("SUBSTR('hello', 0)", "hello"),
+        ("SUBSTR('hello', 0, 3)", "he"),
+        ("SUBSTR('hello', 3, -2)", "he"),
+        ("SUBSTR('hello', -2, -2)", "el"),
+        ("SUBSTR('abc', -5, 3)", "a"),    # overshoot reduces length
+        ("SUBSTR('hello', 3, 0)", ""),
+        ("SUBSTR('', 1, 1)", ""),
+        ("SUBSTR(X'', 1, 1)", None),       # empty blob -> NULL
+        ("SUBSTR(X'616263', -2, -2)", b"a"),
+        ("SUBSTR(X'0001', 1, 1)", b"\x00"),
+        ("SUBSTR('hello', NULL)", None),
+        ("SUBSTR(-1.5, 1, 2)", "-1"),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestInstrHexRound:
+    def test_instr(self):
+        assert ev("INSTR('abc', 'b')") == 2
+        assert ev("INSTR('abc', 'z')") == 0
+        assert ev("INSTR(NULL, 'a')") is None
+
+    def test_hex(self):
+        assert ev("HEX(X'00FF')") == "00FF"
+        assert ev("HEX('ab')") == "6162"
+        assert ev("HEX(12)") == "3132"
+        assert ev("HEX(NULL)") == ""
+
+    def test_round_zero_digits(self):
+        assert ev("ROUND(2.5)") == 3.0
+        assert ev("ROUND(-2.5)") == -3.0
+        assert ev("ROUND(2)") == 2.0
+
+    def test_round_decimal_correction(self):
+        # 0.15 in binary is just below 0.15; SQLite still rounds up
+        # because its printf works on the 15-digit decimal rendering.
+        assert ev("ROUND(0.15, 1)") == 0.2
+        assert ev("ROUND(1.005, 2)") == 1.01
+
+    def test_round_null(self):
+        assert ev("ROUND(NULL)") is None
+
+    def test_round_huge_value_unchanged(self):
+        assert ev("ROUND(9e99, 2)") == 9e99
+
+
+class TestArity:
+    def test_unknown_function(self):
+        with pytest.raises(EvalError, match="no such function"):
+            ev("NOSUCHFN(1)")
+
+    def test_wrong_arity(self):
+        with pytest.raises(EvalError, match="wrong number of arguments"):
+            ev("ABS(1, 2)")

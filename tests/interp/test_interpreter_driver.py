@@ -1,0 +1,122 @@
+"""Interpreter driver dispatch: environments, errors, and node wiring."""
+
+import pytest
+
+from repro.interp import make_interpreter
+from repro.interp.base import EvalError
+from repro.sqlast.nodes import (
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    ColumnNode,
+    Expr,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.values import NULL, Value
+
+INTERP = make_interpreter("sqlite")
+
+
+class TestEnvironment:
+    def test_column_binding(self):
+        expr = ColumnNode("t", "c")
+        out = INTERP.evaluate(expr, {"t.c": Value.integer(9)})
+        assert out.v == 9
+
+    def test_unbound_column_raises(self):
+        with pytest.raises(EvalError, match="unbound column"):
+            INTERP.evaluate(ColumnNode("t", "nope"), {})
+
+    def test_environment_not_mutated(self):
+        env = {"t.c": Value.integer(1)}
+        INTERP.evaluate(
+            BinaryNode(BinaryOp.ADD, ColumnNode("t", "c"),
+                       LiteralNode(Value.integer(1))), env)
+        assert env == {"t.c": Value.integer(1)}
+
+
+class TestDispatchErrors:
+    def test_unknown_node_kind(self):
+        with pytest.raises(EvalError, match="cannot evaluate"):
+            INTERP.evaluate(Expr(), {})
+
+    def test_evaluate_bool_matches_to_bool(self):
+        assert INTERP.evaluate_bool(LiteralNode(Value.integer(5)),
+                                    {}) is True
+        assert INTERP.evaluate_bool(LiteralNode(Value.integer(0)),
+                                    {}) is False
+        assert INTERP.evaluate_bool(LiteralNode(NULL), {}) is None
+
+
+class TestLogicalEvaluation:
+    def test_and_evaluates_both_sides(self):
+        # FALSE AND <unbound> raises: no short circuit over errors —
+        # matching how the engine would also touch every row value.
+        expr = BinaryNode(BinaryOp.AND,
+                          LiteralNode(Value.integer(0)),
+                          ColumnNode("t", "missing"))
+        with pytest.raises(EvalError):
+            INTERP.evaluate(expr, {})
+
+    def test_nested_ternary_combination(self):
+        # (NULL AND 0) OR 1 == TRUE
+        inner = BinaryNode(BinaryOp.AND, LiteralNode(NULL),
+                           LiteralNode(Value.integer(0)))
+        expr = BinaryNode(BinaryOp.OR, inner,
+                          LiteralNode(Value.integer(1)))
+        assert INTERP.evaluate(expr, {}).v == 1
+
+
+class TestCaseDispatch:
+    def test_searched_case_skips_null_conditions(self):
+        expr = CaseNode(None,
+                        ((LiteralNode(NULL), LiteralNode(
+                            Value.text("bad"))),
+                         (LiteralNode(Value.integer(1)), LiteralNode(
+                             Value.text("good")))),
+                        None)
+        assert INTERP.evaluate(expr, {}).v == "good"
+
+    def test_case_operand_uses_equality_not_truthiness(self):
+        expr = CaseNode(LiteralNode(Value.integer(0)),
+                        ((LiteralNode(Value.integer(0)),
+                          LiteralNode(Value.text("zero"))),),
+                        LiteralNode(Value.text("other")))
+        assert INTERP.evaluate(expr, {}).v == "zero"
+
+
+class TestPostfixDispatch:
+    @pytest.mark.parametrize("op,value,expected", [
+        (PostfixOp.ISNULL, NULL, 1),
+        (PostfixOp.ISNULL, Value.integer(0), 0),
+        (PostfixOp.NOTNULL, NULL, 0),
+        (PostfixOp.IS_TRUE, Value.integer(2), 1),
+        (PostfixOp.IS_TRUE, NULL, 0),
+        (PostfixOp.IS_NOT_FALSE, NULL, 1),
+        (PostfixOp.IS_FALSE, Value.real(0.0), 1),
+    ])
+    def test_two_valued_results(self, op, value, expected):
+        out = INTERP.evaluate(PostfixNode(op, LiteralNode(value)), {})
+        assert out.v == expected
+
+
+class TestFunctionCollationPlumbing:
+    def test_min_uses_first_argument_collation(self):
+        from repro.sqlast.nodes import CollateNode, FunctionNode
+
+        expr = FunctionNode("MIN", (
+            CollateNode(LiteralNode(Value.text("a")), "NOCASE"),
+            LiteralNode(Value.text("A"))))
+        # NOCASE tie -> last argument wins for MIN.
+        assert INTERP.evaluate(expr, {}).v == "A"
+
+    def test_min_binary_default(self):
+        from repro.sqlast.nodes import FunctionNode
+
+        expr = FunctionNode("MIN", (LiteralNode(Value.text("a")),
+                                    LiteralNode(Value.text("A"))))
+        assert INTERP.evaluate(expr, {}).v == "A"  # 'A' < 'a' in bytes

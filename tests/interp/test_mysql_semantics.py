@@ -1,0 +1,126 @@
+"""MySQL-style dialect semantics (see repro.interp.mysql_sem docstring
+for the modeled fragment and documented simplifications)."""
+
+import pytest
+
+from repro.values import SQLType
+
+from .helpers import ev, ev_value
+
+
+class TestNullSafeEquals:
+    """The <=> operator never returns NULL (paper Listing 12 context)."""
+
+    @pytest.mark.parametrize("sql,expected", [
+        ("NULL <=> NULL", 1),
+        ("NULL <=> 1", 0),
+        ("1 <=> 1", 1),
+        ("1 <=> 2", 0),
+        ("NOT (NULL <=> 2035382037)", 1),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "mysql") == expected
+
+
+class TestImplicitConversion:
+    @pytest.mark.parametrize("sql,expected", [
+        ("'abc' = 0", 1),          # strings convert to numbers
+        ("'1abc' = 1", 1),
+        ("'a' = 'A'", 1),          # case-insensitive collation
+        ("'0.5' = 0.5", 1),
+        ("'abc' + 1", 1),
+        ("NOT '0.5'", 0),          # 0.5 is truthy (the engine bug flips it)
+        ("NOT 123", 0),
+        ("NOT (NOT 123)", 1),      # correct double negation (Listing 13)
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "mysql") == expected
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("sql,expected", [
+        ("5 / 2", 2.5),            # / is always approximate
+        ("1 / 0", None),
+        ("5 % 0", None),
+        ("-7 % 2", -1),
+        ("5.5 % 2", 1.5),          # fmod, unlike SQLite's integer %
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "mysql") == expected
+
+    def test_bigint_overflow_is_error(self):
+        # Integer results may extend into the unsigned 64-bit range
+        # (MySQL's unsigned arithmetic), but not beyond it.
+        assert ev("9223372036854775807 * 2", "mysql") == 2**64 - 2
+        from repro.interp.base import EvalError
+
+        with pytest.raises(EvalError, match="out of range"):
+            ev("9223372036854775807 * 4", "mysql")
+
+
+class TestUnsignedCast:
+    def test_negative_reinterprets(self):
+        assert ev("CAST(-1 AS UNSIGNED)", "mysql") == 2**64 - 1
+
+    def test_rounds_not_truncates(self):
+        assert ev("CAST(1.5 AS SIGNED)", "mysql") == 2
+        assert ev("CAST(-1.5 AS SIGNED)", "mysql") == -2
+
+    def test_unsigned_comparison(self):
+        assert ev("CAST(-1 AS UNSIGNED) > 9223372036854775807",
+                  "mysql") == 1
+
+    def test_infinity_saturates(self):
+        assert ev("CAST(9e999 AS UNSIGNED)", "mysql") == 2**64 - 1
+        assert ev("CAST(-9e999 AS SIGNED)", "mysql") == -(2**63)
+
+
+class TestFunctions:
+    @pytest.mark.parametrize("sql,expected", [
+        ("LEAST(3, 1, 2)", 1),
+        ("GREATEST(3, 1, 2)", 3),
+        ("LEAST(1, NULL)", None),      # MySQL: NULL poisons LEAST
+        ("IFNULL(NULL, 5)", 5),
+        ("NULLIF(1, 1)", None),
+        ("NULLIF('a', 'A')", None),    # case-insensitive equality
+        ("ABS(-3)", 3),
+        ("LOWER('AbC')", "abc"),
+        ("INSTR('abc', 'B')", 2),      # case-insensitive search
+        ("COALESCE(NULL, NULL, 7)", 7),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql, "mysql") == expected
+
+
+class TestStrings:
+    def test_concat_via_pipes(self):
+        # Modeled as PIPES_AS_CONCAT mode (documented simplification).
+        assert ev("'a' || 'b'", "mysql") == "ab"
+
+    def test_like_case_insensitive_with_backslash_escape(self):
+        assert ev("'ABC' LIKE 'a%'", "mysql") == 1
+        assert ev("'a%' LIKE 'a\\%'", "mysql") == 1
+        assert ev("'ab' LIKE 'a\\%'", "mysql") == 0
+
+    def test_glob_unsupported(self):
+        from repro.interp.base import EvalError
+
+        with pytest.raises(EvalError):
+            ev("'a' GLOB 'a'", "mysql")
+
+
+class TestNaNPolicy:
+    def test_nan_collapses_to_null(self):
+        assert ev("(1 / 0.0)", "mysql") is None  # div-by-zero first
+        assert ev("('' + '9e999') * 0", "mysql") is None
+
+    def test_fmod_of_infinity_is_null(self):
+        assert ev("('' + '9e999') % 3", "mysql") is None
+
+
+class TestTypes:
+    def test_division_result_is_real(self):
+        assert ev_value("4 / 2", "mysql").t is SQLType.REAL
+
+    def test_comparison_result_is_integer(self):
+        assert ev_value("1 < 2", "mysql").t is SQLType.INTEGER

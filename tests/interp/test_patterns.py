@@ -1,0 +1,72 @@
+"""Tests for LIKE/GLOB pattern matching."""
+
+import pytest
+
+from repro.interp.patterns import glob_match, like_match
+
+
+class TestLike:
+    @pytest.mark.parametrize("text,pattern,expected", [
+        ("abc", "abc", True),
+        ("abc", "ABC", True),            # case-insensitive by default
+        ("abc", "a%", True),
+        ("abc", "%c", True),
+        ("abc", "%b%", True),
+        ("abc", "a_c", True),
+        ("abc", "a_", False),
+        ("", "%", True),
+        ("", "_", False),
+        ("abc", "", False),
+        ("a%c", "a\\%c", False),         # no escape by default: \ literal
+        ("abc", "%%%", True),
+        ("ab", "a%b", True),             # % matches empty
+        ("aXXb", "a%b", True),
+        ("abc", "abc%", True),
+    ])
+    def test_default(self, text, pattern, expected):
+        assert like_match(text, pattern) is expected
+
+    def test_case_sensitive_mode(self):
+        assert not like_match("abc", "ABC", case_sensitive=True)
+        assert like_match("abc", "abc", case_sensitive=True)
+
+    def test_escape_character(self):
+        assert like_match("a%c", "a\\%c", escape="\\")
+        assert not like_match("abc", "a\\%c", escape="\\")
+        assert like_match("a_c", "a\\_c", escape="\\")
+
+    def test_escape_of_escape(self):
+        assert like_match("a\\c", "a\\\\c", escape="\\")
+
+    def test_dangling_escape_matches_nothing(self):
+        assert not like_match("a", "a\\", escape="\\")
+
+    def test_unicode_not_folded(self):
+        # SQLite folds ASCII only; non-ASCII is case-sensitive.
+        assert not like_match("É", "é")
+
+
+class TestGlob:
+    @pytest.mark.parametrize("text,pattern,expected", [
+        ("abc", "abc", True),
+        ("abc", "ABC", False),           # GLOB is case-sensitive
+        ("abc", "a*", True),
+        ("abc", "*c", True),
+        ("abc", "a?c", True),
+        ("abc", "a?", False),
+        ("abc", "[a-c]bc", True),
+        ("abc", "[^a]bc", False),
+        ("xbc", "[^a]bc", True),
+        ("abc", "[abz]bc", True),
+        ("-bc", "[a-]bc", True),         # trailing - is a literal
+        ("]bc", "[]]bc", True),          # ] first in class is a literal
+        ("abc", "[", False),             # unterminated class
+        ("", "*", True),
+        ("a*b", "a[*]b", True),
+    ])
+    def test_glob(self, text, pattern, expected):
+        assert glob_match(text, pattern) is expected
+
+    def test_star_backtracking(self):
+        assert glob_match("aXbXc", "a*X*c")
+        assert not glob_match("ab", "a*c")

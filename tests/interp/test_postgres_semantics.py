@@ -1,0 +1,140 @@
+"""PostgreSQL-style strict semantics.
+
+The paper attributes the low PQS bug yield on PostgreSQL to its strict
+typing (§5); these tests pin down exactly that strictness.
+"""
+
+import pytest
+
+from repro.interp.base import EvalError
+from repro.values import SQLType
+
+from .helpers import ev, ev_value
+
+
+class TestStrictBoolean:
+    def test_integers_rejected_in_boolean_context(self):
+        with pytest.raises(EvalError, match="must be type boolean"):
+            ev("NOT 1", "postgres")
+
+    def test_booleans_accepted(self):
+        assert ev("NOT TRUE", "postgres") is False
+        assert ev("NOT NULL", "postgres") is None
+
+    def test_boolean_values_are_first_class(self):
+        assert ev_value("TRUE AND FALSE", "postgres").t is SQLType.BOOLEAN
+
+
+class TestStrictComparisons:
+    def test_text_number_comparison_rejected(self):
+        with pytest.raises(EvalError, match="operator does not exist"):
+            ev("'1' = 1", "postgres")
+
+    def test_boolean_number_comparison_rejected(self):
+        with pytest.raises(EvalError, match="operator does not exist"):
+            ev("TRUE = 1", "postgres")
+
+    def test_same_type_ok(self):
+        assert ev("'a' < 'b'", "postgres") is True
+        assert ev("1 < 2.5", "postgres") is True
+        assert ev("TRUE > FALSE", "postgres") is True
+
+    def test_text_comparison_case_sensitive(self):
+        assert ev("'a' = 'A'", "postgres") is False
+
+    def test_null_safe_is(self):
+        assert ev("NULL IS NOT 1", "postgres") is True
+
+    def test_mysql_operator_rejected(self):
+        with pytest.raises(EvalError):
+            ev("1 <=> 1", "postgres")
+
+
+class TestStrictArithmetic:
+    def test_division_by_zero_is_error_not_null(self):
+        with pytest.raises(EvalError, match="division by zero"):
+            ev("1 / 0", "postgres")
+
+    def test_integer_division_truncates(self):
+        assert ev("5 / 2", "postgres") == 2
+        assert ev("-5 / 2", "postgres") == -2
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(EvalError):
+            ev("5.5 % 2", "postgres")
+
+    def test_bigint_overflow(self):
+        with pytest.raises(EvalError, match="out of range"):
+            ev("9223372036854775807 + 1", "postgres")
+
+    def test_text_arithmetic_rejected(self):
+        with pytest.raises(EvalError):
+            ev("'5' + 1", "postgres")
+
+
+class TestCasts:
+    def test_float_to_int_rounds_half_even(self):
+        assert ev("CAST(0.5 AS INT)", "postgres") == 0
+        assert ev("CAST(1.5 AS INT)", "postgres") == 2
+        assert ev("CAST(2.5 AS INT)", "postgres") == 2
+
+    def test_text_to_int_strict(self):
+        assert ev("CAST('42' AS INT)", "postgres") == 42
+        with pytest.raises(EvalError, match="invalid input syntax"):
+            ev("CAST('4a' AS INT)", "postgres")
+
+    def test_bool_casts(self):
+        assert ev("CAST(TRUE AS INT)", "postgres") == 1
+        assert ev("CAST(0 AS BOOLEAN)", "postgres") is False
+        assert ev("CAST(TRUE AS TEXT)", "postgres") == "true"
+
+    def test_blob_to_int_rejected(self):
+        with pytest.raises(EvalError):
+            ev("CAST(X'61' AS INT)", "postgres")
+
+
+class TestFunctions:
+    def test_least_greatest_ignore_nulls(self):
+        # Opposite of MySQL: PostgreSQL skips NULL arguments.
+        assert ev("LEAST(NULL, 5, 3)", "postgres") == 3
+        assert ev("GREATEST(NULL, 5)", "postgres") == 5
+        assert ev("LEAST(NULL, NULL)", "postgres") is None
+
+    def test_lower_requires_text(self):
+        with pytest.raises(EvalError):
+            ev("LOWER(5)", "postgres")
+
+    def test_length(self):
+        assert ev("LENGTH('abc')", "postgres") == 3
+
+    def test_abs_requires_number(self):
+        with pytest.raises(EvalError):
+            ev("ABS('x')", "postgres")
+
+
+class TestStrings:
+    def test_concat_requires_text(self):
+        assert ev("'a' || 'b'", "postgres") == "ab"
+        with pytest.raises(EvalError):
+            ev("'a' || 1", "postgres")
+
+    def test_like_case_sensitive(self):
+        assert ev("'ABC' LIKE 'a%'", "postgres") is False
+        assert ev("'abc' LIKE 'a%'", "postgres") is True
+
+    def test_like_requires_text(self):
+        with pytest.raises(EvalError):
+            ev("1 LIKE '1'", "postgres")
+
+
+class TestBetweenIn:
+    def test_between_well_typed(self):
+        assert ev("5 BETWEEN 1 AND 10", "postgres") is True
+
+    def test_in_list(self):
+        assert ev("1 IN (1, 2)", "postgres") is True
+        assert ev("1 IN (NULL, 2)", "postgres") is None
+
+    def test_is_true_family(self):
+        assert ev("NULL IS TRUE", "postgres") is False
+        assert ev("TRUE IS NOT FALSE", "postgres") is True

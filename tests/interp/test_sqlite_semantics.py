@@ -1,0 +1,226 @@
+"""Exact SQLite semantics, including the paper's expression-level bugs.
+
+Every expectation in this file was validated against a real SQLite 3.40
+build (see also test_sqlite_differential.py for the randomized check).
+"""
+
+import pytest
+
+from repro.values import SQLType
+
+from .helpers import ev, ev_value
+
+
+class TestBooleanContext:
+    @pytest.mark.parametrize("sql,expected", [
+        ("NOT 1", 0), ("NOT 0", 1), ("NOT NULL", None),
+        ("NOT 0.5", 0), ("NOT 'abc'", 1), ("NOT '1abc'", 0),
+        ("NOT X'61'", 1),
+        ("5 AND 3", 1), ("5 AND 0", 0), ("NULL AND 0", 0),
+        ("NULL AND 1", None), ("NULL OR 1", 1), ("NULL OR 0", None),
+    ])
+    def test_values(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestListing2Subtraction:
+    def test_empty_string_minus_big_int_is_exact(self):
+        # Paper Listing 2: '' - 2851427734582196970 must stay exact.
+        assert ev("'' - 2851427734582196970") == -2851427734582196970
+
+    def test_type_is_integer(self):
+        assert ev_value("'' - 2851427734582196970").t is SQLType.INTEGER
+
+
+class TestListing1IsNot:
+    def test_null_is_not_one(self):
+        assert ev("NULL IS NOT 1") == 1
+
+    def test_null_is_null(self):
+        assert ev("NULL IS NULL") == 1
+
+    def test_is_two_valued(self):
+        assert ev("NULL IS 1") == 0
+        assert ev("1 IS 1") == 1
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("sql,expected", [
+        ("'5abc' + 1", 6),
+        ("1 / 0", None),
+        ("1.0 / 0", None),
+        ("5 / 2", 2),
+        ("5.5 / 2", 2.75),
+        ("-7 % 2", -1),
+        ("7 % -2", 1),
+        ("5.5 % 2", 1.0),
+        ("'9e99' % 10", 9.0),
+        ("5 % 0", None),
+        ("9223372036854775807 + 1", 9.223372036854776e+18),
+        ("- -9223372036854775808", 9.223372036854776e+18),
+        ("X'6162' + 0", 0),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+    def test_int_overflow_redone_in_doubles(self):
+        # SQLite rounds operands and redoes the multiply in doubles.
+        assert ev("87 * 2851427734582196970") == 87.0 * 2851427734582196970.0
+
+    def test_nan_result_is_null(self):
+        assert ev("('' + '9e999') * 0") is None
+
+
+class TestBitwise:
+    @pytest.mark.parametrize("sql,expected", [
+        ("1 << 65", 0), ("-1 >> 100", -1), ("1 << -1", 0),
+        ("5 & 3", 1), ("5 | 3", 7), ("~0", -1),
+        ("'12' & 13", 12), ("NULL | 1", None),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("sql,expected", [
+        ("1 < 'a'", 1),           # numbers sort before text
+        ("'a' < X''", 1),         # text before blobs
+        ("1 = 1.0", 1),
+        ("'a' = 'A'", 0),
+        ("'a' = 'A' COLLATE NOCASE", 1),
+        ("('a  ' COLLATE RTRIM) = 'a'", 1),
+        ("NULL = NULL", None),
+        ("NULL != 1", None),
+        ("'1.0' = 1", 0),         # no affinity: text vs number
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+    def test_numeric_affinity_from_column(self):
+        from repro.values import Value
+
+        row = {"t0.c0": Value.integer(123)}
+        from repro.minidb.parser import parse_expression
+        from repro.interp import make_interpreter
+        from repro.sqlast.nodes import BinaryNode, BinaryOp, ColumnNode, LiteralNode
+
+        expr = BinaryNode(BinaryOp.EQ,
+                          ColumnNode("t0", "c0", affinity="INTEGER"),
+                          LiteralNode(Value.text("123")))
+        out = make_interpreter("sqlite").evaluate(expr, row)
+        assert out.v == 1
+
+    def test_unary_plus_strips_affinity(self):
+        from repro.interp import make_interpreter
+        from repro.sqlast.nodes import (
+            BinaryNode, BinaryOp, ColumnNode, LiteralNode, UnaryNode,
+            UnaryOp)
+        from repro.values import Value
+
+        row = {"t0.c0": Value.integer(123)}
+        expr = BinaryNode(
+            BinaryOp.EQ,
+            UnaryNode(UnaryOp.PLUS,
+                      ColumnNode("t0", "c0", affinity="INTEGER")),
+            LiteralNode(Value.text("123")))
+        assert make_interpreter("sqlite").evaluate(expr, row).v == 0
+
+
+class TestLikeGlob:
+    @pytest.mark.parametrize("sql,expected", [
+        ("'ABC' LIKE 'a%'", 1),
+        ("12 LIKE '12'", 1),
+        ("NULL LIKE 'a'", None),
+        ("NULL LIKE X'41'", 0),    # BLOB operand forces 0, even vs NULL
+        ("X'61' LIKE 'a'", 0),
+        ("'abc' GLOB 'A*'", 0),    # GLOB is case-sensitive
+        ("'abc' GLOB 'a*'", 1),
+        ("'abc' NOT LIKE 'a%'", 0),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestCasts:
+    @pytest.mark.parametrize("sql,expected", [
+        ("CAST('12.9' AS INTEGER)", 12),
+        ("CAST('9e99' AS INTEGER)", 9),
+        ("CAST('  42' AS INTEGER)", 42),
+        ("CAST(2.9 AS INTEGER)", 2),
+        ("CAST(-2.9 AS INTEGER)", -2),
+        ("CAST('abc' AS NUMERIC)", 0),
+        ("CAST('5.0' AS NUMERIC)", 5),
+        ("CAST(X'6162' AS NUMERIC)", 0),
+        ("CAST(10000000000.0 AS NUMERIC)", 10000000000.0),
+        ("CAST(12 AS TEXT)", "12"),
+        ("CAST(1.5 AS TEXT)", "1.5"),
+        ("CAST('ab' AS BLOB)", b"ab"),
+        ("CAST(9e999 AS INTEGER)", 9223372036854775807),
+    ])
+    def test_cases(self, sql, expected):
+        got = ev(sql)
+        assert got == expected and type(got) is type(expected)
+
+    def test_numeric_cast_noop_on_real(self):
+        assert ev_value("CAST(10000000000.0 AS NUMERIC)").t is SQLType.REAL
+
+
+class TestBetweenAndIn:
+    @pytest.mark.parametrize("sql,expected", [
+        ("5 BETWEEN 1 AND 10", 1),
+        ("5 NOT BETWEEN 1 AND 10", 0),
+        ("NULL BETWEEN 1 AND 2", None),
+        ("5 BETWEEN NULL AND 4", 0),   # FALSE short-circuits the NULL
+        ("1 IN (1, 2)", 1),
+        ("1 IN (2, 3)", 0),
+        ("1 IN (NULL, 2)", None),
+        ("1 NOT IN (NULL, 2)", None),
+        ("NULL IN (1)", None),
+        ("1 IN (1.0)", 1),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+    def test_in_ignores_item_affinity(self):
+        # SQLite applies only the LHS affinity in IN comparisons.
+        assert ev("0 IN (CAST(0 AS TEXT))") == 0
+
+
+class TestCase_:
+    @pytest.mark.parametrize("sql,expected", [
+        ("CASE WHEN 1 THEN 'a' ELSE 'b' END", "a"),
+        ("CASE WHEN 0 THEN 'a' ELSE 'b' END", "b"),
+        ("CASE WHEN NULL THEN 'a' ELSE 'b' END", "b"),
+        ("CASE WHEN 0 THEN 'a' END", None),
+        ("CASE 2 WHEN 1 THEN 'a' WHEN 2 THEN 'b' END", "b"),
+        ("CASE NULL WHEN NULL THEN 'a' ELSE 'b' END", "b"),  # = not IS
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestIsTrueFamily:
+    @pytest.mark.parametrize("sql,expected", [
+        ("NULL IS TRUE", 0), ("NULL IS NOT TRUE", 1),
+        ("0.5 IS TRUE", 1), ("0 IS FALSE", 1), ("NULL IS FALSE", 0),
+        ("'abc' IS TRUE", 0),
+        ("1 ISNULL", 0), ("NULL ISNULL", 1), ("NULL NOTNULL", 0),
+    ])
+    def test_cases(self, sql, expected):
+        assert ev(sql) == expected
+
+
+class TestConcat:
+    def test_basic(self):
+        assert ev("'a' || 'b'") == "ab"
+
+    def test_numbers_become_text(self):
+        assert ev("1 || 2.5") == "12.5"
+
+    def test_null_propagates(self):
+        assert ev("NULL || 'a'") is None
+
+    def test_real_formatting_matches_sqlite(self):
+        assert ev("'' || 9e99") == "9.0e+99"
+        assert ev("'' || 1e14") == "100000000000000.0"
+        assert ev("'' || -0.0") == "0.0"

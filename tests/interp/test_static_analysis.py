@@ -1,0 +1,84 @@
+"""Static affinity/collation analysis (SQLite comparison rules)."""
+
+import pytest
+
+from repro.interp.base import (
+    affinity_of_type_name,
+    comparison_collation,
+    expr_affinity,
+    expr_collation,
+)
+from repro.sqlast.nodes import (
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    LiteralNode,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.values import Value
+
+LIT = LiteralNode(Value.integer(1))
+INT_COL = ColumnNode("t", "a", affinity="INTEGER")
+TEXT_COL = ColumnNode("t", "b", affinity="TEXT", collation="NOCASE")
+
+
+class TestAffinityOfTypeName:
+    @pytest.mark.parametrize("type_name,expected", [
+        ("INT", "INTEGER"), ("INTEGER", "INTEGER"), ("BIGINT", "INTEGER"),
+        ("TINYINT UNSIGNED", "INTEGER"),
+        ("CHARACTER(20)", "TEXT"), ("VARCHAR", "TEXT"), ("CLOB", "TEXT"),
+        ("TEXT", "TEXT"),
+        ("BLOB", "BLOB"), ("", "BLOB"),
+        ("REAL", "REAL"), ("DOUBLE PRECISION", "REAL"), ("FLOAT", "REAL"),
+        ("NUMERIC", "NUMERIC"), ("DECIMAL(10,5)", "NUMERIC"),
+        ("BOOLEAN", "NUMERIC"), ("DATE", "NUMERIC"),
+        # SQLite's documented gotcha: FLOATING POINT has INT affinity.
+        ("FLOATING POINT", "INTEGER"),
+    ])
+    def test_mapping(self, type_name, expected):
+        assert affinity_of_type_name(type_name) == expected
+
+
+class TestExprAffinity:
+    def test_column_carries_its_affinity(self):
+        assert expr_affinity(INT_COL) == "INTEGER"
+
+    def test_literal_has_none(self):
+        assert expr_affinity(LIT) is None
+
+    def test_cast_imposes_target_affinity(self):
+        assert expr_affinity(CastNode(LIT, "TEXT")) == "TEXT"
+
+    def test_collate_is_transparent(self):
+        assert expr_affinity(CollateNode(INT_COL, "BINARY")) == "INTEGER"
+
+    def test_unary_plus_strips_affinity(self):
+        assert expr_affinity(UnaryNode(UnaryOp.PLUS, INT_COL)) is None
+
+    def test_other_operators_have_none(self):
+        assert expr_affinity(UnaryNode(UnaryOp.MINUS, INT_COL)) is None
+
+
+class TestExprCollation:
+    def test_explicit_collate_wins(self):
+        name, explicit = expr_collation(CollateNode(TEXT_COL, "RTRIM"))
+        assert name == "RTRIM" and explicit
+
+    def test_column_collation_is_implicit(self):
+        name, explicit = expr_collation(TEXT_COL)
+        assert name == "NOCASE" and not explicit
+
+    def test_literal_has_none(self):
+        assert expr_collation(LIT) == (None, False)
+
+    def test_comparison_collation_prefers_explicit(self):
+        assert comparison_collation(TEXT_COL,
+                                    CollateNode(LIT, "RTRIM")) == "RTRIM"
+
+    def test_comparison_collation_left_implicit_first(self):
+        other = ColumnNode("t", "c", collation="RTRIM")
+        assert comparison_collation(TEXT_COL, other) == "NOCASE"
+
+    def test_comparison_collation_default_binary(self):
+        assert comparison_collation(LIT, LIT) == "BINARY"

@@ -1,0 +1,48 @@
+"""Exhaustive truth tables for the ternary logic layer.
+
+SQL's three-valued logic is the foundation of rectification (Algorithm 3):
+getting NULL propagation wrong would make the containment oracle unsound.
+"""
+
+import pytest
+
+from repro.interp.base import t_and, t_not, t_or
+
+T, F, N = True, False, None
+
+
+class TestNot:
+    @pytest.mark.parametrize("value,expected", [(T, F), (F, T), (N, N)])
+    def test_table(self, value, expected):
+        assert t_not(value) == expected
+
+
+class TestAnd:
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, F, F), (T, N, N),
+        (F, T, F), (F, F, F), (F, N, F),
+        (N, T, N), (N, F, F), (N, N, N),
+    ])
+    def test_table(self, a, b, expected):
+        assert t_and(a, b) == expected
+
+    def test_commutative(self):
+        for a in (T, F, N):
+            for b in (T, F, N):
+                assert t_and(a, b) == t_and(b, a)
+
+
+class TestOr:
+    @pytest.mark.parametrize("a,b,expected", [
+        (T, T, T), (T, F, T), (T, N, T),
+        (F, T, T), (F, F, F), (F, N, N),
+        (N, T, T), (N, F, N), (N, N, N),
+    ])
+    def test_table(self, a, b, expected):
+        assert t_or(a, b) == expected
+
+    def test_de_morgan(self):
+        for a in (T, F, N):
+            for b in (T, F, N):
+                assert t_not(t_and(a, b)) == t_or(t_not(a), t_not(b))
+                assert t_not(t_or(a, b)) == t_and(t_not(a), t_not(b))

@@ -1,0 +1,228 @@
+"""Engine basics: DDL, DML, constraints, defaults, ALTER, transactions."""
+
+import pytest
+
+from repro.errors import CatalogError, ConstraintError, DBError
+from repro.minidb.engine import Engine
+
+from ..conftest import rows, run
+
+
+class TestCreateInsertSelect:
+    def test_roundtrip(self, engine):
+        run(engine, "CREATE TABLE t(a, b)",
+            "INSERT INTO t(a, b) VALUES (1, 'x'), (2, 'y')")
+        assert rows(engine.execute("SELECT * FROM t")) == \
+            [(1, "x"), (2, "y")]
+
+    def test_duplicate_table_rejected(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        with pytest.raises(CatalogError, match="already exists"):
+            engine.execute("CREATE TABLE t(a)")
+
+    def test_if_not_exists(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        engine.execute("CREATE TABLE IF NOT EXISTS t(a)")  # no error
+
+    def test_duplicate_column_rejected(self, engine):
+        with pytest.raises(CatalogError, match="duplicate column"):
+            engine.execute("CREATE TABLE t(a, a)")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(CatalogError, match="no such table"):
+            engine.execute("SELECT * FROM nope")
+
+    def test_unknown_column(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        with pytest.raises(CatalogError, match="no such column"):
+            engine.execute("SELECT b FROM t")
+
+    def test_insert_column_subset_fills_null(self, engine):
+        run(engine, "CREATE TABLE t(a, b)", "INSERT INTO t(b) VALUES (1)")
+        assert rows(engine.execute("SELECT a, b FROM t")) == [(None, 1)]
+
+    def test_insert_wrong_arity(self, engine):
+        engine.execute("CREATE TABLE t(a, b)")
+        with pytest.raises(DBError):
+            engine.execute("INSERT INTO t(a) VALUES (1, 2)")
+
+    def test_default_values(self, engine):
+        run(engine, "CREATE TABLE t(a DEFAULT 7, b)",
+            "INSERT INTO t(b) VALUES (0)")
+        assert rows(engine.execute("SELECT a FROM t")) == [(7,)]
+
+    def test_drop_table(self, engine):
+        run(engine, "CREATE TABLE t(a)", "DROP TABLE t")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM t")
+
+    def test_drop_if_exists(self, engine):
+        engine.execute("DROP TABLE IF EXISTS nope")
+
+
+class TestConstraints:
+    def test_unique_rejects_duplicates(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE)",
+            "INSERT INTO t(a) VALUES (1)")
+        with pytest.raises(ConstraintError, match="UNIQUE"):
+            engine.execute("INSERT INTO t(a) VALUES (1)")
+
+    def test_unique_allows_multiple_nulls(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE)",
+            "INSERT INTO t(a) VALUES (NULL), (NULL)")
+        assert len(engine.execute("SELECT * FROM t")) == 2
+
+    def test_not_null(self, engine):
+        engine.execute("CREATE TABLE t(a NOT NULL)")
+        with pytest.raises(ConstraintError, match="NOT NULL"):
+            engine.execute("INSERT INTO t(a) VALUES (NULL)")
+
+    def test_sqlite_rowid_pk_allows_null(self, engine):
+        # The historical SQLite quirk: NULL is allowed in a PRIMARY KEY
+        # column of an ordinary rowid table.
+        run(engine, "CREATE TABLE t(a PRIMARY KEY)",
+            "INSERT INTO t(a) VALUES (NULL)")
+        assert len(engine.execute("SELECT * FROM t")) == 1
+
+    def test_without_rowid_pk_rejects_null(self, engine):
+        engine.execute(
+            "CREATE TABLE t(a PRIMARY KEY) WITHOUT ROWID")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t(a) VALUES (NULL)")
+
+    def test_without_rowid_requires_pk(self, engine):
+        with pytest.raises(DBError, match="PRIMARY KEY missing"):
+            engine.execute("CREATE TABLE t(a) WITHOUT ROWID")
+
+    def test_composite_pk(self, engine):
+        run(engine, "CREATE TABLE t(a, b, PRIMARY KEY (a, b))",
+            "INSERT INTO t(a, b) VALUES (1, 1), (1, 2)")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t(a, b) VALUES (1, 1)")
+
+    def test_insert_or_ignore_skips_conflicts(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE)",
+            "INSERT INTO t(a) VALUES (1)",
+            "INSERT OR IGNORE INTO t(a) VALUES (1), (2)")
+        assert rows(engine.execute("SELECT a FROM t")) == [(1,), (2,)]
+
+    def test_insert_or_replace_displaces(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE, b)",
+            "INSERT INTO t(a, b) VALUES (1, 'old')",
+            "INSERT OR REPLACE INTO t(a, b) VALUES (1, 'new')")
+        assert rows(engine.execute("SELECT b FROM t")) == [("new",)]
+
+    def test_failed_multirow_insert_is_atomic(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE)")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t(a) VALUES (1), (1)")
+        assert len(engine.execute("SELECT * FROM t")) == 0
+
+    def test_unique_uses_column_collation(self, engine):
+        run(engine, "CREATE TABLE t(a TEXT UNIQUE COLLATE NOCASE)",
+            "INSERT INTO t(a) VALUES ('a')")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t(a) VALUES ('A')")
+
+
+class TestUpdateDelete:
+    def test_update_with_where(self, engine):
+        run(engine, "CREATE TABLE t(a, b)",
+            "INSERT INTO t(a, b) VALUES (1, 0), (2, 0)",
+            "UPDATE t SET b = 9 WHERE a = 2")
+        assert rows(engine.execute("SELECT b FROM t ORDER BY a")) == \
+            [(0,), (9,)]
+
+    def test_update_expression_over_row(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (5)",
+            "UPDATE t SET a = a + 1")
+        assert rows(engine.execute("SELECT a FROM t")) == [(6,)]
+
+    def test_update_unique_conflict(self, engine):
+        run(engine, "CREATE TABLE t(a UNIQUE)",
+            "INSERT INTO t(a) VALUES (1), (2)")
+        with pytest.raises(ConstraintError):
+            engine.execute("UPDATE t SET a = 1 WHERE a = 2")
+
+    def test_delete_with_where(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (2), (3)",
+            "DELETE FROM t WHERE a > 1")
+        assert rows(engine.execute("SELECT a FROM t")) == [(1,)]
+
+    def test_delete_all(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "DELETE FROM t")
+        assert len(engine.execute("SELECT * FROM t")) == 0
+
+
+class TestAlter:
+    def test_rename_column(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "ALTER TABLE t RENAME COLUMN a TO z")
+        assert rows(engine.execute("SELECT z FROM t")) == [(1,)]
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT a FROM t")
+
+    def test_rename_table(self, engine):
+        run(engine, "CREATE TABLE t(a)", "ALTER TABLE t RENAME TO u")
+        engine.execute("SELECT * FROM u")
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM t")
+
+    def test_add_column(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "ALTER TABLE t ADD COLUMN b DEFAULT 3")
+        assert rows(engine.execute("SELECT a, b FROM t")) == [(1, 3)]
+
+    def test_add_not_null_without_default_rejected(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        with pytest.raises(DBError, match="NOT NULL column"):
+            engine.execute("ALTER TABLE t ADD COLUMN b NOT NULL")
+
+    def test_rename_column_rewrites_plain_indexes(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "ALTER TABLE t RENAME COLUMN a TO z",
+            "INSERT INTO t(z) VALUES (1)")
+        assert rows(engine.execute("SELECT z FROM t WHERE z = 1")) == \
+            [(1,)]
+
+
+class TestTransactions:
+    def test_rollback_restores(self, engine):
+        run(engine, "CREATE TABLE t(a)", "BEGIN",
+            "INSERT INTO t(a) VALUES (1)", "ROLLBACK")
+        assert len(engine.execute("SELECT * FROM t")) == 0
+
+    def test_commit_keeps(self, engine):
+        run(engine, "CREATE TABLE t(a)", "BEGIN",
+            "INSERT INTO t(a) VALUES (1)", "COMMIT")
+        assert len(engine.execute("SELECT * FROM t")) == 1
+
+    def test_nested_begin_rejected(self, engine):
+        engine.execute("BEGIN")
+        with pytest.raises(DBError, match="within a transaction"):
+            engine.execute("BEGIN")
+
+    def test_commit_without_begin(self, engine):
+        with pytest.raises(DBError, match="no transaction"):
+            engine.execute("COMMIT")
+
+
+class TestIntrospection:
+    def test_sqlite_master(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)")
+        out = rows(engine.execute(
+            "SELECT type, name FROM sqlite_master"))
+        assert ("table", "t") in out and ("index", "i") in out
+
+    def test_information_schema(self, mysql_engine):
+        mysql_engine.execute("CREATE TABLE t(a INT)")
+        out = rows(mysql_engine.execute(
+            "SELECT table_name FROM information_schema.tables"))
+        assert ("t",) in out
+
+    def test_statement_counter(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        engine.execute("INSERT INTO t(a) VALUES (1)")
+        assert engine.statements_executed == 2

@@ -1,0 +1,223 @@
+"""SELECT pipeline: joins, DISTINCT, GROUP BY/aggregates, ORDER BY,
+LIMIT, compound operators, views, and star expansion."""
+
+import pytest
+
+from repro.errors import DBError
+
+from ..conftest import rows, run
+
+
+@pytest.fixture
+def populated(engine):
+    run(engine, "CREATE TABLE t(a, b)",
+        "INSERT INTO t(a, b) VALUES (1, 'x'), (2, 'y'), (3, 'x'), "
+        "(NULL, 'z')")
+    return engine
+
+
+class TestProjection:
+    def test_star(self, populated):
+        assert len(populated.execute("SELECT * FROM t")) == 4
+
+    def test_table_star(self, populated):
+        out = populated.execute("SELECT t.* FROM t")
+        assert out.columns == ["a", "b"]
+
+    def test_expressions(self, populated):
+        out = rows(populated.execute("SELECT a + 1 FROM t WHERE a = 1"))
+        assert out == [(2,)]
+
+    def test_alias_names(self, populated):
+        out = populated.execute("SELECT a AS x FROM t")
+        assert out.columns == ["x"]
+
+    def test_no_from(self, engine):
+        assert rows(engine.execute("SELECT 1 + 1")) == [(2,)]
+
+
+class TestWhere:
+    def test_three_valued_where_keeps_only_true(self, populated):
+        # NULL rows must be dropped, not kept.
+        out = rows(populated.execute("SELECT b FROM t WHERE a > 1"))
+        assert sorted(out) == [("x",), ("y",)]
+
+    def test_where_isnull(self, populated):
+        out = rows(populated.execute("SELECT b FROM t WHERE a ISNULL"))
+        assert out == [("z",)]
+
+
+class TestJoins:
+    def test_cross_join(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1), (2)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (10), (20)")
+        out = engine.execute("SELECT x, y FROM a, b")
+        assert len(out) == 4
+
+    def test_inner_join_on(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1), (2)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (2), (3)")
+        out = rows(engine.execute(
+            "SELECT x, y FROM a INNER JOIN b ON a.x = b.y"))
+        assert out == [(2, 2)]
+
+    def test_left_join_pads_nulls(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1), (2)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (2)")
+        out = rows(engine.execute(
+            "SELECT x, y FROM a LEFT JOIN b ON a.x = b.y"))
+        assert sorted(out, key=str) == [(1, None), (2, 2)]
+
+    def test_ambiguous_column(self, engine):
+        run(engine, "CREATE TABLE a(x)", "CREATE TABLE b(x)")
+        with pytest.raises(DBError, match="ambiguous"):
+            engine.execute("SELECT x FROM a, b")
+
+
+class TestDistinct:
+    def test_dedups_rows(self, populated):
+        out = rows(populated.execute("SELECT DISTINCT b FROM t"))
+        assert sorted(out) == [("x",), ("y",), ("z",)]
+
+    def test_nulls_are_one_group(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (NULL), (NULL), (1)")
+        assert len(engine.execute("SELECT DISTINCT a FROM t")) == 2
+
+    def test_numeric_cross_type_dedup(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (1.0)")
+        assert len(engine.execute("SELECT DISTINCT a FROM t")) == 1
+
+
+class TestAggregates:
+    def test_count_star_and_column(self, populated):
+        out = rows(populated.execute("SELECT COUNT(*), COUNT(a) FROM t"))
+        assert out == [(4, 3)]
+
+    def test_sum_avg(self, populated):
+        out = rows(populated.execute("SELECT SUM(a), AVG(a) FROM t"))
+        assert out == [(6, 2.0)]
+
+    def test_min_max(self, populated):
+        assert rows(populated.execute("SELECT MIN(a), MAX(a) FROM t")) \
+            == [(1, 3)]
+
+    def test_empty_table_aggregates(self, engine):
+        run(engine, "CREATE TABLE e(a)")
+        out = rows(engine.execute("SELECT COUNT(*), SUM(a) FROM e"))
+        assert out == [(0, None)]
+
+    def test_group_by(self, populated):
+        out = rows(populated.execute(
+            "SELECT b, COUNT(*) FROM t GROUP BY b"))
+        assert sorted(out) == [("x", 2), ("y", 1), ("z", 1)]
+
+    def test_group_by_having(self, populated):
+        out = rows(populated.execute(
+            "SELECT b, COUNT(*) FROM t GROUP BY b HAVING COUNT(*) > 1"))
+        assert out == [("x", 2)]
+
+    def test_aggregate_in_expression(self, populated):
+        out = rows(populated.execute("SELECT MAX(a) + 10 FROM t"))
+        assert out == [(13,)]
+
+    def test_two_arg_min_is_scalar_not_aggregate(self, populated):
+        out = rows(populated.execute(
+            "SELECT MIN(a, 2) FROM t WHERE a = 3"))
+        assert out == [(2,)]
+
+    def test_sum_text_coerces_sqlite(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES ('5abc'), (2)")
+        assert rows(engine.execute("SELECT SUM(a) FROM t")) == [(7,)]
+
+
+class TestOrderLimit:
+    def test_order_asc_desc(self, populated):
+        out = rows(populated.execute("SELECT a FROM t ORDER BY a DESC"))
+        assert out == [(3,), (2,), (1,), (None,)]
+
+    def test_nulls_first_ascending_sqlite(self, populated):
+        out = rows(populated.execute("SELECT a FROM t ORDER BY a"))
+        assert out[0] == (None,)
+
+    def test_order_by_expression(self, populated):
+        out = rows(populated.execute(
+            "SELECT a FROM t WHERE a NOTNULL ORDER BY -a"))
+        assert out == [(3,), (2,), (1,)]
+
+    def test_limit_offset(self, populated):
+        out = rows(populated.execute(
+            "SELECT a FROM t ORDER BY a LIMIT 2 OFFSET 1"))
+        assert out == [(1,), (2,)]
+
+    def test_negative_limit_means_all(self, populated):
+        assert len(populated.execute("SELECT a FROM t LIMIT -1")) == 4
+
+
+class TestCompound:
+    def test_intersect(self, engine):
+        out = rows(engine.execute("SELECT 1 INTERSECT SELECT 1"))
+        assert out == [(1,)]
+        assert rows(engine.execute("SELECT 1 INTERSECT SELECT 2")) == []
+
+    def test_intersect_null_equality(self, engine):
+        # Compound set operations treat NULLs as equal.
+        out = rows(engine.execute("SELECT NULL INTERSECT SELECT NULL"))
+        assert out == [(None,)]
+
+    def test_union_dedups(self, engine):
+        out = rows(engine.execute("SELECT 1 UNION SELECT 1"))
+        assert out == [(1,)]
+
+    def test_union_all_keeps(self, engine):
+        assert len(engine.execute("SELECT 1 UNION ALL SELECT 1")) == 2
+
+    def test_except(self, engine):
+        out = rows(engine.execute("SELECT 1 EXCEPT SELECT 2"))
+        assert out == [(1,)]
+        assert rows(engine.execute("SELECT 1 EXCEPT SELECT 1")) == []
+
+    def test_column_count_mismatch(self, engine):
+        with pytest.raises(DBError, match="number of result columns"):
+            engine.execute("SELECT 1 INTERSECT SELECT 1, 2")
+
+    def test_intersect_numeric_affinity(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        out = rows(engine.execute(
+            "SELECT 1.0 INTERSECT SELECT a FROM t"))
+        assert len(out) == 1
+
+
+class TestViews:
+    def test_view_tracks_base_table(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "CREATE VIEW v AS SELECT t.a FROM t",
+            "INSERT INTO t(a) VALUES (2)")
+        assert rows(engine.execute("SELECT a FROM v")) == [(1,), (2,)]
+
+    def test_view_with_where(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (5)",
+            "CREATE VIEW v AS SELECT t.a FROM t WHERE t.a > 2")
+        assert rows(engine.execute("SELECT * FROM v")) == [(5,)]
+
+    def test_view_column_inherits_affinity(self, engine):
+        run(engine, "CREATE TABLE t(a INT)",
+            "INSERT INTO t(a) VALUES (7)",
+            "CREATE VIEW v AS SELECT t.a FROM t")
+        # INT affinity applies through the view: text '7' equals 7.
+        assert rows(engine.execute(
+            "SELECT a FROM v WHERE a = '7'")) == [(7,)]
+
+    def test_view_invalid_body_rejected_eagerly(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        with pytest.raises(DBError):
+            engine.execute("CREATE VIEW v AS SELECT nope FROM t")
+
+    def test_drop_view(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE VIEW v AS SELECT t.a FROM t", "DROP VIEW v")
+        with pytest.raises(DBError):
+            engine.execute("SELECT * FROM v")

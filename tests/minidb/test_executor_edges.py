@@ -1,0 +1,158 @@
+"""Executor corner cases: joins with defective evaluation contexts,
+compound operators over collated data, inheritance scans, aggregate
+groups with NULLs, LIMIT arithmetic, and ORDER BY tie handling."""
+
+import pytest
+
+from repro.errors import DBError, UnsupportedError
+
+from ..conftest import make_engine, rows, run
+
+
+class TestJoinEdges:
+    def test_three_way_cross_join_count(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1), (2)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (1), (2), (3)",
+            "CREATE TABLE c(z)", "INSERT INTO c(z) VALUES (1)")
+        assert len(engine.execute("SELECT * FROM a, b, c")) == 6
+
+    def test_join_on_null_never_matches(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (NULL)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (NULL)")
+        out = engine.execute(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert len(out) == 0
+
+    def test_left_join_on_false_pads_all(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1), (2)",
+            "CREATE TABLE b(y)", "INSERT INTO b(y) VALUES (9)")
+        out = rows(engine.execute(
+            "SELECT x, y FROM a LEFT JOIN b ON 0"))
+        assert sorted(out) == [(1, None), (2, None)]
+
+    def test_join_of_empty_table_is_empty(self, engine):
+        run(engine, "CREATE TABLE a(x)", "INSERT INTO a(x) VALUES (1)",
+            "CREATE TABLE b(y)")
+        assert len(engine.execute("SELECT * FROM a, b")) == 0
+
+    def test_memory_clamp_only_in_where(self):
+        # The MEMORY-engine defect clamps during predicate evaluation
+        # but must not rewrite the *output* values.
+        engine = make_engine("mysql", "mysql-memory-engine-join")
+        run(engine, "CREATE TABLE t(a INT) ENGINE = MEMORY",
+            "INSERT INTO t(a) VALUES (-5)")
+        out = rows(engine.execute("SELECT a FROM t WHERE a = 0"))
+        assert out == [(-5,)]  # matched via the clamped WHERE view
+
+
+class TestCompoundEdges:
+    def test_intersect_respects_numeric_equality(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        assert len(engine.execute(
+            "SELECT 1.0 INTERSECT SELECT a FROM t")) == 1
+
+    def test_except_with_nulls(self, engine):
+        out = rows(engine.execute(
+            "SELECT NULL EXCEPT SELECT NULL"))
+        assert out == []
+
+    def test_union_mixed_types(self, engine):
+        out = engine.execute("SELECT 1 UNION SELECT 'a' UNION SELECT 1")
+        assert len(out) == 2
+
+
+class TestAggregateEdges:
+    def test_group_with_all_null_values(self, engine):
+        run(engine, "CREATE TABLE t(k, v)",
+            "INSERT INTO t(k, v) VALUES (1, NULL), (1, NULL)")
+        out = rows(engine.execute(
+            "SELECT k, COUNT(v), SUM(v), MIN(v) FROM t GROUP BY k"))
+        assert out == [(1, 0, None, None)]
+
+    def test_avg_is_real_even_for_ints(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (2)")
+        value = engine.execute("SELECT AVG(a) FROM t").rows[0][0]
+        assert value.t.value == "real" and value.v == 1.5
+
+    def test_sum_overflow_becomes_real(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (9223372036854775807), (1)")
+        value = engine.execute("SELECT SUM(a) FROM t").rows[0][0]
+        assert value.t.value == "real"
+
+    def test_having_with_aggregate_expression(self, engine):
+        run(engine, "CREATE TABLE t(k, v)",
+            "INSERT INTO t(k, v) VALUES (1, 10), (1, 20), (2, 1)")
+        out = rows(engine.execute(
+            "SELECT k FROM t GROUP BY k HAVING SUM(v) > 5"))
+        assert out == [(1,)]
+
+    def test_star_with_aggregate_rejected(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        with pytest.raises(UnsupportedError):
+            engine.execute("SELECT *, COUNT(a) FROM t")
+
+    def test_count_star_alone_no_from(self, engine):
+        # Aggregate over the single implicit row.
+        assert rows(engine.execute("SELECT COUNT(0)")) == [(1,)]
+
+
+class TestOrderLimitEdges:
+    def test_order_by_mixed_types_storage_order(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES ('x'), (2), (X'00'), (NULL), (1.5)")
+        out = [v[0] for v in rows(engine.execute(
+            "SELECT a FROM t ORDER BY a"))]
+        assert out == [None, 1.5, 2, "x", b"\x00"]
+
+    def test_limit_zero(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        assert len(engine.execute("SELECT a FROM t LIMIT 0")) == 0
+
+    def test_offset_beyond_end(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)")
+        assert len(engine.execute(
+            "SELECT a FROM t LIMIT 5 OFFSET 9")) == 0
+
+    def test_limit_requires_integer(self, engine):
+        run(engine, "CREATE TABLE t(a)")
+        with pytest.raises(DBError, match="LIMIT"):
+            engine.execute("SELECT a FROM t LIMIT 'x'")
+
+    def test_order_by_desc_with_nulls(self, pg_engine):
+        run(pg_engine, "CREATE TABLE t(a INT)",
+            "INSERT INTO t(a) VALUES (NULL), (1), (2)")
+        out = [v[0] for v in rows(pg_engine.execute(
+            "SELECT a FROM t ORDER BY a DESC"))]
+        # PostgreSQL: NULLs first when descending.
+        assert out == [None, 2, 1]
+
+
+class TestInheritanceScans:
+    def test_child_rows_projected_onto_parent_columns(self, pg_engine):
+        run(pg_engine,
+            "CREATE TABLE p(a INT, b INT)",
+            "CREATE TABLE c(a INT, extra TEXT) INHERITS (p)",
+            "INSERT INTO p(a, b) VALUES (1, 2)",
+            "INSERT INTO c(a, b, extra) VALUES (3, 4, 'x')")
+        out = rows(pg_engine.execute("SELECT a, b FROM p ORDER BY a"))
+        assert out == [(1, 2), (3, 4)]
+
+    def test_parent_index_not_used_for_inheritance_scan(self, pg_engine):
+        run(pg_engine,
+            "CREATE TABLE p(a INT PRIMARY KEY)",
+            "CREATE TABLE c(a INT) INHERITS (p)",
+            "INSERT INTO p(a) VALUES (1)",
+            "INSERT INTO c(a) VALUES (1)")
+        out = rows(pg_engine.execute("SELECT a FROM p WHERE a = 1"))
+        assert len(out) == 2  # child row must not be lost to the index
+
+    def test_distinct_over_inheritance(self, pg_engine):
+        run(pg_engine,
+            "CREATE TABLE p(a INT PRIMARY KEY)",
+            "CREATE TABLE c(a INT) INHERITS (p)",
+            "INSERT INTO p(a) VALUES (1)",
+            "INSERT INTO c(a) VALUES (1), (2)")
+        out = rows(pg_engine.execute("SELECT DISTINCT a FROM p"))
+        assert sorted(out) == [(1,), (2,)]

@@ -1,0 +1,144 @@
+"""Indexes: implicit/explicit creation, scans, partial and expression
+indexes, uniqueness enforcement, and maintenance-driven rebuilds."""
+
+import pytest
+
+from repro.errors import ConstraintError, DBError
+from repro.minidb.planner import AccessPath, choose_path
+from repro.minidb.bugs import BugRegistry
+
+from ..conftest import rows, run
+
+
+class TestImplicitIndexes:
+    def test_pk_creates_index(self, engine):
+        engine.execute("CREATE TABLE t(a PRIMARY KEY)")
+        indexes = engine.catalog.indexes_on("t")
+        assert len(indexes) == 1 and indexes[0].implicit
+
+    def test_unique_column_creates_index(self, engine):
+        engine.execute("CREATE TABLE t(a UNIQUE, b UNIQUE)")
+        assert len(engine.catalog.indexes_on("t")) == 2
+
+    def test_implicit_index_cannot_be_dropped(self, engine):
+        engine.execute("CREATE TABLE t(a PRIMARY KEY)")
+        name = engine.catalog.indexes_on("t")[0].name
+        with pytest.raises(DBError, match="backing a constraint"):
+            engine.execute(f"DROP INDEX {name}")
+
+
+class TestExplicitIndexes:
+    def test_create_and_drop(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "DROP INDEX i")
+        assert engine.catalog.indexes_on("t") == []
+
+    def test_duplicate_name_rejected(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)")
+        with pytest.raises(DBError, match="already exists"):
+            engine.execute("CREATE INDEX i ON t(a)")
+
+    def test_unique_index_enforces_on_creation(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (1)")
+        with pytest.raises(ConstraintError):
+            engine.execute("CREATE UNIQUE INDEX u ON t(a)")
+
+    def test_unique_index_enforces_after_creation(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE UNIQUE INDEX u ON t(a)",
+            "INSERT INTO t(a) VALUES (1)")
+        with pytest.raises(ConstraintError):
+            engine.execute("INSERT INTO t(a) VALUES (1)")
+
+    def test_expression_index_entries(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t((a + 1))",
+            "INSERT INTO t(a) VALUES (5)")
+        index = engine.catalog.index("i")
+        assert index.entries[0][0][0].v == 6
+
+    def test_partial_index_filters_entries(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE INDEX i ON t(a) WHERE a NOT NULL",
+            "INSERT INTO t(a) VALUES (1), (NULL)")
+        assert len(engine.catalog.index("i").entries) == 1
+
+    def test_index_maintained_on_update_delete(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "INSERT INTO t(a) VALUES (1), (2)",
+            "UPDATE t SET a = 3 WHERE a = 1", "DELETE FROM t WHERE a = 2")
+        entries = engine.catalog.index("i").entries
+        assert [e[0][0].v for e in entries] == [3]
+
+
+class TestPlanner:
+    def _table_and_indexes(self, engine):
+        table = engine.catalog.table("t")
+        return table, engine.catalog.indexes_on("t")
+
+    def test_full_scan_without_where(self, engine):
+        engine.execute("CREATE TABLE t(a)")
+        table, indexes = self._table_and_indexes(engine)
+        path = choose_path(table, None, indexes, False, BugRegistry())
+        assert path.kind == "full-scan"
+
+    def test_index_scan_for_equality(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)")
+        from repro.minidb.parser import parse_expression
+
+        table, indexes = self._table_and_indexes(engine)
+        where = parse_expression("a = 1")
+        path = choose_path(table, where, indexes, False, BugRegistry())
+        assert path.kind == "index-scan"
+
+    def test_partial_index_needs_exact_conjunct(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE INDEX i ON t(a) WHERE a NOT NULL")
+        from repro.minidb.parser import parse_expression
+
+        table, indexes = self._table_and_indexes(engine)
+        usable = parse_expression("a NOT NULL AND a = 1")
+        path = choose_path(table, usable, indexes, False, BugRegistry())
+        assert path.kind == "index-scan" and path.index.is_partial
+        not_usable = parse_expression("a IS NOT 1")
+        path = choose_path(table, not_usable, indexes, False,
+                           BugRegistry())
+        assert path.kind == "full-scan"
+
+    def test_unsound_partial_implication_only_with_defect(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE INDEX i ON t(a) WHERE a NOT NULL")
+        from repro.minidb.parser import parse_expression
+
+        table, indexes = self._table_and_indexes(engine)
+        where = parse_expression("a IS NOT 1")
+        bugged = BugRegistry({"sqlite-partial-index-is-not"})
+        path = choose_path(table, where, indexes, False, bugged)
+        assert path.kind == "index-scan"
+
+
+class TestMaintenance:
+    def test_reindex_rebuilds(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "INSERT INTO t(a) VALUES (1)", "REINDEX")
+        assert len(engine.catalog.index("i").entries) == 1
+
+    def test_vacuum_ok_on_healthy_db(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "VACUUM")
+
+    def test_analyze_sets_statistics_flag(self, engine):
+        run(engine, "CREATE TABLE t(a)", "ANALYZE t")
+        assert engine.catalog.table("t").analyzed
+
+    def test_analyze_all(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE TABLE u(a)", "ANALYZE")
+        assert engine.catalog.table("u").analyzed
+
+    def test_reindex_detects_stale_entries(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "INSERT INTO t(a) VALUES (1)")
+        # Corrupt the index by hand: point an entry at a missing row.
+        index = engine.catalog.index("i")
+        index.entries.append((index.entries[0][0], 999))
+        with pytest.raises(DBError, match="malformed"):
+            engine.execute("REINDEX")

@@ -1,0 +1,315 @@
+"""Parser tests: statements, expression precedence, and the
+parse(render(e)) round-trip property."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minidb import statements as st
+from repro.minidb.parser import parse_expression, parse_statement
+from repro.sqlast.nodes import (
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CollateNode,
+    ColumnNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.sqlast.render import render_expr
+from repro.values import Value
+
+
+class TestCreateTable:
+    def test_minimal_untyped(self):
+        stmt = parse_statement("CREATE TABLE t0(c0)")
+        assert isinstance(stmt, st.CreateTable)
+        assert stmt.columns[0].type_name is None
+
+    def test_full_column_options(self):
+        stmt = parse_statement(
+            "CREATE TABLE t(c0 INT PRIMARY KEY, c1 TEXT UNIQUE NOT NULL "
+            "COLLATE NOCASE DEFAULT 'x')")
+        c0, c1 = stmt.columns
+        assert c0.primary_key and c0.type_name == "INT"
+        assert c1.unique and c1.not_null and c1.collation == "NOCASE"
+        assert c1.default == LiteralNode(Value.text("x"))
+
+    def test_table_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t(a, b, PRIMARY KEY (a, b), UNIQUE (b))")
+        assert stmt.constraints[0].kind == "PRIMARY KEY"
+        assert stmt.constraints[0].columns == ["a", "b"]
+        assert stmt.constraints[1].columns == ["b"]
+
+    def test_without_rowid(self):
+        stmt = parse_statement(
+            "CREATE TABLE t(a PRIMARY KEY) WITHOUT ROWID")
+        assert stmt.without_rowid
+
+    def test_engine(self):
+        stmt = parse_statement("CREATE TABLE t(a INT) ENGINE = MEMORY")
+        assert stmt.engine == "MEMORY"
+
+    def test_inherits(self):
+        stmt = parse_statement("CREATE TABLE t(a INT) INHERITS (p)")
+        assert stmt.inherits == "p"
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t(a)")
+        assert stmt.if_not_exists
+
+    def test_sized_types(self):
+        stmt = parse_statement("CREATE TABLE t(a VARCHAR(10))")
+        assert stmt.columns[0].type_name == "VARCHAR"
+
+    def test_multiword_types(self):
+        stmt = parse_statement("CREATE TABLE t(a DOUBLE PRECISION, "
+                               "b INT UNSIGNED)")
+        assert stmt.columns[0].type_name == "DOUBLE PRECISION"
+        assert stmt.columns[1].type_name == "INT UNSIGNED"
+
+
+class TestCreateIndexViewStats:
+    def test_index_basics(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX i ON t(a DESC, b)")
+        assert stmt.unique
+        assert stmt.exprs[0].descending
+        assert isinstance(stmt.exprs[1].expr, ColumnNode)
+
+    def test_partial_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t(a) WHERE a NOT NULL")
+        assert isinstance(stmt.where, PostfixNode)
+
+    def test_collated_index_expr(self):
+        stmt = parse_statement("CREATE INDEX i ON t(a COLLATE NOCASE)")
+        assert stmt.exprs[0].collation == "NOCASE"
+        assert isinstance(stmt.exprs[0].expr, ColumnNode)
+
+    def test_expression_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t((a || 1))")
+        assert isinstance(stmt.exprs[0].expr, BinaryNode)
+
+    def test_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(stmt, st.CreateView)
+        assert stmt.select.tables == ["t"]
+
+    def test_statistics(self):
+        stmt = parse_statement("CREATE STATISTICS s ON a, b FROM t")
+        assert stmt.columns == ["a", "b"] and stmt.table == "t"
+
+
+class TestDML:
+    def test_insert_multi_row(self):
+        stmt = parse_statement(
+            "INSERT INTO t(a, b) VALUES (1, 2), (3, 4)")
+        assert stmt.columns == ["a", "b"]
+        assert len(stmt.rows) == 2
+
+    def test_insert_or_ignore(self):
+        stmt = parse_statement("INSERT OR IGNORE INTO t VALUES (1)")
+        assert stmt.on_conflict == "IGNORE"
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE a > 0")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_or_replace(self):
+        stmt = parse_statement("UPDATE OR REPLACE t SET a = 1")
+        assert stmt.on_conflict == "REPLACE"
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a ISNULL")
+        assert stmt.table == "t"
+
+    def test_alter_variants(self):
+        rename = parse_statement("ALTER TABLE t RENAME COLUMN a TO b")
+        assert rename.action == "RENAME COLUMN"
+        add = parse_statement("ALTER TABLE t ADD COLUMN x INT")
+        assert add.action == "ADD COLUMN"
+        to = parse_statement("ALTER TABLE t RENAME TO u")
+        assert to.new_name == "u"
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE IF EXISTS t")
+        assert stmt.kind == "TABLE" and stmt.if_exists
+
+
+class TestSelect:
+    def test_star_and_where(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = 1")
+        assert stmt.items[0].expr is None
+        assert isinstance(stmt.where, BinaryNode)
+
+    def test_table_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].star_table == "t"
+
+    def test_distinct_join_group_order_limit(self):
+        stmt = parse_statement(
+            "SELECT DISTINCT a FROM t INNER JOIN u ON t.a = u.b "
+            "WHERE 1 GROUP BY a HAVING a > 0 "
+            "ORDER BY a DESC LIMIT 3 OFFSET 1")
+        assert stmt.distinct
+        assert stmt.joins[0].kind == "INNER"
+        assert stmt.group_by and stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit is not None and stmt.offset is not None
+
+    def test_cross_join_comma(self):
+        stmt = parse_statement("SELECT * FROM a, b, c")
+        assert stmt.tables == ["a", "b", "c"]
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON 1")
+        assert stmt.joins[0].kind == "LEFT"
+
+    def test_compound_intersect(self):
+        stmt = parse_statement("SELECT 1 INTERSECT SELECT 2")
+        kind, rhs = stmt.compound
+        assert kind == "INTERSECT" and isinstance(rhs, st.Select)
+
+    def test_alias(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_no_from(self):
+        stmt = parse_statement("SELECT 1 + 1")
+        assert stmt.tables == []
+
+
+class TestMaintenanceAndOptions:
+    def test_vacuum_full(self):
+        stmt = parse_statement("VACUUM FULL")
+        assert stmt.command == "VACUUM" and stmt.full
+
+    def test_reindex_target(self):
+        assert parse_statement("REINDEX t0").target == "t0"
+
+    def test_check_table_for_upgrade(self):
+        stmt = parse_statement("CHECK TABLE t FOR UPGRADE")
+        assert stmt.command == "CHECK TABLE" and stmt.for_upgrade
+
+    def test_repair(self):
+        assert parse_statement("REPAIR TABLE t").command == "REPAIR TABLE"
+
+    def test_pragma(self):
+        stmt = parse_statement("PRAGMA case_sensitive_like = 1")
+        assert stmt.name == "case_sensitive_like"
+
+    def test_set_global(self):
+        stmt = parse_statement("SET GLOBAL key_cache_division_limit = 100")
+        assert stmt.scope == "GLOBAL"
+
+    def test_transactions(self):
+        assert parse_statement("BEGIN TRANSACTION").action == "BEGIN"
+        assert parse_statement("COMMIT").action == "COMMIT"
+        assert parse_statement("ROLLBACK").action == "ROLLBACK"
+
+    def test_discard(self):
+        assert parse_statement("DISCARD ALL").command == "DISCARD"
+
+
+class TestExpressionPrecedence:
+    def test_or_binds_loosest(self):
+        expr = parse_expression("1 AND 2 OR 3")
+        assert isinstance(expr, BinaryNode) and expr.op is BinaryOp.OR
+
+    def test_not_above_and(self):
+        expr = parse_expression("NOT 1 AND 2")
+        assert expr.op is BinaryOp.AND
+        assert isinstance(expr.left, UnaryNode)
+
+    def test_concat_tight(self):
+        expr = parse_expression("1 + 2 || 3")
+        assert expr.op is BinaryOp.ADD
+        assert expr.right.op is BinaryOp.CONCAT
+
+    def test_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr.op is BinaryOp.ADD
+
+    def test_comparison_chain(self):
+        expr = parse_expression("1 < 2 = 3 < 4")
+        assert expr.op is BinaryOp.EQ
+
+    def test_is_not_vs_is_not_null(self):
+        assert parse_expression("a IS NOT 1").op is BinaryOp.IS_NOT
+        expr = parse_expression("a IS NOT NULL")
+        assert isinstance(expr, PostfixNode)
+        assert expr.op is PostfixOp.NOTNULL
+
+    def test_is_true_forms(self):
+        assert parse_expression("a IS TRUE").op is PostfixOp.IS_TRUE
+        assert parse_expression("a IS NOT TRUE").op is \
+            PostfixOp.IS_NOT_TRUE
+
+    def test_not_in_not_like_not_between(self):
+        assert isinstance(parse_expression("a NOT IN (1)"), InListNode)
+        assert parse_expression("a NOT LIKE 'x'").op is BinaryOp.NOT_LIKE
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_case_forms(self):
+        simple = parse_expression("CASE WHEN 1 THEN 2 ELSE 3 END")
+        assert isinstance(simple, CaseNode) and simple.operand is None
+        matched = parse_expression("CASE x WHEN 1 THEN 2 END")
+        assert isinstance(matched.operand, ColumnNode)
+
+    def test_collate_postfix(self):
+        expr = parse_expression("a COLLATE NOCASE = 'b'")
+        assert expr.op is BinaryOp.EQ
+        assert isinstance(expr.left, CollateNode)
+
+    def test_unary_chain_folds_transitively(self):
+        assert parse_expression("- - 1") == LiteralNode(Value.integer(1))
+        assert parse_expression("- - -1") == \
+            LiteralNode(Value.integer(-1))
+
+    def test_unary_minus_not_folded_over_nonliteral(self):
+        expr = parse_expression("- a")
+        assert isinstance(expr, UnaryNode)
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 +")
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 2 3 FROM")
+        with pytest.raises(ParseError):
+            parse_statement("FROBNICATE t0")
+        with pytest.raises(ParseError):
+            parse_expression("CASE END")
+
+
+class TestRoundTrip:
+    """parse(render(e)) == e for generated trees — the property that ties
+    the generator, renderer, parser and both evaluators together."""
+
+    def test_random_expressions(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent.parent))
+        from support.diffharness import ExprFuzzer
+
+        from repro.sqlast.transform import fold_negative_literals
+
+        fuzzer = ExprFuzzer(99)
+        for _ in range(400):
+            expr = fuzzer.expr(4)
+            text = render_expr(expr)
+            assert parse_expression(text) == \
+                fold_negative_literals(expr), text
+
+    def test_negative_literal_folding(self):
+        expr = parse_expression("-9223372036854775808")
+        assert expr == LiteralNode(Value.integer(-(2**63)))
+
+    def test_huge_positive_integer_becomes_real(self):
+        expr = parse_expression("9223372036854775808")
+        assert expr == LiteralNode(Value.real(9.223372036854776e+18))

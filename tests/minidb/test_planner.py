@@ -1,0 +1,123 @@
+"""Planner tests: binding, optimizer rewrites, and defect rewrites."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.minidb.bugs import BugRegistry
+from repro.minidb.catalog import Column, Table
+from repro.minidb.parser import parse_expression
+from repro.minidb.planner import Scope, bind, rewrite
+from repro.sqlast.nodes import (
+    BinaryNode,
+    BinaryOp,
+    CastNode,
+    ColumnNode,
+    LiteralNode,
+    UnaryNode,
+    walk,
+)
+from repro.values import Value
+
+
+def make_scope(dialect="sqlite", columns=(("c0", "INT"),
+                                          ("c1", None))):
+    table = Table(name="t0", columns=[
+        Column(name=n, type_name=t) for n, t in columns])
+    return Scope([("t0", table)], dialect)
+
+
+class TestBinding:
+    def test_unqualified_resolution(self):
+        expr = bind(parse_expression("c0 = 1"), make_scope())
+        column = expr.left
+        assert column == ColumnNode("t0", "c0", affinity="INTEGER")
+
+    def test_qualified_resolution(self):
+        expr = bind(parse_expression("t0.c1 = 1"), make_scope())
+        assert expr.left.table == "t0"
+
+    def test_affinity_only_for_sqlite(self):
+        expr = bind(parse_expression("c0 = 1"),
+                    make_scope(dialect="mysql"))
+        assert expr.left.affinity is None
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError, match="no such column"):
+            bind(parse_expression("zz = 1"), make_scope())
+
+    def test_wrong_qualifier(self):
+        with pytest.raises(CatalogError, match="no such column"):
+            bind(parse_expression("other.c0 = 1"), make_scope())
+
+    def test_ambiguity(self):
+        table_a = Table(name="a", columns=[Column(name="x",
+                                                  type_name=None)])
+        table_b = Table(name="b", columns=[Column(name="x",
+                                                  type_name=None)])
+        scope = Scope([("a", table_a), ("b", table_b)], "sqlite")
+        with pytest.raises(CatalogError, match="ambiguous"):
+            bind(parse_expression("x = 1"), scope)
+
+    def test_collation_annotation(self):
+        table = Table(name="t0", columns=[
+            Column(name="c0", type_name="TEXT", collation="NOCASE")])
+        scope = Scope([("t0", table)], "sqlite")
+        expr = bind(parse_expression("c0 = 'a'"), scope)
+        assert expr.left.collation == "NOCASE"
+
+
+class TestRewrites:
+    def test_clean_rewrite_is_identity(self):
+        expr = bind(parse_expression("NOT (NOT c0)"),
+                    make_scope("mysql"))
+        out = rewrite(expr, "mysql", BugRegistry(), make_scope("mysql"))
+        assert out == expr
+
+    def test_double_negation_defect(self):
+        scope = make_scope("mysql")
+        expr = bind(parse_expression("NOT (NOT c0)"), scope)
+        out = rewrite(expr, "mysql",
+                      BugRegistry({"mysql-double-negation"}), scope)
+        assert isinstance(out, ColumnNode)
+
+    def test_nullsafe_range_defect_folds_to_null(self):
+        table = Table(name="t0", columns=[
+            Column(name="c0", type_name="TINYINT")])
+        scope = Scope([("t0", table)], "mysql")
+        expr = bind(parse_expression("c0 <=> 2035382037"), scope)
+        out = rewrite(expr, "mysql",
+                      BugRegistry({"mysql-nullsafe-range"}), scope)
+        assert isinstance(out, LiteralNode) and out.value.is_null
+
+    def test_nullsafe_range_in_range_untouched(self):
+        table = Table(name="t0", columns=[
+            Column(name="c0", type_name="TINYINT")])
+        scope = Scope([("t0", table)], "mysql")
+        expr = bind(parse_expression("c0 <=> 100"), scope)
+        out = rewrite(expr, "mysql",
+                      BugRegistry({"mysql-nullsafe-range"}), scope)
+        assert out == expr
+
+    def test_like_affinity_defect_rewrites_to_cast_equality(self):
+        scope = make_scope("sqlite")
+        expr = bind(parse_expression("c0 LIKE './'"), scope)
+        out = rewrite(expr, "sqlite",
+                      BugRegistry({"sqlite-like-affinity-opt"}), scope)
+        assert isinstance(out, BinaryNode) and out.op is BinaryOp.EQ
+        assert isinstance(out.right, CastNode)
+
+    def test_like_with_wildcards_not_rewritten(self):
+        scope = make_scope("sqlite")
+        expr = bind(parse_expression("c0 LIKE '.%'"), scope)
+        out = rewrite(expr, "sqlite",
+                      BugRegistry({"sqlite-like-affinity-opt"}), scope)
+        assert out == expr
+
+    def test_like_on_text_column_not_rewritten(self):
+        table = Table(name="t0", columns=[
+            Column(name="c0", type_name="TEXT")])
+        scope = Scope([("t0", table)], "sqlite")
+        expr = bind(parse_expression("c0 LIKE './'"), scope)
+        out = rewrite(expr, "sqlite",
+                      BugRegistry({"sqlite-like-affinity-opt"}), scope)
+        assert out == expr

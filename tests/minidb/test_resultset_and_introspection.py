@@ -1,0 +1,76 @@
+"""ResultSet helpers and schema-introspection virtual tables."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.minidb.engine import Engine, ResultSet
+from repro.values import Value
+
+from ..conftest import rows, run
+
+
+class TestResultSet:
+    def test_python_rows(self):
+        rs = ResultSet(columns=["a"], rows=[(Value.integer(1),),
+                                            (Value.null(),)])
+        assert rs.python_rows() == [(1,), (None,)]
+
+    def test_len(self):
+        assert len(ResultSet()) == 0
+        assert len(ResultSet(columns=["a"],
+                             rows=[(Value.integer(1),)])) == 1
+
+
+class TestSqliteMaster:
+    def test_views_listed(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE VIEW v AS SELECT t.a FROM t")
+        out = rows(engine.execute(
+            "SELECT type, name, tbl_name FROM sqlite_master"))
+        assert ("view", "v", "v") in out
+
+    def test_filterable_with_where(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)")
+        out = rows(engine.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"))
+        assert out == [("i",)]
+
+    def test_not_available_in_other_dialects(self, pg_engine):
+        with pytest.raises(CatalogError):
+            pg_engine.execute("SELECT * FROM sqlite_master")
+
+
+class TestInformationSchema:
+    def test_postgres_sees_it(self, pg_engine):
+        pg_engine.execute("CREATE TABLE t(a INT)")
+        out = rows(pg_engine.execute(
+            "SELECT table_name, table_type FROM "
+            "information_schema.tables"))
+        assert ("t", "BASE TABLE") in out
+
+    def test_views_marked(self, mysql_engine):
+        run(mysql_engine, "CREATE TABLE t(a INT)",
+            "CREATE VIEW v AS SELECT t.a FROM t")
+        out = rows(mysql_engine.execute(
+            "SELECT table_name FROM information_schema.tables "
+            "WHERE table_type = 'VIEW'"))
+        assert out == [("v",)]
+
+    def test_not_available_in_sqlite(self, engine):
+        with pytest.raises(CatalogError):
+            engine.execute("SELECT * FROM information_schema.tables")
+
+
+class TestResolveRelation:
+    def test_unknown_relation(self, engine):
+        with pytest.raises(CatalogError, match="no such table"):
+            engine.resolve_relation("ghost")
+
+    def test_view_materialization_is_fresh(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "CREATE VIEW v AS SELECT t.a FROM t",
+            "INSERT INTO t(a) VALUES (1)")
+        first = engine.resolve_relation("v")
+        engine.execute("INSERT INTO t(a) VALUES (2)")
+        second = engine.resolve_relation("v")
+        assert len(first.rows) == 1 and len(second.rows) == 2

@@ -1,0 +1,70 @@
+"""Statement dataclass sanity and the statement-kind taxonomy used by
+the error oracle and the Figure 3 classifier."""
+
+import pytest
+
+from repro.core.error_oracle import EXPECTED_ERRORS, statement_kind
+from repro.campaigns.metrics import FIGURE3_CATEGORIES, classify_statement
+from repro.minidb import statements as st
+from repro.minidb.parser import parse_statement
+
+
+class TestStatementDataclasses:
+    def test_select_defaults(self):
+        select = st.Select(items=[st.SelectItem(expr=None)])
+        assert select.tables == [] and select.joins == []
+        assert not select.distinct and select.compound is None
+
+    def test_maintenance_fields(self):
+        maint = st.Maintenance(command="VACUUM", full=True)
+        assert maint.full and maint.target is None
+
+    def test_independent_default_lists(self):
+        a = st.Select(items=[])
+        b = st.Select(items=[])
+        a.tables.append("t")
+        assert b.tables == []
+
+
+class TestKindTaxonomy:
+    """Every statement the parser can produce maps to a known kind, and
+    every kind has an expected-error policy."""
+
+    SAMPLES = [
+        "CREATE TABLE t(a)",
+        "CREATE UNIQUE INDEX i ON t(a)",
+        "CREATE VIEW v AS SELECT 1",
+        "CREATE STATISTICS s ON a FROM t",
+        "DROP TABLE t",
+        "INSERT INTO t VALUES (1)",
+        "UPDATE t SET a = 1",
+        "DELETE FROM t",
+        "ALTER TABLE t RENAME TO u",
+        "SELECT 1",
+        "VACUUM",
+        "REINDEX",
+        "ANALYZE",
+        "CHECK TABLE t",
+        "REPAIR TABLE t",
+        "DISCARD ALL",
+        "PRAGMA x = 1",
+        "SET GLOBAL x = 1",
+        "BEGIN",
+        "COMMIT",
+        "ROLLBACK",
+    ]
+
+    @pytest.mark.parametrize("sql", SAMPLES)
+    def test_kind_has_error_policy(self, sql):
+        kind = statement_kind(sql)
+        assert kind in EXPECTED_ERRORS, kind
+
+    @pytest.mark.parametrize("sql", SAMPLES)
+    def test_kind_maps_to_figure3_category(self, sql):
+        category = classify_statement(sql)
+        assert category in FIGURE3_CATEGORIES or category in (
+            "DROP INDEX",), category
+
+    @pytest.mark.parametrize("sql", SAMPLES)
+    def test_parser_accepts_every_sample(self, sql):
+        parse_statement(sql)

@@ -1,0 +1,80 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minidb.tokens import TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.text) for t in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_and_idents(self):
+        out = kinds("SELECT c0 FROM t0")
+        assert out[0] == (TokenType.KEYWORD, "SELECT")
+        assert out[1] == (TokenType.IDENT, "c0")
+        assert out[2] == (TokenType.KEYWORD, "FROM")
+
+    def test_keyword_case_insensitive(self):
+        assert tokenize("select")[0].type is TokenType.KEYWORD
+
+    def test_eof_sentinel(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_numbers(self):
+        assert kinds("1 1.5 .5 1e3 2E-4 1.") == [
+            (TokenType.INTEGER, "1"), (TokenType.FLOAT, "1.5"),
+            (TokenType.FLOAT, ".5"), (TokenType.FLOAT, "1e3"),
+            (TokenType.FLOAT, "2E-4"), (TokenType.FLOAT, "1.")]
+
+    def test_dangling_exponent_is_ident_suffix(self):
+        out = kinds("1e")
+        assert out[0] == (TokenType.INTEGER, "1")
+        assert out[1] == (TokenType.IDENT, "e")
+
+    def test_strings_with_escapes(self):
+        out = kinds("'a''b'")
+        assert out == [(TokenType.STRING, "a'b")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'abc")
+
+    def test_blob_literal(self):
+        out = kinds("X'6162' x'00'")
+        assert out == [(TokenType.BLOB, "6162"), (TokenType.BLOB, "00")]
+
+    def test_malformed_blob(self):
+        with pytest.raises(ParseError, match="malformed blob"):
+            tokenize("X'6'")
+        with pytest.raises(ParseError, match="malformed blob"):
+            tokenize("X'6g'")
+
+    def test_quoted_identifiers(self):
+        out = kinds('"a b" `c` [d]')
+        assert [t for _, t in out] == ["a b", "c", "d"]
+
+    def test_operators_greedy(self):
+        out = [t for _, t in kinds("a<=>b <= >= << >> || != <>")]
+        assert out == ["a", "<=>", "b", "<=", ">=", "<<", ">>", "||",
+                       "!=", "<>"]
+
+    def test_comments_stripped(self):
+        assert kinds("1 -- comment\n2") == [(TokenType.INTEGER, "1"),
+                                            (TokenType.INTEGER, "2")]
+        assert kinds("1 /* block */ 2") == [(TokenType.INTEGER, "1"),
+                                            (TokenType.INTEGER, "2")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("1 /* nope")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unrecognized"):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tok = tokenize("  SELECT")[0]
+        assert tok.pos == 2

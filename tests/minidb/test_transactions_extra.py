@@ -1,0 +1,65 @@
+"""Transaction semantics under DDL and maintenance (beyond the basics)."""
+
+import pytest
+
+from repro.errors import DBError
+
+from ..conftest import rows, run
+
+
+class TestTransactionalDDL:
+    def test_rollback_reverts_create_table(self, engine):
+        run(engine, "BEGIN", "CREATE TABLE t(a)", "ROLLBACK")
+        with pytest.raises(DBError):
+            engine.execute("SELECT * FROM t")
+
+    def test_rollback_reverts_create_index(self, engine):
+        run(engine, "CREATE TABLE t(a)", "BEGIN",
+            "CREATE INDEX i ON t(a)", "ROLLBACK")
+        assert engine.catalog.indexes_on("t") == []
+
+    def test_rollback_reverts_alter(self, engine):
+        run(engine, "CREATE TABLE t(a)", "BEGIN",
+            "ALTER TABLE t RENAME COLUMN a TO z", "ROLLBACK")
+        assert rows(engine.execute("SELECT a FROM t")) == []
+
+    def test_rollback_reverts_drop(self, engine):
+        run(engine, "CREATE TABLE t(a)", "INSERT INTO t(a) VALUES (1)",
+            "BEGIN", "DROP TABLE t", "ROLLBACK")
+        assert rows(engine.execute("SELECT a FROM t")) == [(1,)]
+
+    def test_commit_keeps_ddl(self, engine):
+        run(engine, "BEGIN", "CREATE TABLE t(a)", "COMMIT",
+            "INSERT INTO t(a) VALUES (1)")
+        assert len(engine.execute("SELECT * FROM t")) == 1
+
+    def test_rollback_reverts_options(self, engine):
+        run(engine, "BEGIN", "PRAGMA case_sensitive_like = 1",
+            "ROLLBACK")
+        assert engine._option_int("case_sensitive_like") == 0
+
+
+class TestTransactionalDML:
+    def test_mixed_work_reverts_atomically(self, engine):
+        run(engine, "CREATE TABLE t(a)",
+            "INSERT INTO t(a) VALUES (1), (2)", "BEGIN",
+            "DELETE FROM t WHERE a = 1",
+            "UPDATE t SET a = 99 WHERE a = 2",
+            "INSERT INTO t(a) VALUES (3)", "ROLLBACK")
+        assert rows(engine.execute("SELECT a FROM t ORDER BY a")) == \
+            [(1,), (2,)]
+
+    def test_indexes_follow_rollback(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "INSERT INTO t(a) VALUES (1)", "BEGIN",
+            "INSERT INTO t(a) VALUES (2)", "ROLLBACK")
+        assert len(engine.catalog.index("i").entries) == 1
+
+    def test_reindex_allowed_inside_transaction(self, engine):
+        run(engine, "CREATE TABLE t(a)", "CREATE INDEX i ON t(a)",
+            "BEGIN", "REINDEX", "COMMIT")
+
+    def test_postgres_transactions(self, pg_engine):
+        run(pg_engine, "CREATE TABLE t(a INT)", "BEGIN",
+            "INSERT INTO t(a) VALUES (1)", "ROLLBACK")
+        assert rows(pg_engine.execute("SELECT a FROM t")) == []

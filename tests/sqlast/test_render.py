@@ -1,0 +1,129 @@
+"""Tests for SQL rendering of literals and expression trees."""
+
+import pytest
+
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.sqlast.render import render_expr, render_literal
+from repro.values import NULL, Value
+
+
+def lit(x):
+    return LiteralNode(Value.from_python(x))
+
+
+class TestLiterals:
+    def test_null(self):
+        assert render_literal(NULL) == "NULL"
+
+    def test_integer(self):
+        assert render_literal(Value.integer(-7)) == "-7"
+
+    def test_real_round_trips(self):
+        text = render_literal(Value.real(-9.223372036854776e+18))
+        assert float(text) == -9.223372036854776e+18
+
+    def test_real_infinity(self):
+        assert float(render_literal(Value.real(float("inf")))) == \
+            float("inf")
+
+    def test_text_escaping(self):
+        assert render_literal(Value.text("a'b")) == "'a''b'"
+
+    def test_mysql_backslash_escaping(self):
+        assert render_literal(Value.text("a\\b"), "mysql") == "'a\\\\b'"
+
+    def test_blob_sqlite(self):
+        assert render_literal(Value.blob(b"ab")) == "X'6162'"
+
+    def test_blob_postgres(self):
+        assert render_literal(Value.blob(b"ab"), "postgres") == \
+            "'\\x6162'::bytea"
+
+    def test_boolean_postgres_keyword(self):
+        assert render_literal(Value.boolean(True), "postgres") == "TRUE"
+
+    def test_boolean_sqlite_numeric(self):
+        assert render_literal(Value.boolean(True), "sqlite") == "1"
+
+
+class TestExpressions:
+    def test_unary_minus_never_forms_comment(self):
+        # "--" starts a SQL comment; nested negation must keep a space.
+        tree = UnaryNode(UnaryOp.MINUS, UnaryNode(UnaryOp.MINUS, lit(1)))
+        assert "--" not in render_expr(tree)
+
+    def test_not(self):
+        assert render_expr(UnaryNode(UnaryOp.NOT, lit(1))) == "(NOT 1)"
+
+    def test_binary_parenthesized(self):
+        tree = BinaryNode(BinaryOp.ADD, lit(1), lit(2))
+        assert render_expr(tree) == "(1 + 2)"
+
+    def test_between(self):
+        tree = BetweenNode(lit(1), lit(0), lit(2), negated=True)
+        assert render_expr(tree) == "(1 NOT BETWEEN 0 AND 2)"
+
+    def test_in_list(self):
+        tree = InListNode(lit(1), (lit(2), lit(3)))
+        assert render_expr(tree) == "(1 IN (2, 3))"
+
+    def test_cast(self):
+        assert render_expr(CastNode(lit(1), "TEXT")) == "CAST(1 AS TEXT)"
+
+    def test_collate(self):
+        tree = CollateNode(lit("a"), "NOCASE")
+        assert render_expr(tree) == "('a' COLLATE NOCASE)"
+
+    def test_case_searched(self):
+        tree = CaseNode(None, ((lit(1), lit(2)),), lit(3))
+        assert render_expr(tree) == "(CASE WHEN 1 THEN 2 ELSE 3 END)"
+
+    def test_case_with_operand(self):
+        tree = CaseNode(lit(9), ((lit(1), lit(2)),), None)
+        assert render_expr(tree) == "(CASE 9 WHEN 1 THEN 2 END)"
+
+    def test_function(self):
+        tree = FunctionNode("ABS", (lit(-1),))
+        assert render_expr(tree) == "ABS(-1)"
+
+    def test_column(self):
+        assert render_expr(ColumnNode("t0", "c0")) == "t0.c0"
+
+    def test_postfix_isnull_sqlite_vs_postgres(self):
+        tree = PostfixNode(PostfixOp.ISNULL, lit(1))
+        assert render_expr(tree, "sqlite") == "(1 ISNULL)"
+        assert render_expr(tree, "postgres") == "(1 IS NULL)"
+
+    def test_postfix_is_not_true(self):
+        tree = PostfixNode(PostfixOp.IS_NOT_TRUE, lit(1))
+        assert render_expr(tree) == "(1 IS NOT TRUE)"
+
+    def test_is_vs_is_not(self):
+        assert render_expr(BinaryNode(BinaryOp.IS_NOT, lit(1), lit(2))) \
+            == "(1 IS NOT 2)"
+
+    def test_null_safe_eq(self):
+        assert render_expr(
+            BinaryNode(BinaryOp.NULL_SAFE_EQ, lit(1), lit(2))) == \
+            "(1 <=> 2)"
+
+    def test_unknown_node_rejected(self):
+        from repro.sqlast.nodes import Expr
+
+        with pytest.raises(ValueError):
+            render_expr(Expr())

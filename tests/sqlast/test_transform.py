@@ -1,0 +1,85 @@
+"""Tests for bottom-up tree transformation."""
+
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+    walk,
+)
+from repro.sqlast.transform import transform
+from repro.values import Value
+
+ONE = LiteralNode(Value.integer(1))
+TWO = LiteralNode(Value.integer(2))
+
+
+def replace_one_with_two(node):
+    if node == ONE:
+        return TWO
+    return None
+
+
+class TestTransform:
+    def test_identity_returns_same_object(self):
+        tree = BinaryNode(BinaryOp.ADD, ONE, ONE)
+        assert transform(tree, lambda n: None) is tree
+
+    def test_leaf_replacement_everywhere(self):
+        tree = BinaryNode(BinaryOp.ADD, ONE,
+                          UnaryNode(UnaryOp.MINUS, ONE))
+        out = transform(tree, replace_one_with_two)
+        assert all(n != ONE for n in walk(out))
+
+    def test_root_replacement(self):
+        out = transform(ONE, replace_one_with_two)
+        assert out == TWO
+
+    def test_bottom_up_order(self):
+        # fn sees rebuilt children: replacing 1->2 then 2+2 -> 0.
+        def fold(node):
+            if node == ONE:
+                return TWO
+            if isinstance(node, BinaryNode) and node.left == TWO \
+                    and node.right == TWO:
+                return LiteralNode(Value.integer(0))
+            return None
+
+        tree = BinaryNode(BinaryOp.ADD, ONE, TWO)
+        assert transform(tree, fold) == LiteralNode(Value.integer(0))
+
+    def test_all_node_kinds_traversed(self):
+        tree = CaseNode(
+            operand=InListNode(ONE, (CastNode(ONE, "TEXT"),)),
+            whens=((CollateNode(ONE, "NOCASE"),
+                    FunctionNode("ABS", (ONE,))),),
+            else_=BetweenNode(ONE, ONE, PostfixNode(PostfixOp.ISNULL,
+                                                    ONE)))
+        out = transform(tree, replace_one_with_two)
+        assert all(n != ONE for n in walk(out))
+
+    def test_original_tree_untouched(self):
+        tree = BinaryNode(BinaryOp.ADD, ONE, ONE)
+        transform(tree, replace_one_with_two)
+        assert tree.left == ONE
+
+    def test_column_rebind(self):
+        tree = BinaryNode(BinaryOp.EQ, ColumnNode("", "c0"), ONE)
+
+        def bind(node):
+            if isinstance(node, ColumnNode) and not node.table:
+                return ColumnNode("t0", node.column, affinity="INTEGER")
+            return None
+
+        out = transform(tree, bind)
+        assert out.left == ColumnNode("t0", "c0", affinity="INTEGER")

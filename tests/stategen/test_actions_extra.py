@@ -1,0 +1,89 @@
+"""Transaction and DROP action generation (the Figure 3 long tail)."""
+
+from repro.core.schema import ColumnModel, SchemaModel, TableModel
+from repro.dialects import get_dialect
+from repro.rng import RandomSource
+from repro.stategen.actions import ActionGenerator
+
+
+def generator_with_table(dialect="sqlite", seed=1):
+    schema = SchemaModel(dialect=dialect)
+    schema.tables.append(TableModel(
+        name="t0", columns=[ColumnModel(name="c0")]))
+    return schema, ActionGenerator(get_dialect(dialect), schema,
+                                   RandomSource(seed))
+
+
+class TestTransactions:
+    def test_begin_then_close(self):
+        _schema, actions = generator_with_table()
+        begin = actions._transaction()
+        assert begin.sql == "BEGIN"
+        begin.on_success()
+        assert actions.in_transaction
+        closer = actions._transaction()
+        assert closer.sql in ("COMMIT", "ROLLBACK")
+        closer.on_success()
+        assert not actions.in_transaction
+
+    def test_close_transaction_balances(self):
+        _schema, actions = generator_with_table()
+        assert actions.close_transaction() is None
+        actions._transaction().on_success()
+        closer = actions.close_transaction()
+        assert closer is not None and closer.sql == "COMMIT"
+        closer.on_success()
+        assert actions.close_transaction() is None
+
+    def test_stream_is_balanced(self):
+        _schema, actions = generator_with_table(seed=9)
+        depth = 0
+        for _ in range(500):
+            generated = actions.random_action()
+            if generated is None or generated.kind != "TRANSACTION":
+                continue
+            if generated.sql == "BEGIN":
+                assert depth == 0
+                depth += 1
+            else:
+                assert depth == 1
+                depth -= 1
+            if generated.on_success:
+                generated.on_success()
+        assert depth in (0, 1)
+
+
+class TestDrops:
+    def test_drop_index_after_create(self):
+        schema, actions = generator_with_table(seed=2)
+        schema.index_names.append("i0")
+        generated = actions._drop()
+        assert generated is not None
+        assert generated.sql == "DROP INDEX i0"
+        generated.on_success()
+        assert schema.index_names == []
+
+    def test_drop_view_removes_model(self):
+        schema, actions = generator_with_table(seed=3)
+        view = TableModel(name="v0", columns=[ColumnModel(name="c0")],
+                          is_view=True)
+        schema.tables.append(view)
+        # Force the view branch by leaving no index names.
+        generated = actions._drop()
+        assert generated is not None
+        assert generated.sql == "DROP VIEW v0"
+        generated.on_success()
+        assert view not in schema.tables
+
+    def test_nothing_to_drop(self):
+        _schema, actions = generator_with_table(seed=4)
+        assert actions._drop() is None
+
+    def test_base_tables_never_dropped(self):
+        schema, actions = generator_with_table(seed=5)
+        schema.index_names.append("i0")
+        for _ in range(100):
+            generated = actions._drop()
+            if generated is None:
+                continue
+            assert not generated.sql.startswith("DROP TABLE")

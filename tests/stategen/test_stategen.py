@@ -1,0 +1,172 @@
+"""Random state generation: every generated statement must be accepted
+(or fail only with expected errors) by the target dialect's engine."""
+
+import pytest
+
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.core.error_oracle import ErrorOracle
+from repro.core.schema import SchemaModel
+from repro.dialects import get_dialect
+from repro.errors import DBError
+from repro.minidb.bugs import BugRegistry
+from repro.rng import RandomSource
+from repro.stategen.actions import ActionGenerator, ActionWeights
+from repro.stategen.data_gen import DataGenerator
+from repro.stategen.schema_gen import SchemaGenerator
+
+
+def generators(dialect="sqlite", seed=1):
+    schema = SchemaModel(dialect=dialect)
+    rng = RandomSource(seed)
+    return schema, ActionGenerator(get_dialect(dialect), schema, rng)
+
+
+@pytest.mark.parametrize("dialect", ["sqlite", "mysql", "postgres"])
+class TestGeneratedStatementsAreValid:
+    """The generator's output must parse and execute; the only tolerated
+    failures are ones the error oracle expects."""
+
+    def test_thousand_statements(self, dialect):
+        oracle = ErrorOracle(dialect)
+        for seed in range(8):
+            conn = MiniDBConnection(dialect, bugs=BugRegistry())
+            schema, actions = generators(dialect, seed)
+            statements = list(actions.initial_statements(2, 8))
+            for _ in range(120):
+                generated = actions.random_action()
+                if generated is not None:
+                    statements.append(generated)
+            for generated in statements:
+                try:
+                    conn.execute(generated.sql)
+                except DBError as exc:
+                    verdict = oracle.classify(generated.sql, exc)
+                    assert verdict.expected, (generated.sql, exc.message)
+                else:
+                    if generated.on_success:
+                        generated.on_success()
+
+    def test_every_table_gets_seed_rows(self, dialect):
+        conn = MiniDBConnection(dialect)
+        schema, actions = generators(dialect, seed=3)
+        for generated in actions.initial_statements(2, 6):
+            try:
+                conn.execute(generated.sql)
+            except DBError:
+                continue
+            if generated.on_success:
+                generated.on_success()
+        for table in schema.base_tables():
+            rows = conn.execute(f"SELECT * FROM {table.name}")
+            assert len(rows) >= 1, table.name
+
+
+class TestSchemaGenerator:
+    def test_fresh_names_monotonic(self):
+        schema, _ = generators()
+        assert schema.fresh_table_name() == "t0"
+        assert schema.fresh_table_name() == "t1"
+        assert schema.fresh_index_name() == "i0"
+        assert schema.fresh_view_name() == "v0"
+
+    def test_model_matches_sql_columns(self):
+        schema, actions = generators(seed=7)
+        for _ in range(30):
+            sql, model = actions.schema_gen.create_table()
+            assert f"CREATE TABLE {model.name}(" in sql
+            for column in model.columns:
+                assert column.name in sql
+
+    def test_mysql_tables_always_typed(self):
+        schema, actions = generators("mysql", seed=8)
+        for _ in range(30):
+            _sql, model = actions.schema_gen.create_table()
+            assert all(c.type_name for c in model.columns)
+
+    def test_pg_inherits_merges_parent_columns(self):
+        schema, actions = generators("postgres", seed=3)
+        found_child = False
+        for _ in range(80):
+            sql, model = actions.schema_gen.create_table()
+            schema.tables.append(model)
+            if model.inherits:
+                found_child = True
+                parent = schema.table(model.inherits)
+                parent_names = [c.name for c in parent.columns]
+                assert [c.name for c in
+                        model.columns[:len(parent_names)]] == parent_names
+        assert found_child
+
+    def test_view_model_mirrors_projection(self):
+        schema, actions = generators(seed=9)
+        _sql, table = actions.schema_gen.create_table()
+        schema.tables.append(table)
+        sql, view = actions.schema_gen.create_view(table)
+        assert sql.startswith(f"CREATE VIEW {view.name} AS SELECT")
+        assert view.is_view
+        assert all(any(c.name == vc.name for c in table.columns)
+                   for vc in view.columns)
+
+
+class TestDataGenerator:
+    def test_insert_respects_not_null(self):
+        from repro.core.schema import ColumnModel, TableModel
+
+        schema = SchemaModel(dialect="sqlite")
+        rng = RandomSource(5)
+        data = DataGenerator(get_dialect("sqlite"), schema, rng)
+        table = TableModel(name="t", columns=[
+            ColumnModel(name="c0", not_null=True)])
+        for _ in range(80):
+            sql = data.insert(table)
+            assert "NULL" not in sql.split("VALUES")[1].upper()
+
+    def test_statement_kinds(self):
+        from repro.core.schema import ColumnModel, TableModel
+
+        schema = SchemaModel(dialect="sqlite")
+        data = DataGenerator(get_dialect("sqlite"), schema,
+                             RandomSource(6))
+        table = TableModel(name="t", columns=[ColumnModel(name="c0")])
+        assert data.update(table).startswith("UPDATE")
+        assert data.delete(table).startswith("DELETE FROM t")
+
+
+class TestActionGenerator:
+    def test_weights_steer_distribution(self):
+        weights = ActionWeights(insert=1.0, update=0.0, delete=0.0,
+                                create_index=0.0, create_view=0.0,
+                                alter=0.0, maintenance=0.0, option=0.0,
+                                transaction=0.0, drop=0.0)
+        schema, _ = generators()
+        rng = RandomSource(2)
+        actions = ActionGenerator(get_dialect("sqlite"), schema, rng,
+                                  weights=weights)
+        from repro.core.schema import ColumnModel, TableModel
+
+        schema.tables.append(TableModel(
+            name="t", columns=[ColumnModel(name="c0")]))
+        kinds = {actions.random_action().kind for _ in range(40)}
+        assert kinds == {"INSERT"}
+
+    def test_no_action_without_tables(self):
+        schema, actions = generators()
+        assert actions.random_action() is None
+
+    def test_dialect_specific_maintenance(self):
+        from repro.core.schema import ColumnModel, TableModel
+
+        for dialect, expected in (("sqlite", {"VACUUM", "REINDEX",
+                                              "ANALYZE"}),
+                                  ("mysql", {"ANALYZE", "CHECK TABLE",
+                                             "REPAIR TABLE"})):
+            schema, actions = generators(dialect, seed=4)
+            schema.tables.append(TableModel(
+                name="t", columns=[ColumnModel(name="c0",
+                                               type_name="INT")]))
+            seen = set()
+            for _ in range(300):
+                generated = actions._maintenance(schema.tables[0])
+                if generated is not None:
+                    seen.add(generated.kind)
+            assert expected <= seen

@@ -1,0 +1,1 @@
+"""Shared test infrastructure (not a test module)."""

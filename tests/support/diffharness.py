@@ -1,0 +1,209 @@
+"""Differential harness: oracle interpreter vs the real SQLite.
+
+This is the ground-truth check behind the paper's claim that the AST
+interpreter is an *exact* oracle: we generate random expression trees in
+the fragment the PQS generator emits, evaluate them with
+:class:`repro.interp.Interpreter`, and compare against the stdlib
+``sqlite3`` engine.  A mismatch is either an interpreter bug (ours) or a
+real SQLite bug (exciting, but unlikely at this expression depth).
+
+The harness intentionally mirrors the *generator's* constraints — e.g.
+SUBSTR start/length arguments are small integer literals, because
+SQLite's own substr() suffers int64 overflow for astronomically large
+computed offsets and SQLancer, like us, simply does not generate those.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.interp import make_interpreter
+from repro.sqlast.nodes import (
+    BetweenNode,
+    BinaryNode,
+    BinaryOp,
+    CaseNode,
+    CastNode,
+    CollateNode,
+    ColumnNode,
+    Expr,
+    FunctionNode,
+    InListNode,
+    LiteralNode,
+    PostfixNode,
+    PostfixOp,
+    UnaryNode,
+    UnaryOp,
+)
+from repro.sqlast.render import render_expr
+from repro.values import NULL, Value
+
+INT_POOL = [0, 1, -1, 2, 3, 10, 255, -128, 2**31 - 1, -(2**31), 2**63 - 1,
+            -(2**63), 2851427734582196970]
+REAL_POOL = [0.0, 0.5, -0.5, -1.5, 1e10, 9e99, 1e-5, 123.25]
+TEXT_POOL = ["", "a", "A", "ab", "aB", "5abc", "./", "1.0", " 12 ", "%",
+             "a%", "_", "*", "abc", "9e99", "28514277345821969705", "  a",
+             "a  ", "0.5", "-1"]
+# ASCII-only, NUL-free blobs: SQLite's C-string handling of embedded NUL
+# bytes in TEXT values (LENGTH stops at NUL, HEX does not) is outside the
+# modeled fragment, exactly as SQLancer excludes untestable corners.
+BLOB_POOL = [b"", b"ab", b"a", b"zz", b"AB"]
+CAST_TYPES = ["INTEGER", "REAL", "TEXT", "BLOB", "NUMERIC"]
+COLLATIONS = ["BINARY", "NOCASE", "RTRIM"]
+
+#: (name, arity); SUBSTR handled specially (small literal offsets).
+FUNCTIONS = [("ABS", 1), ("LENGTH", 1), ("LOWER", 1), ("UPPER", 1),
+             ("TYPEOF", 1), ("COALESCE", 2), ("COALESCE", 3), ("IFNULL", 2),
+             ("NULLIF", 2), ("MIN", 2), ("MAX", 3), ("INSTR", 2),
+             ("TRIM", 1), ("LTRIM", 2), ("RTRIM", 2), ("ROUND", 1),
+             ("HEX", 1)]
+
+BINARY_OPS = [
+    BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV, BinaryOp.MOD,
+    BinaryOp.EQ, BinaryOp.NE, BinaryOp.LT, BinaryOp.LE, BinaryOp.GT,
+    BinaryOp.GE, BinaryOp.IS, BinaryOp.IS_NOT, BinaryOp.AND, BinaryOp.OR,
+    BinaryOp.CONCAT, BinaryOp.LIKE, BinaryOp.NOT_LIKE, BinaryOp.GLOB,
+    BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL, BinaryOp.SHR,
+]
+
+
+class ExprFuzzer:
+    """Random expression trees in the exactly-modeled SQLite fragment."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    def literal(self) -> LiteralNode:
+        k = self.rng.randrange(6)
+        if k == 0:
+            return LiteralNode(NULL)
+        if k == 1:
+            return LiteralNode(Value.integer(self.rng.choice(INT_POOL)))
+        if k == 2:
+            return LiteralNode(Value.real(self.rng.choice(REAL_POOL)))
+        if k == 3:
+            return LiteralNode(Value.text(self.rng.choice(TEXT_POOL)))
+        if k == 4:
+            return LiteralNode(Value.blob(self.rng.choice(BLOB_POOL)))
+        return LiteralNode(Value.integer(self.rng.randrange(-100, 100)))
+
+    def expr(self, depth: int) -> Expr:
+        if depth <= 0:
+            return self.literal()
+        k = self.rng.randrange(16)
+        if k < 2:
+            return self.literal()
+        if k < 4:
+            op = self.rng.choice([UnaryOp.NOT, UnaryOp.MINUS, UnaryOp.BITNOT,
+                                  UnaryOp.PLUS])
+            return UnaryNode(op, self.expr(depth - 1))
+        if k < 5:
+            return PostfixNode(self.rng.choice(list(PostfixOp)),
+                               self.expr(depth - 1))
+        if k < 6:
+            name, arity = self.rng.choice(FUNCTIONS)
+            return FunctionNode(name,
+                                tuple(self.expr(depth - 1)
+                                      for _ in range(arity)))
+        if k < 7:
+            # SUBSTR with small literal offsets (see module docstring).
+            # Two-argument ROUND is excluded from the exactly-modeled
+            # fragment: SQLite's digit extraction for |x|*10^n beyond 15
+            # significant digits depends on its custom printf.
+            start = LiteralNode(Value.integer(self.rng.randrange(-6, 7)))
+            length = LiteralNode(Value.integer(self.rng.randrange(-6, 7)))
+            return FunctionNode("SUBSTR", (self.expr(depth - 1), start,
+                                           length))
+        if k < 8:
+            return CastNode(self.expr(depth - 1), self.rng.choice(CAST_TYPES))
+        if k < 9:
+            return CollateNode(self.expr(depth - 1),
+                               self.rng.choice(COLLATIONS))
+        if k < 10:
+            return BetweenNode(self.expr(depth - 1), self.expr(depth - 1),
+                               self.expr(depth - 1), self.rng.random() < 0.5)
+        if k < 11:
+            items = tuple(self.expr(depth - 1)
+                          for _ in range(self.rng.randrange(1, 4)))
+            return InListNode(self.expr(depth - 1), items,
+                              self.rng.random() < 0.5)
+        if k < 12:
+            whens = tuple((self.expr(depth - 1), self.expr(depth - 1))
+                          for _ in range(self.rng.randrange(1, 3)))
+            else_ = self.expr(depth - 1) if self.rng.random() < 0.7 else None
+            operand = self.expr(depth - 1) if self.rng.random() < 0.3 else None
+            return CaseNode(operand, whens, else_)
+        op = self.rng.choice(BINARY_OPS)
+        return BinaryNode(op, self.expr(depth - 1), self.expr(depth - 1))
+
+
+def sqlite_result(connection, expr: Expr):
+    """Evaluate *expr* with the real SQLite; returns (ok, value_or_error)."""
+    sql = "SELECT " + render_expr(expr)
+    try:
+        row = connection.execute(sql).fetchone()
+    except Exception as exc:  # noqa: BLE001 - sqlite3 raises many types
+        return False, str(exc)
+    value = row[0]
+    if isinstance(value, memoryview):
+        value = bytes(value)
+    return True, value
+
+
+def oracle_result(interpreter, expr: Expr):
+    """Evaluate *expr* with the oracle; returns (ok, python_value_or_error)."""
+    try:
+        out = interpreter.evaluate(expr, {})
+    except Exception as exc:  # noqa: BLE001
+        return False, str(exc)
+    return True, None if out.is_null else out.v
+
+
+def values_match(expected, got) -> bool:
+    if isinstance(expected, float) and isinstance(got, float):
+        if expected != expected and got != got:
+            return True
+        return expected == got
+    return type(expected) is type(got) and expected == got
+
+
+def minimize_mismatch(connection, interpreter, expr: Expr) -> Expr:
+    """Descend into *expr* to find the smallest mismatching subtree."""
+    current = expr
+    while True:
+        for child in current.children():
+            ok_o, exp = oracle_result(interpreter, child)
+            ok_e, got = sqlite_result(connection, child)
+            if ok_o and ok_e and not values_match(exp, got):
+                current = child
+                break
+        else:
+            return current
+
+
+def run_differential(iterations: int, seed: int, depth: int = 3):
+    """Run the differential loop; returns (checked, list_of_mismatches)."""
+    import sqlite3
+
+    fuzzer = ExprFuzzer(seed)
+    interpreter = make_interpreter("sqlite")
+    connection = sqlite3.connect(":memory:")
+    mismatches = []
+    checked = 0
+    for _ in range(iterations):
+        expr = fuzzer.expr(depth)
+        ok_o, expected = oracle_result(interpreter, expr)
+        if not ok_o:
+            continue
+        ok_e, got = sqlite_result(connection, expr)
+        if not ok_e:
+            mismatches.append(("engine-error", render_expr(expr), got, None))
+            continue
+        checked += 1
+        if not values_match(expected, got):
+            small = minimize_mismatch(connection, interpreter, expr)
+            mismatches.append(
+                ("mismatch", render_expr(small),
+                 oracle_result(interpreter, small)[1],
+                 sqlite_result(connection, small)[1]))
+    return checked, mismatches

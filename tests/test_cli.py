@@ -1,0 +1,97 @@
+"""CLI smoke tests (argument plumbing, not rendering details)."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_no_command_prints_help(self):
+        code, output = run_cli()
+        assert code == 2
+        assert "hunt" in output
+
+    def test_unknown_dialect_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["hunt", "--dialect", "oracle"])
+
+
+class TestBugs:
+    def test_lists_all(self):
+        code, output = run_cli("bugs")
+        assert code == 0
+        assert "sqlite-partial-index-is-not" in output
+        assert "23 defect(s)" in output
+
+    def test_dialect_filter(self):
+        code, output = run_cli("bugs", "--dialect", "mysql")
+        assert "mysql-double-negation" in output
+        assert "sqlite-" not in output
+
+
+class TestHunt:
+    def test_single_bug_hunt(self):
+        # Detection odds are per-seed; scan a few so probability shifts
+        # in the generators don't make this test flaky.
+        for seed in range(6):
+            code, output = run_cli(
+                "hunt", "--dialect", "sqlite", "--databases", "60",
+                "--seed", str(seed),
+                "--bugs", "sqlite-partial-index-is-not")
+            assert code == 0
+            if "detected 1 distinct defect(s)" in output:
+                assert "sqlite-partial-index-is-not" in output
+                return
+        raise AssertionError("no seed in 0..5 detected the defect")
+
+    def test_no_reduce_flag(self):
+        code, output = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "5",
+            "--seed", "2", "--no-reduce")
+        assert code == 0
+
+
+class TestReplay:
+    LISTING1 = (
+        "CREATE TABLE t0(c0);\n"
+        "CREATE INDEX i0 ON t0(1) WHERE c0 NOT NULL;\n"
+        "INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL);\n"
+        "SELECT c0 FROM t0 WHERE t0.c0 IS NOT 1;\n")
+
+    def test_manifesting_case(self, tmp_path):
+        path = tmp_path / "case.sql"
+        path.write_text(self.LISTING1)
+        code, output = run_cli("replay", str(path))
+        assert code == 1
+        assert "sqlite-partial-index-is-not" in output
+
+    def test_clean_case(self, tmp_path):
+        path = tmp_path / "clean.sql"
+        path.write_text("CREATE TABLE t(a);\nSELECT * FROM t;\n")
+        code, output = run_cli("replay", str(path))
+        assert code == 0
+        assert "manifests" in output
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.sql"
+        path.write_text("  \n")
+        code, _output = run_cli("replay", str(path))
+        assert code == 2
+
+
+class TestSQLiteCommand:
+    def test_clean_run_exits_zero(self):
+        code, output = run_cli("sqlite", "--databases", "3",
+                               "--seed", "5")
+        assert code == 0
+        assert "no findings" in output

@@ -1,0 +1,55 @@
+"""End-to-end determinism: the same seed reproduces the same campaign,
+byte for byte — the property that makes every reported finding
+re-runnable from (seed, config) alone."""
+
+from repro.campaigns.campaign import Campaign, CampaignConfig
+from repro.core.runner import PQSRunner, RunnerConfig
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.minidb.bugs import BugRegistry
+
+
+def fingerprint(result):
+    return [
+        (r.oracle.value, r.message, tuple(r.test_case.statements),
+         r.triage, tuple(r.attributed_bugs))
+        for r in result.reports
+    ]
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_same_findings(self):
+        config_a = CampaignConfig(dialect="sqlite", seed=42, databases=40)
+        config_b = CampaignConfig(dialect="sqlite", seed=42, databases=40)
+        a = Campaign(config_a).run()
+        b = Campaign(config_b).run()
+        assert fingerprint(a) == fingerprint(b)
+        assert a.stats.statements == b.stats.statements
+        assert a.stats.queries == b.stats.queries
+
+    def test_different_seeds_differ(self):
+        a = Campaign(CampaignConfig(dialect="sqlite", seed=1,
+                                    databases=10)).run()
+        b = Campaign(CampaignConfig(dialect="sqlite", seed=2,
+                                    databases=10)).run()
+        assert a.stats.statements != b.stats.statements or \
+            fingerprint(a) != fingerprint(b)
+
+
+class TestRunnerDeterminism:
+    def test_statement_streams_identical(self):
+        streams = []
+        for _ in range(2):
+            captured = []
+
+            class Recording(MiniDBConnection):
+                def execute(self, sql):
+                    captured.append(sql)
+                    return super().execute(sql)
+
+            runner = PQSRunner(
+                lambda: Recording("mysql", bugs=BugRegistry()),
+                RunnerConfig(dialect="mysql", seed=77))
+            runner.run(5)
+            streams.append(captured)
+        assert streams[0] == streams[1]
+        assert len(streams[0]) > 100

@@ -1,0 +1,114 @@
+"""The paper's motivation, measured: identical SQL disagrees across
+dialects, which is why differential testing fails for DBMS (§1, §2) and
+PQS tests each dialect against its own exact oracle instead.
+"""
+
+import pytest
+
+from repro.errors import DBError
+from repro.minidb.engine import Engine
+
+DIALECTS = ("sqlite", "mysql", "postgres")
+
+
+def result_or_error(dialect: str, sql: str):
+    engine = Engine(dialect)
+    try:
+        return ("rows", engine.execute(sql).python_rows())
+    except DBError as exc:
+        return ("error", type(exc).__name__)
+
+
+class TestDivergentExpressions:
+    @pytest.mark.parametrize("sql", [
+        "SELECT '1' = 1",      # affinity vs numeric coercion vs error
+        "SELECT 5 / 2",        # 2 vs 2.5 vs 2
+        "SELECT 'a' = 'A'",    # BINARY vs case-insensitive vs BINARY
+        "SELECT 1 / 0",        # NULL vs NULL vs error
+        "SELECT NOT '0.5'",    # implicit conversion chains
+    ])
+    def test_no_common_semantics(self, sql):
+        outcomes = {d: repr(result_or_error(d, sql)) for d in DIALECTS}
+        assert len(set(outcomes.values())) >= 2, outcomes
+
+    def test_division_semantics_all_three_differ(self):
+        outcomes = {d: result_or_error(d, "SELECT 5 / 2")
+                    for d in DIALECTS}
+        assert outcomes["sqlite"] == ("rows", [(2,)])
+        assert outcomes["mysql"] == ("rows", [(2.5,)])
+        assert outcomes["postgres"] == ("rows", [(2,)])
+        # ...and even where sqlite/postgres agree on 5/2, they diverge
+        # on division by zero:
+        assert result_or_error("sqlite", "SELECT 1 / 0")[0] == "rows"
+        assert result_or_error("postgres", "SELECT 1 / 0")[0] == "error"
+
+    def test_is_not_on_values_is_sqlite_only(self):
+        # Paper §1: "both MySQL and PostgreSQL lack an operator IS NOT
+        # that can be applied to integers" the way Listing 1 needs.
+        # (MiniDB-mysql models IS via <=>-style null-safe equality; the
+        # strict dialect rejects mixed types outright.)
+        assert result_or_error("sqlite",
+                               "SELECT NULL IS NOT 1") == ("rows", [(1,)])
+        assert result_or_error("postgres",
+                               "SELECT NULL IS NOT 1")[0] == "rows"
+
+    def test_is_not_true_differs_from_is_not_one(self):
+        # The paper: IS NOT TRUE exists everywhere but means something
+        # else — for SQLite it checks the boolean interpretation.
+        engine = Engine("sqlite")
+        engine.execute("CREATE TABLE t0(c0)")
+        engine.execute(
+            "INSERT INTO t0(c0) VALUES (0), (1), (2), (3), (NULL)")
+        is_not_one = engine.execute(
+            "SELECT c0 FROM t0 WHERE c0 IS NOT 1").python_rows()
+        is_not_true = engine.execute(
+            "SELECT c0 FROM t0 WHERE c0 IS NOT TRUE").python_rows()
+        assert (None,) in is_not_one and len(is_not_one) == 4
+        # IS NOT TRUE keeps 0 and NULL: a different row set entirely.
+        assert sorted(is_not_true, key=str) == [(0,), (None,)]
+
+
+class TestDivergentDDL:
+    def test_untyped_columns_sqlite_only(self):
+        Engine("sqlite").execute("CREATE TABLE t(a)")
+        for dialect in ("mysql", "postgres"):
+            with pytest.raises(DBError):
+                Engine(dialect).execute("CREATE TABLE t(a)")
+
+    def test_feature_matrix_is_disjoint(self):
+        cases = {
+            "sqlite": "CREATE TABLE t(a TEXT PRIMARY KEY) WITHOUT ROWID",
+            "mysql": "CREATE TABLE t(a INT) ENGINE = MEMORY",
+            "postgres": "CREATE TABLE p(a INT)",
+        }
+        # Each dialect's flagship DDL is rejected by the other two.
+        for owner, sql in cases.items():
+            Engine(owner).execute(sql)
+            for other in DIALECTS:
+                if other == owner or owner == "postgres":
+                    continue
+                with pytest.raises(DBError):
+                    Engine(other).execute(sql)
+
+    def test_inherits_postgres_only(self):
+        pg = Engine("postgres")
+        pg.execute("CREATE TABLE p(a INT)")
+        pg.execute("CREATE TABLE c(a INT) INHERITS (p)")
+        for other in ("sqlite", "mysql"):
+            engine = Engine(other)
+            try:
+                engine.execute("CREATE TABLE p(a INT)")
+            except DBError:
+                pass
+            with pytest.raises(DBError):
+                engine.execute("CREATE TABLE c(a INT) INHERITS (p)")
+
+
+class TestSameBugDifferentDialect:
+    def test_listing1_statement_is_not_portable(self):
+        """Listing 1's CREATE TABLE is SQLite-specific, so differential
+        testing could never have exercised the bug — the paper's core
+        argument for per-dialect oracles."""
+        for dialect in ("mysql", "postgres"):
+            with pytest.raises(DBError):
+                Engine(dialect).execute("CREATE TABLE t0(c0)")

@@ -1,0 +1,109 @@
+"""Dialect descriptor sanity: the generator fragments mirror the paper's
+per-DBMS feature inventory (§2)."""
+
+import pytest
+
+from repro.dialects import dialect_names, get_dialect
+from repro.sqlast.nodes import BinaryOp
+
+
+class TestRegistry:
+    def test_three_dialects(self):
+        assert set(dialect_names()) == {"sqlite", "mysql", "postgres"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_dialect("oracle")
+
+
+class TestSQLiteDescriptor:
+    d = get_dialect("sqlite")
+
+    def test_untyped_columns_allowed(self):
+        assert None in self.d.column_types
+
+    def test_unique_features(self):
+        assert self.d.supports_glob
+        assert self.d.supports_without_rowid
+        assert self.d.supports_partial_indexes
+        assert self.d.supports_collate_in_index
+        assert "NOCASE" in self.d.collations
+        assert BinaryOp.IS_NOT in self.d.binary_ops
+
+    def test_not_boolean_root(self):
+        assert not self.d.boolean_root
+
+    def test_schema_table(self):
+        assert self.d.schema_table == "sqlite_master"
+
+    def test_function_lookup(self):
+        assert self.d.function("TYPEOF").min_arity == 1
+        with pytest.raises(KeyError):
+            self.d.function("PRINTF")  # deliberately out of fragment
+
+
+class TestMySQLDescriptor:
+    d = get_dialect("mysql")
+
+    def test_unsigned_types(self):
+        assert any("UNSIGNED" in (t or "") for t in self.d.column_types)
+
+    def test_null_safe_operator(self):
+        assert BinaryOp.NULL_SAFE_EQ in self.d.binary_ops
+
+    def test_engines(self):
+        assert "MEMORY" in self.d.engines
+
+    def test_maintenance(self):
+        assert "CHECK TABLE" in self.d.maintenance
+        assert "REPAIR TABLE" in self.d.maintenance
+        assert "VACUUM" not in self.d.maintenance
+
+    def test_no_partial_indexes(self):
+        assert not self.d.supports_partial_indexes
+
+    def test_no_glob(self):
+        assert BinaryOp.GLOB not in self.d.binary_ops
+
+
+class TestPostgresDescriptor:
+    d = get_dialect("postgres")
+
+    def test_boolean_root(self):
+        assert self.d.boolean_root
+
+    def test_inheritance_and_serial(self):
+        assert self.d.supports_inherits
+        assert "SERIAL" in self.d.column_types
+        assert "BOOLEAN" in self.d.column_types
+
+    def test_unique_maintenance(self):
+        assert "DISCARD" in self.d.maintenance
+        assert "CREATE STATISTICS" in self.d.maintenance
+        assert "VACUUM FULL" in self.d.maintenance
+
+    def test_no_null_safe_eq(self):
+        assert BinaryOp.NULL_SAFE_EQ not in self.d.binary_ops
+
+    def test_typed_function_signatures(self):
+        abs_sig = self.d.function("ABS")
+        assert abs_sig.args == "number" and abs_sig.result == "number"
+
+
+class TestSmallCommonCore:
+    """The paper's point: the dialects share only a small common core."""
+
+    def test_each_dialect_has_unique_operators(self):
+        sqlite = set(get_dialect("sqlite").binary_ops)
+        mysql = set(get_dialect("mysql").binary_ops)
+        postgres = set(get_dialect("postgres").binary_ops)
+        assert sqlite - mysql - postgres   # GLOB
+        assert mysql - sqlite - postgres   # <=>
+        common = sqlite & mysql & postgres
+        assert BinaryOp.EQ in common and BinaryOp.AND in common
+
+    def test_distinct_option_namespaces(self):
+        names = {d: {name for name, _ in get_dialect(d).options}
+                 for d in dialect_names()}
+        assert not (names["sqlite"] & names["mysql"])
+        assert not (names["sqlite"] & names["postgres"])

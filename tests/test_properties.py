@@ -1,0 +1,235 @@
+"""Property-based tests (hypothesis) over core data structures and
+invariants: value model totality, comparison order laws, LIKE vs the real
+SQLite implementation, round-trips, rectification soundness, and reducer
+minimality.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import make_interpreter
+from repro.interp.base import EvalError
+from repro.interp.patterns import glob_match, like_match
+from repro.interp.sqlite_sem import (
+    apply_numeric_affinity,
+    storage_compare,
+    to_text,
+)
+from repro.minidb.parser import parse_expression
+from repro.sqlast.nodes import LiteralNode
+from repro.sqlast.render import render_expr, render_literal
+from repro.sqlast.transform import fold_negative_literals
+from repro.values import (
+    INT64_MAX,
+    INT64_MIN,
+    Value,
+    format_real,
+    numeric_prefix,
+    text_to_integer,
+    wrap_int64,
+)
+
+SQLITE = sqlite3.connect(":memory:")
+INTERP = make_interpreter("sqlite")
+
+#: Finite, NaN-free floats: NaN values are stored as NULL by SQLite and
+#: never reach the comparison machinery.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+int64s = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+sql_texts = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=12)
+
+sql_values = st.one_of(
+    st.none().map(lambda _: Value.null()),
+    int64s.map(Value.integer),
+    finite_floats.map(Value.real),
+    sql_texts.map(Value.text),
+    st.binary(max_size=8).map(Value.blob),
+)
+
+
+class TestValueProperties:
+    @given(st.integers())
+    def test_wrap_int64_stays_in_range(self, i):
+        assert INT64_MIN <= wrap_int64(i) <= INT64_MAX
+
+    @given(int64s)
+    def test_wrap_identity_in_range(self, i):
+        assert wrap_int64(i) == i
+
+    @given(st.text(max_size=20))
+    def test_numeric_prefix_total(self, text):
+        num, is_int = numeric_prefix(text)
+        assert isinstance(num, int) if is_int else isinstance(num, float)
+
+    @given(st.text(max_size=20))
+    def test_text_to_integer_clamped(self, text):
+        assert INT64_MIN <= text_to_integer(text) <= INT64_MAX
+
+    @given(int64s)
+    def test_integer_literal_round_trips_through_sql(self, i):
+        text = render_literal(Value.integer(i))
+        got = SQLITE.execute(f"SELECT {text}").fetchone()[0]
+        assert got == i
+
+    @given(finite_floats)
+    def test_real_literal_round_trips_through_sql(self, f):
+        """REAL literals round-trip through SQLite's parser — exactly in
+        the normal range; SQLite's text-to-float (sqlite3AtoF) can be one
+        ulp off at extreme exponents, which is why INTERSECT-mode
+        containment excludes such values (see core/containment.py)."""
+        import math
+
+        text = render_literal(Value.real(f))
+        got = SQLITE.execute(f"SELECT {text}").fetchone()[0]
+        if f == 0 or 1e-200 <= abs(f) <= 1e200:
+            assert got == f or (got == 0 and f == 0)
+        else:
+            assert got == f or math.isclose(got, f, rel_tol=1e-15)
+
+    @given(sql_texts)
+    def test_text_literal_round_trips_through_sql(self, s):
+        text = render_literal(Value.text(s))
+        assert SQLITE.execute(f"SELECT {text}").fetchone()[0] == s
+
+    @given(finite_floats)
+    def test_format_real_matches_sqlite(self, f):
+        """format_real matches SQLite's rendering away from the 15th-
+        digit rounding cusp.
+
+        SQLite 3.40 extracts decimal digits with 80-bit long-double
+        arithmetic, so when the 16th significant digit is ~5 its
+        rounding can go either way (~0.4% of random doubles); Python has
+        no long double, so exactly emulating that sub-ulp behaviour is
+        out of scope (documented in EXPERIMENTS.md).  We assert equality
+        off the cusp and 15-digit agreement on it.
+        """
+        import decimal
+
+        got = SQLITE.execute("SELECT '' || ?", (f,)).fetchone()[0]
+        if f != 0:
+            digits = decimal.Decimal(abs(f)).scaleb(
+                -decimal.Decimal(abs(f)).adjusted()).as_tuple().digits
+            sixteenth = digits[15] if len(digits) > 15 else 0
+            if sixteenth in (4, 5, 6):
+                # On the cusp: require agreement in the first 14 digits.
+                assert format_real(f)[:14] == got[:14]
+                return
+        assert format_real(f) == got
+
+    @given(sql_values)
+    def test_apply_numeric_affinity_idempotent(self, value):
+        once = apply_numeric_affinity(value)
+        assert apply_numeric_affinity(once) == once
+
+
+class TestComparisonOrderLaws:
+    @given(sql_values, sql_values)
+    def test_antisymmetry(self, a, b):
+        if a.is_null or b.is_null:
+            return
+        assert storage_compare(a, b) == -storage_compare(b, a)
+
+    @given(sql_values, sql_values, sql_values)
+    @settings(max_examples=200)
+    def test_transitivity(self, a, b, c):
+        if any(v.is_null for v in (a, b, c)):
+            return
+        if storage_compare(a, b) <= 0 and storage_compare(b, c) <= 0:
+            assert storage_compare(a, c) <= 0
+
+    @given(sql_values)
+    def test_reflexive_equality(self, a):
+        if a.is_null:
+            return
+        assert storage_compare(a, a) == 0
+
+
+class TestPatternProperties:
+    @given(sql_texts, sql_texts)
+    @settings(max_examples=300)
+    def test_like_matches_real_sqlite(self, text, pattern):
+        got = SQLITE.execute("SELECT ? LIKE ?", (text, pattern)
+                             ).fetchone()[0]
+        assert like_match(text, pattern) == bool(got)
+
+    @given(sql_texts, sql_texts)
+    @settings(max_examples=300)
+    def test_glob_matches_real_sqlite(self, text, pattern):
+        got = SQLITE.execute("SELECT ? GLOB ?", (text, pattern)
+                             ).fetchone()[0]
+        assert glob_match(text, pattern) == bool(got)
+
+    @given(sql_texts)
+    def test_percent_matches_everything(self, text):
+        assert like_match(text, "%")
+
+    @given(sql_texts)
+    def test_exact_pattern_matches_itself_modulo_wildcards(self, text):
+        if "%" not in text and "_" not in text:
+            assert like_match(text, text)
+
+
+class TestExpressionProperties:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_and_rectification(self, seed):
+        """For random expression trees: parse(render(e)) == fold(e), the
+        interpreter is total or raises EvalError, and rectified
+        conditions evaluate to TRUE."""
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(0, str(Path(__file__).parent))
+        from support.diffharness import ExprFuzzer
+
+        from repro.core.rectify import rectify_condition
+
+        fuzzer = ExprFuzzer(seed)
+        expr = fuzzer.expr(3)
+        text = render_expr(expr)
+        assert parse_expression(text) == fold_negative_literals(expr)
+        try:
+            rectified = rectify_condition(expr, INTERP, {})
+        except EvalError:
+            return
+        assert INTERP.evaluate_bool(rectified, {}) is True
+
+    @given(sql_values)
+    def test_literal_nodes_evaluate_to_themselves(self, value):
+        out = INTERP.evaluate(LiteralNode(value), {})
+        assert out == value
+
+    @given(sql_values)
+    def test_to_text_total_for_non_null(self, value):
+        if value.is_null:
+            return
+        assert isinstance(to_text(value), str)
+
+
+class TestReducerProperties:
+    @given(st.sets(st.integers(min_value=0, max_value=19)),
+           st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_ddmin_reaches_exact_core(self, needed, shuffle_seed):
+        """For monotone subset predicates, ddmin finds exactly the
+        necessary statements."""
+        import random
+
+        from repro.core.reducer import TestCaseReducer
+        from repro.core.reports import TestCase
+
+        statements = [f"S{i}" for i in range(20)]
+        random.Random(shuffle_seed).shuffle(statements)
+        needed_names = {f"S{i}" for i in needed}
+
+        def still_fails(candidate):
+            return needed_names <= set(candidate.statements[:-1])
+
+        reduced = TestCaseReducer(still_fails).reduce(
+            TestCase(statements=statements + ["FAIL"]))
+        assert set(reduced.statements[:-1]) == needed_names

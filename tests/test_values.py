@@ -1,0 +1,213 @@
+"""Unit tests for the value model and its dialect-independent helpers."""
+
+import math
+
+import pytest
+
+from repro.values import (
+    INT64_MAX,
+    INT64_MIN,
+    NULL,
+    SQLType,
+    Value,
+    collate_binary,
+    collate_nocase,
+    collate_rtrim,
+    compare_blobs,
+    compare_numbers,
+    fits_int64,
+    format_real,
+    get_collation,
+    int_or_real,
+    numeric_prefix,
+    real_to_integer,
+    text_to_integer,
+    text_to_real,
+    wrap_int64,
+)
+
+
+class TestConstructors:
+    def test_null_is_singleton_tag(self):
+        assert Value.null().is_null
+        assert Value.null().t is SQLType.NULL
+
+    def test_integer(self):
+        v = Value.integer(42)
+        assert v.t is SQLType.INTEGER and v.v == 42
+
+    def test_real(self):
+        v = Value.real(1.5)
+        assert v.t is SQLType.REAL and v.v == 1.5
+
+    def test_text(self):
+        assert Value.text("a").v == "a"
+
+    def test_blob(self):
+        assert Value.blob(b"ab").v == b"ab"
+
+    def test_boolean_interning(self):
+        assert Value.boolean(True).v is True
+        assert Value.boolean(False).v is False
+
+    def test_from_python_roundtrip(self):
+        for obj in [None, True, 3, 1.25, "x", b"y"]:
+            value = Value.from_python(obj)
+            assert value.v == obj or (obj is None and value.is_null)
+
+    def test_from_python_bool_is_boolean_not_integer(self):
+        assert Value.from_python(True).t is SQLType.BOOLEAN
+
+    def test_from_python_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            Value.from_python(object())
+
+    def test_is_numeric(self):
+        assert Value.integer(1).is_numeric
+        assert Value.real(0.5).is_numeric
+        assert Value.boolean(True).is_numeric
+        assert not Value.text("1").is_numeric
+        assert not NULL.is_numeric
+
+    def test_values_are_hashable_and_frozen(self):
+        v = Value.integer(1)
+        assert hash(v) == hash(Value.integer(1))
+        with pytest.raises(AttributeError):
+            v.v = 2  # type: ignore[misc]
+
+
+class TestInt64Helpers:
+    def test_wrap_positive_overflow(self):
+        assert wrap_int64(INT64_MAX + 1) == INT64_MIN
+
+    def test_wrap_negative_overflow(self):
+        assert wrap_int64(INT64_MIN - 1) == INT64_MAX
+
+    def test_wrap_identity_in_range(self):
+        for i in (0, 1, -1, INT64_MAX, INT64_MIN):
+            assert wrap_int64(i) == i
+
+    def test_fits(self):
+        assert fits_int64(INT64_MAX) and fits_int64(INT64_MIN)
+        assert not fits_int64(INT64_MAX + 1)
+
+    def test_int_or_real_overflow_becomes_real(self):
+        out = int_or_real(INT64_MAX + 1)
+        assert out.t is SQLType.REAL
+
+    def test_int_or_real_in_range(self):
+        assert int_or_real(7).t is SQLType.INTEGER
+
+
+class TestNumericPrefix:
+    @pytest.mark.parametrize("text,expected,is_int", [
+        ("12", 12, True),
+        ("-12.5abc", -12.5, False),
+        ("abc", 0, True),
+        ("", 0, True),
+        ("  42  ", 42, True),
+        ("+7", 7, True),
+        (".5", 0.5, False),
+        ("1e2", 100.0, False),
+        ("1e", 1, True),          # dangling exponent is not consumed
+        ("0x1A", 0, True),        # hex is not SQL numeric text
+        ("-", 0, True),
+    ])
+    def test_prefix(self, text, expected, is_int):
+        num, got_int = numeric_prefix(text)
+        assert num == expected
+        assert got_int == is_int
+
+    def test_text_to_integer_ignores_exponent(self):
+        # CAST('9e99' AS INTEGER) is 9 in SQLite: digit prefix only.
+        assert text_to_integer("9e99") == 9
+
+    def test_text_to_integer_ignores_fraction(self):
+        assert text_to_integer("12.9") == 12
+
+    def test_text_to_integer_clamps(self):
+        assert text_to_integer("99999999999999999999999") == INT64_MAX
+        assert text_to_integer("-99999999999999999999999") == INT64_MIN
+
+    def test_text_to_real(self):
+        assert text_to_real(" -2.5x") == -2.5
+
+    def test_real_to_integer_truncates_toward_zero(self):
+        assert real_to_integer(1.9) == 1
+        assert real_to_integer(-1.9) == -1
+
+    def test_real_to_integer_clamps_infinities(self):
+        assert real_to_integer(float("inf")) == INT64_MAX
+        assert real_to_integer(float("-inf")) == INT64_MIN
+
+    def test_real_to_integer_nan(self):
+        assert real_to_integer(float("nan")) == 0
+
+
+class TestFormatReal:
+    """format_real matches SQLite's %!.15g (validated against 3.40)."""
+
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "0.0"),
+        (-0.0, "0.0"),
+        (100.0, "100.0"),
+        (0.1, "0.1"),
+        (1e14, "100000000000000.0"),
+        (1e15, "1.0e+15"),
+        (9e99, "9.0e+99"),
+        (1e-5, "1.0e-05"),
+        (2.5e-10, "2.5e-10"),
+        (123456789012345.0, "123456789012345.0"),
+        (1234567890123456.0, "1.23456789012346e+15"),
+        (3.141592653589793, "3.14159265358979"),
+        (float("inf"), "Inf"),
+        (float("-inf"), "-Inf"),
+    ])
+    def test_format(self, value, expected):
+        assert format_real(value) == expected
+
+
+class TestCollations:
+    def test_binary_is_bytewise(self):
+        assert collate_binary("a", "b") < 0
+        assert collate_binary("a", "A") > 0  # 'a' > 'A' in bytes
+
+    def test_nocase_folds_ascii_only(self):
+        assert collate_nocase("ABC", "abc") == 0
+        assert collate_nocase("A", "b") < 0
+
+    def test_rtrim_ignores_trailing_spaces_only(self):
+        assert collate_rtrim("a  ", "a") == 0
+        assert collate_rtrim("  a", "a") != 0
+
+    def test_get_collation_case_insensitive_name(self):
+        assert get_collation("nocase")("X", "x") == 0
+
+    def test_get_collation_unknown(self):
+        with pytest.raises(KeyError):
+            get_collation("nosuch")
+
+    def test_compare_blobs(self):
+        assert compare_blobs(b"a", b"ab") < 0
+        assert compare_blobs(b"b", b"a") > 0
+        assert compare_blobs(b"", b"") == 0
+
+
+class TestCompareNumbers:
+    def test_exact_large_ints(self):
+        # Would be equal after float rounding; must stay distinct.
+        a = 2**62 + 1
+        b = 2**62
+        assert compare_numbers(a, b) > 0
+
+    def test_int_float_cross(self):
+        assert compare_numbers(1, 1.0) == 0
+        assert compare_numbers(1, 1.5) < 0
+
+    def test_bools_coerce(self):
+        assert compare_numbers(True, 1) == 0
+        assert compare_numbers(False, 1) < 0
+
+    def test_nan_orders_lowest(self):
+        assert compare_numbers(float("nan"), -math.inf) < 0
+        assert compare_numbers(float("nan"), float("nan")) == 0
