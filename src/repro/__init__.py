@@ -26,7 +26,15 @@ Quick start::
         print(report.test_case.render())
 """
 
-from repro.adapters import DBMSConnection, MiniDBConnection, SQLite3Connection
+from repro.adapters import (
+    DBMSConnection,
+    FaultPlan,
+    FaultyFactory,
+    MiniDBConnection,
+    SQLite3Connection,
+    SubprocessConfig,
+    SubprocessConnection,
+)
 from repro.campaigns import Campaign, CampaignConfig, CampaignResult
 from repro.core import (
     BugReport,
@@ -36,7 +44,13 @@ from repro.core import (
     TestCase,
     TestCaseReducer,
 )
-from repro.errors import DBCrash, DBError, PQSError
+from repro.errors import (
+    DBCrash,
+    DBError,
+    DBTimeout,
+    HarnessError,
+    PQSError,
+)
 from repro.minidb import BUG_CATALOG, BugRegistry, Engine, ResultSet
 from repro.values import Value
 
@@ -52,7 +66,11 @@ __all__ = [
     "DBCrash",
     "DBError",
     "DBMSConnection",
+    "DBTimeout",
     "Engine",
+    "FaultPlan",
+    "FaultyFactory",
+    "HarnessError",
     "MiniDBConnection",
     "Oracle",
     "PQSError",
@@ -60,6 +78,8 @@ __all__ = [
     "ResultSet",
     "RunnerConfig",
     "SQLite3Connection",
+    "SubprocessConfig",
+    "SubprocessConnection",
     "TestCase",
     "TestCaseReducer",
     "Value",

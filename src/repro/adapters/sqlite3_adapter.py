@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import sqlite3
 
-from repro.errors import DBError
+from repro.errors import DBError, IntegrityError
 from repro.values import Value
 
 
@@ -30,7 +30,15 @@ class SQLite3Connection:
             cursor = self._conn.execute(sql)
             rows = cursor.fetchall()
         except sqlite3.Error as exc:
-            raise DBError(str(exc)) from exc
+            message = str(exc)
+            lowered = message.lower()
+            if "malformed" in lowered or "disk image" in lowered:
+                # Real corruption ("database disk image is malformed") —
+                # the paper's motivating SQLite bug class.  Surfacing it
+                # as IntegrityError lets the error oracle classify it as
+                # always-a-bug rather than generic statement noise.
+                raise IntegrityError(message) from exc
+            raise DBError(message) from exc
         return [tuple(_lift(v) for v in row) for row in rows]
 
     def close(self) -> None:

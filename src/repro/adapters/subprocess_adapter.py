@@ -1,0 +1,347 @@
+"""Fault-isolated execution: run any target connection in a child process.
+
+The paper's crash oracle (§2, §3.4) presumes the tester *outlives* a
+SEGFAULT of the system under test.  In-process adapters cannot provide
+that: a real crash (or an infinite-loop query) takes the whole campaign
+down with it.  :class:`SubprocessConnection` restores the paper's
+process boundary in pure stdlib Python:
+
+* the target connection runs in a **child process**
+  (:mod:`repro.adapters.subprocess_worker`) and is driven over a
+  length-prefixed pickle pipe protocol;
+* child death — a real segfault, an ``os._exit``, an OOM kill —
+  surfaces as :class:`~repro.errors.DBCrash`, making the crash oracle
+  real for live targets;
+* a per-statement **watchdog deadline** kills a hung child and raises
+  :class:`~repro.errors.DBTimeout`;
+* after a crash or timeout the harness transparently **restarts** the
+  worker and **replays** the log of previously-successful statements to
+  restore database state, under a bounded retry budget with exponential
+  backoff (:class:`~repro.errors.HarnessError` when exhausted).
+
+Replay assumes the target executes statements deterministically — true
+for SQLite, MiniDB and every fault-plan wrapper in this repo.  A
+statement that crashed or timed out is *not* replayed: the next
+incarnation resumes from the last known-good state, and the fault
+schedule offset (see :mod:`repro.adapters.faults`) advances past it so a
+deterministic fault does not re-fire forever.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import select
+import signal
+import struct
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    CatalogError,
+    ConstraintError,
+    DBCrash,
+    DBError,
+    DBTimeout,
+    HarnessError,
+    IntegrityError,
+    ParseError,
+    TypeError_,
+    UnsupportedError,
+)
+from repro.values import Value
+
+_HEADER = struct.Struct("!I")
+
+#: DBError subclasses the worker may report by name.
+_ERROR_TYPES = {cls.__name__: cls for cls in (
+    DBError, ParseError, CatalogError, TypeError_, ConstraintError,
+    IntegrityError, UnsupportedError, DBTimeout)}
+
+
+def write_frame(stream, obj: Any) -> None:
+    """Write one length-prefixed pickle frame (shared with the worker)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    stream.write(_HEADER.pack(len(payload)) + payload)
+    stream.flush()
+
+
+def read_frame(stream) -> Any:
+    """Blocking read of one frame (worker side; parent reads use select)."""
+    header = _read_exact(stream, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    return pickle.loads(_read_exact(stream, length))
+
+
+def _read_exact(stream, n: int) -> bytes:
+    parts = []
+    got = 0
+    while got < n:
+        chunk = stream.read(n - got)
+        if not chunk:
+            raise EOFError("pipe closed")
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)
+
+
+class _DeadlineExceeded(Exception):
+    """Internal: the watchdog deadline expired mid-read."""
+
+
+class _WorkerDied(Exception):
+    """Internal: the child process is gone (EOF / broken pipe)."""
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+@dataclass
+class SubprocessConfig:
+    """Knobs for the fault-isolation harness."""
+
+    #: Watchdog deadline per statement, seconds; None disables it.
+    statement_timeout: Optional[float] = 10.0
+    #: Deadline for worker startup + handshake.
+    startup_timeout: float = 30.0
+    #: Consecutive failed restore attempts tolerated per recovery
+    #: episode before :class:`~repro.errors.HarnessError`.
+    max_restarts: int = 5
+    #: Exponential backoff between failed restore attempts:
+    #: ``backoff_base * backoff_factor ** (failures - 1)`` seconds.
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+
+
+class SubprocessConnection:
+    """A :class:`~repro.adapters.base.DBMSConnection` with a process moat.
+
+    ``factory`` is any picklable zero-argument callable returning a
+    connection (e.g. the :class:`SQLite3Connection` class itself, or a
+    :class:`~repro.adapters.faults.FaultyFactory`).  A factory exposing
+    ``accepts_offset = True`` is instead called with ``offset=<fresh
+    statement count>`` so deterministic fault schedules keep their place
+    across restarts.
+    """
+
+    def __init__(self, factory: Callable[[], Any],
+                 config: Optional[SubprocessConfig] = None):
+        self.factory = factory
+        self.config = config or SubprocessConfig()
+        self.dialect = "sqlite"  # refined by the handshake
+        self._proc: Optional[subprocess.Popen] = None
+        self._log: list[str] = []
+        #: Fresh (non-replay) statements attempted — the fault offset.
+        self._fresh = 0
+        self._restore()
+
+    # -- DBMSConnection -----------------------------------------------------
+    def execute(self, sql: str) -> list[tuple[Value, ...]]:
+        if self._proc is None:
+            self._restore()
+        self._fresh += 1
+        try:
+            reply = self._request({"op": "execute", "sql": sql},
+                                  self.config.statement_timeout)
+        except _WorkerDied as died:
+            raise DBCrash(died.message) from None
+        except _DeadlineExceeded:
+            self._kill()
+            raise DBTimeout(
+                f"statement exceeded {self.config.statement_timeout:.3g}s "
+                f"watchdog deadline: {sql[:120]}") from None
+        rows = self._interpret(reply)
+        self._log.append(sql)
+        return rows
+
+    def close(self) -> None:
+        proc, self._proc = self._proc, None
+        if proc is None:
+            return
+        try:
+            write_frame(proc.stdin, {"op": "close"})
+            proc.wait(timeout=5)
+        except Exception:
+            proc.kill()
+            proc.wait()
+        finally:
+            _close_pipes(proc)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def statements_replayed(self) -> int:
+        """Length of the state-restoration log (successful statements)."""
+        return len(self._log)
+
+    @property
+    def worker_pid(self) -> Optional[int]:
+        return self._proc.pid if self._proc is not None else None
+
+    # -- recovery -----------------------------------------------------------
+    def _restore(self) -> None:
+        """(Re)start the worker and replay state, with bounded retries."""
+        failures = 0
+        while True:
+            try:
+                self._spawn()
+                self._replay()
+                return
+            except (_WorkerDied, _DeadlineExceeded, EOFError,
+                    OSError) as exc:
+                self._kill()
+                failures += 1
+                if failures >= self.config.max_restarts:
+                    raise HarnessError(
+                        f"target did not survive {failures} restore "
+                        f"attempt(s): {exc!r}") from None
+                time.sleep(self.config.backoff_base *
+                           self.config.backoff_factor ** (failures - 1))
+
+    def _spawn(self) -> None:
+        src_dir = str(Path(__file__).resolve().parents[2])
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_dir if not existing
+                             else src_dir + os.pathsep + existing)
+        self._proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.adapters.subprocess_worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL, env=env)
+        reply = self._request(
+            {"op": "hello", "factory": self.factory, "offset": self._fresh},
+            self.config.startup_timeout)
+        if not isinstance(reply, dict) or "dialect" not in reply:
+            raise _WorkerDied(f"bad handshake reply: {reply!r}")
+        self.dialect = reply["dialect"]
+
+    def _replay(self) -> None:
+        for sql in self._log:
+            reply = self._request({"op": "replay", "sql": sql},
+                                  self.config.statement_timeout)
+            if "ok" not in reply:
+                # A statement that succeeded before now errors: the
+                # target diverged — retrying cannot help.
+                raise HarnessError(
+                    f"state replay diverged on {sql[:120]!r}: {reply!r}")
+
+    # -- protocol plumbing --------------------------------------------------
+    def _request(self, message: dict, timeout: Optional[float]) -> Any:
+        assert self._proc is not None
+        try:
+            write_frame(self._proc.stdin, message)
+        except (BrokenPipeError, OSError):
+            raise self._reap("write") from None
+        try:
+            return self._recv(timeout)
+        except EOFError:
+            raise self._reap("read") from None
+
+    def _interpret(self, reply: Any) -> list[tuple[Value, ...]]:
+        if "ok" in reply:
+            return reply["ok"]
+        if "error" in reply:
+            name, message = reply["error"]
+            raise _ERROR_TYPES.get(name, DBError)(message)
+        if "crash" in reply:
+            # The worker announced a simulated crash and is exiting; reap
+            # it so the next execute() triggers restore.
+            message = reply["crash"]
+            self._drain_dead_worker()
+            raise DBCrash(message)
+        if "fatal" in reply:
+            self._kill()
+            raise HarnessError(f"worker failed internally:\n{reply['fatal']}")
+        self._kill()
+        raise HarnessError(f"unintelligible worker reply: {reply!r}")
+
+    def _recv(self, timeout: Optional[float]) -> Any:
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        header = self._read_deadline(_HEADER.size, deadline)
+        (length,) = _HEADER.unpack(header)
+        return pickle.loads(self._read_deadline(length, deadline))
+
+    def _read_deadline(self, n: int, deadline: Optional[float]) -> bytes:
+        """Read exactly *n* bytes from the worker's stdout before *deadline*.
+
+        Uses the raw file descriptor (never the buffered reader) so
+        ``select`` sees exactly what has not been consumed.
+        """
+        assert self._proc is not None and self._proc.stdout is not None
+        fd = self._proc.stdout.fileno()
+        parts: list[bytes] = []
+        got = 0
+        while got < n:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise _DeadlineExceeded()
+                ready, _, _ = select.select([fd], [], [], remaining)
+                if not ready:
+                    raise _DeadlineExceeded()
+            chunk = os.read(fd, n - got)
+            if not chunk:
+                raise EOFError("worker closed the pipe")
+            parts.append(chunk)
+            got += len(chunk)
+        return b"".join(parts)
+
+    # -- worker lifecycle ---------------------------------------------------
+    def _reap(self, during: str) -> _WorkerDied:
+        """The child is gone; collect its exit status into a message."""
+        proc, self._proc = self._proc, None
+        code: Optional[int] = None
+        if proc is not None:
+            try:
+                code = proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                code = proc.wait()
+            _close_pipes(proc)
+        return _WorkerDied(
+            f"target worker died during {during} ({_describe_exit(code)})")
+
+    def _drain_dead_worker(self) -> None:
+        proc, self._proc = self._proc, None
+        if proc is None:
+            return
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+        _close_pipes(proc)
+
+    def _kill(self) -> None:
+        proc, self._proc = self._proc, None
+        if proc is None:
+            return
+        proc.kill()
+        proc.wait()
+        _close_pipes(proc)
+
+
+def _close_pipes(proc: subprocess.Popen) -> None:
+    for stream in (proc.stdin, proc.stdout):
+        if stream is not None:
+            try:
+                stream.close()
+            except OSError:
+                pass
+
+
+def _describe_exit(code: Optional[int]) -> str:
+    if code is None:
+        return "exit status unknown"
+    if code < 0:
+        try:
+            name = signal.Signals(-code).name
+        except ValueError:
+            name = f"signal {-code}"
+        return f"killed by {name}"
+    return f"exit code {code}"

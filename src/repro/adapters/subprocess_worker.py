@@ -1,0 +1,92 @@
+"""Child-process entrypoint for :class:`SubprocessConnection`.
+
+Runs one target connection and serves the pipe protocol:
+
+* ``hello``   — unpickle the connection factory, instantiate the target
+  (passing ``offset=`` when the factory advertises ``accepts_offset``),
+  reply with the target's dialect;
+* ``execute`` — run one fresh statement; reply ``{"ok": rows}``,
+  ``{"error": (type, message)}``, or — for a simulated
+  :class:`~repro.errors.DBCrash` — announce ``{"crash": message}`` and
+  then *die* (``os._exit(139)``, the shell's SIGSEGV convention), so a
+  simulated crash and a real segfault look identical to the parent;
+* ``replay``  — re-run a previously-successful statement during state
+  restoration, bypassing fault injection when the target offers
+  ``execute_replay``;
+* ``close``   — close the target and exit 0.
+
+Any non-DBError exception from the target is a tool bug: it is reported
+as ``{"fatal": traceback}`` so the parent can raise
+:class:`~repro.errors.HarnessError` instead of blaming the DBMS.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import traceback
+
+from repro.adapters.subprocess_adapter import read_frame, write_frame
+from repro.errors import DBCrash, DBError
+
+#: Exit status mimicking death by SIGSEGV (128 + 11).
+CRASH_EXIT_CODE = 139
+
+
+def main() -> int:
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    try:
+        hello = read_frame(stdin)
+    except EOFError:
+        return 0
+    factory = hello["factory"]
+    try:
+        if getattr(factory, "accepts_offset", False):
+            connection = factory(offset=hello.get("offset", 0))
+        else:
+            connection = factory()
+    except Exception:
+        write_frame(stdout, {"fatal": traceback.format_exc()})
+        return 1
+    write_frame(stdout, {"dialect": getattr(connection, "dialect",
+                                            "sqlite")})
+    while True:
+        try:
+            message = read_frame(stdin)
+        except EOFError:
+            return 0
+        op = message.get("op")
+        if op == "close":
+            try:
+                connection.close()
+            except Exception:
+                pass
+            return 0
+        if op not in ("execute", "replay"):
+            write_frame(stdout, {"fatal": f"unknown op: {op!r}"})
+            return 1
+        sql = message["sql"]
+        try:
+            if op == "replay" and hasattr(connection, "execute_replay"):
+                rows = connection.execute_replay(sql)
+            else:
+                rows = connection.execute(sql)
+        except DBCrash as crash:
+            # Tell the parent why, then die the way a segfault dies:
+            # abruptly, without cleanup, taking the process with it.
+            write_frame(stdout, {"crash": crash.message})
+            stdout.flush()
+            os._exit(CRASH_EXIT_CODE)
+        except DBError as error:
+            write_frame(stdout,
+                        {"error": (type(error).__name__, error.message)})
+        except Exception:
+            write_frame(stdout, {"fatal": traceback.format_exc()})
+            return 1
+        else:
+            write_frame(stdout, {"ok": rows})
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ regenerate the paper's Tables 2–3 and Figures 2–3.
 """
 
 from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.campaigns.journal import CampaignJournal, RoundRecord, round_seed
 from repro.campaigns.parallel import (
     ParallelCampaign,
     ParallelCampaignConfig,
@@ -24,12 +25,15 @@ from repro.campaigns.metrics import (
 __all__ = [
     "Campaign",
     "CampaignConfig",
+    "CampaignJournal",
     "CampaignResult",
     "DifferentialReplayer",
     "ParallelCampaign",
     "ParallelCampaignConfig",
     "ParallelCampaignResult",
+    "RoundRecord",
     "constraint_statistics",
+    "round_seed",
     "statement_distribution",
     "testcase_loc_cdf",
 ]

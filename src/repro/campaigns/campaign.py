@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.campaigns.journal import CampaignJournal, RoundRecord, round_seed
 from repro.campaigns.replay import DifferentialReplayer
 from repro.core.reducer import TestCaseReducer
 from repro.core.reports import BugReport, Oracle, RunStatistics
@@ -54,6 +55,12 @@ class CampaignConfig:
     #: Stop re-reporting a defect after this many reports (the authors
     #: likewise stopped filing duplicates).
     max_reports_per_bug: int = 2
+    #: JSONL journal path.  When set, each database round gets an
+    #: independently-derived seed and its raw results are persisted as
+    #: the campaign runs, so an interrupted hunt can be continued.
+    journal: Optional[str] = None
+    #: Continue from an existing journal instead of starting over.
+    resume: bool = False
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -118,7 +125,10 @@ class Campaign:
 
     def run(self) -> CampaignResult:
         runner = PQSRunner(self._connection, self.config.runner)
-        stats = runner.run(self.config.databases)
+        if self.config.journal:
+            stats = self._run_journaled(runner)
+        else:
+            stats = runner.run(self.config.databases)
         result = CampaignResult(config=self.config, stats=stats)
         reports_per_bug: dict[str, int] = {}
         seen_bugs: set[str] = set()
@@ -136,6 +146,57 @@ class Campaign:
             seen_bugs.add(primary)
             result.reports.append(processed)
         return result
+
+    # -- durable (journaled) execution -------------------------------------
+    def _fingerprint(self) -> dict:
+        from repro.campaigns.journal import JOURNAL_VERSION
+
+        return {"version": JOURNAL_VERSION,
+                "dialect": self.config.dialect,
+                "seed": self.config.seed,
+                "databases": self.config.databases,
+                "bug_ids": sorted(self.bugs.enabled)}
+
+    def _run_journaled(self, runner: PQSRunner) -> RunStatistics:
+        """Per-round execution with a durable JSONL journal.
+
+        Each round runs under :func:`~repro.campaigns.journal.round_seed`
+        — an independent derivation from (campaign seed, round index) —
+        so completed rounds loaded from the journal and freshly-run
+        rounds compose into exactly the statistics an uninterrupted run
+        would produce.
+        """
+        journal = CampaignJournal(self.config.journal)
+        fingerprint = self._fingerprint()
+        completed = (journal.load(fingerprint)
+                     if self.config.resume else {})
+        journal.start(fingerprint, fresh=not completed)
+        stats = RunStatistics()
+        try:
+            for index in range(self.config.databases):
+                record = completed.get(index)
+                if record is None:
+                    runner.reseed(round_seed(self.config.seed, index))
+                    round_ = runner.run_database_round()
+                    record = RoundRecord(
+                        index=index,
+                        seed=round_seed(self.config.seed, index),
+                        statements=round_.statements,
+                        queries=round_.queries, pivots=round_.pivots,
+                        expected_errors=round_.expected_errors,
+                        timeouts=round_.timeouts,
+                        reports=round_.reports)
+                    journal.append_round(record)
+                stats.databases += 1
+                stats.statements += record.statements
+                stats.queries += record.queries
+                stats.pivots += record.pivots
+                stats.expected_errors += record.expected_errors
+                stats.timeouts += record.timeouts
+                stats.reports.extend(record.reports)
+        finally:
+            journal.close()
+        return stats
 
     # -- per-report processing ---------------------------------------------
     def _process(self, report: BugReport) -> Optional[BugReport]:

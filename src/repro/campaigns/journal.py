@@ -1,0 +1,148 @@
+"""Campaign durability: a JSONL journal of per-database results.
+
+A journaled campaign writes one line per completed database round as it
+runs, so an interrupted hunt (crash of the *tool* host, SIGKILL, power
+loss) can continue with ``resume=True`` instead of starting over.  The
+file layout is append-only JSONL:
+
+* line 1 — a header fingerprinting the campaign (dialect, seed,
+  database count, enabled defects, journal version); resuming under a
+  different configuration is an error, not silent corruption;
+* each further line — one database round: its index, derived seed,
+  counters, and raw (pre-reduction) findings serialized via
+  :meth:`~repro.core.reports.BugReport.to_json`.
+
+Journaled campaigns derive an **independent seed per round**
+(:func:`round_seed`) so round *i* can be re-run — or skipped on resume —
+without replaying rounds ``0..i-1`` through the RNG.  A truncated final
+line (the tool died mid-write) is discarded on load; that round simply
+re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional, TextIO
+
+from repro.core.reports import BugReport
+from repro.errors import PQSError
+
+JOURNAL_VERSION = 1
+
+#: SplitMix64-style constants; any fixed odd multipliers would do.
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX = 0xBF58476D1CE4E5B9
+
+
+def round_seed(campaign_seed: int, index: int) -> int:
+    """Deterministic, campaign-global seed for database round *index*."""
+    x = (campaign_seed * _GOLDEN + (index + 1) * _MIX) % 2**64
+    x ^= x >> 31
+    return (x * _GOLDEN) % 2**63
+
+
+@dataclass
+class RoundRecord:
+    """One journaled database round."""
+
+    index: int
+    seed: int
+    statements: int = 0
+    queries: int = 0
+    pivots: int = 0
+    expected_errors: int = 0
+    timeouts: int = 0
+    reports: list[BugReport] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {"kind": "round", "index": self.index, "seed": self.seed,
+                "statements": self.statements, "queries": self.queries,
+                "pivots": self.pivots,
+                "expected_errors": self.expected_errors,
+                "timeouts": self.timeouts,
+                "reports": [r.to_json() for r in self.reports]}
+
+    @staticmethod
+    def from_json(data: dict) -> "RoundRecord":
+        return RoundRecord(
+            index=data["index"], seed=data["seed"],
+            statements=data.get("statements", 0),
+            queries=data.get("queries", 0),
+            pivots=data.get("pivots", 0),
+            expected_errors=data.get("expected_errors", 0),
+            timeouts=data.get("timeouts", 0),
+            reports=[BugReport.from_json(r)
+                     for r in data.get("reports", [])])
+
+
+class CampaignJournal:
+    """Append-only JSONL journal for one campaign."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._handle: Optional[TextIO] = None
+
+    # -- reading ------------------------------------------------------------
+    def load(self, fingerprint: dict) -> dict[int, RoundRecord]:
+        """Completed rounds from an existing journal (``{}`` if absent).
+
+        Raises :class:`~repro.errors.PQSError` when the journal was
+        written by a differently-configured campaign.
+        """
+        if not os.path.exists(self.path):
+            return {}
+        completed: dict[int, RoundRecord] = {}
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise PQSError(f"journal {self.path}: unreadable header")
+        if header.get("kind") != "header":
+            raise PQSError(f"journal {self.path}: missing header line")
+        recorded = {k: v for k, v in header.items() if k != "kind"}
+        if recorded != fingerprint:
+            raise PQSError(
+                f"journal {self.path} was written by a different "
+                f"campaign: {recorded!r} != {fingerprint!r}")
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                break  # torn final write — that round re-runs
+            if data.get("kind") != "round":
+                continue
+            record = RoundRecord.from_json(data)
+            completed[record.index] = record
+        return completed
+
+    # -- writing ------------------------------------------------------------
+    def start(self, fingerprint: dict, fresh: bool) -> None:
+        """Open for appending; ``fresh`` truncates and writes the header."""
+        if fresh or not os.path.exists(self.path):
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write_line({"kind": "header", **fingerprint})
+        else:
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+    def append_round(self, record: RoundRecord) -> None:
+        assert self._handle is not None, "journal not started"
+        self._write_line(record.to_json())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def _write_line(self, data: dict) -> None:
+        self._handle.write(json.dumps(data) + "\n")
+        # One durable line per database round: a kill between rounds
+        # loses nothing, a kill mid-round loses only that round.
+        self._handle.flush()
+        os.fsync(self._handle.fileno())

@@ -31,6 +31,10 @@ class ParallelCampaignConfig:
     bug_ids: Optional[list[str]] = None
     reduce: bool = True
     max_reports_per_bug: int = 2
+    #: Journal path stem; worker *i* journals to ``{journal}.worker{i}``
+    #: so an interrupted parallel hunt resumes per worker.
+    journal: Optional[str] = None
+    resume: bool = False
 
 
 @dataclass
@@ -39,6 +43,9 @@ class ParallelCampaignResult:
     stats: RunStatistics
     reports: list[BugReport] = field(default_factory=list)
     per_thread_reports: list[int] = field(default_factory=list)
+    #: Human-readable summaries of workers that died; completed workers'
+    #: results are kept regardless (graceful degradation).
+    worker_errors: list[str] = field(default_factory=list)
 
     @property
     def detected_bug_ids(self) -> set[str]:
@@ -57,7 +64,8 @@ class ParallelCampaign:
     def run(self) -> ParallelCampaignResult:
         results: list[Optional[CampaignResult]] = \
             [None] * self.config.threads
-        errors: list[BaseException] = []
+        errors: list[Optional[BaseException]] = \
+            [None] * self.config.threads
 
         def worker(index: int) -> None:
             try:
@@ -68,10 +76,13 @@ class ParallelCampaign:
                     databases=self.config.databases_per_thread,
                     bug_ids=self.config.bug_ids,
                     reduce=self.config.reduce,
-                    max_reports_per_bug=self.config.max_reports_per_bug)
+                    max_reports_per_bug=self.config.max_reports_per_bug,
+                    journal=(f"{self.config.journal}.worker{index}"
+                             if self.config.journal else None),
+                    resume=self.config.resume)
                 results[index] = Campaign(child).run()
             except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors.append(exc)
+                errors[index] = exc
 
         threads = [threading.Thread(target=worker, args=(i,),
                                     name=f"pqs-worker-{i}")
@@ -80,9 +91,16 @@ class ParallelCampaign:
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise errors[0]
-        return self._merge([r for r in results if r is not None])
+        completed = [r for r in results if r is not None]
+        failed = [(i, e) for i, e in enumerate(errors) if e is not None]
+        if not completed and failed:
+            # Nothing survived; there is nothing to degrade to.
+            raise failed[0][1]
+        merged = self._merge(completed)
+        merged.worker_errors = [
+            f"worker {i}: {type(exc).__name__}: {exc}"
+            for i, exc in failed]
+        return merged
 
     def _merge(self, results: list[CampaignResult],
                ) -> ParallelCampaignResult:

@@ -19,7 +19,7 @@ import sys
 
 from repro.campaigns.campaign import Campaign, CampaignConfig
 from repro.core.runner import PQSRunner, RunnerConfig
-from repro.errors import DBCrash, DBError
+from repro.errors import DBCrash, DBError, PQSError
 from repro.minidb.bugs import BUG_CATALOG, bugs_for_dialect
 
 
@@ -50,12 +50,26 @@ def build_parser() -> argparse.ArgumentParser:
                            "for the dialect)")
     hunt.add_argument("--no-reduce", action="store_true",
                       help="skip delta-debugging reduction")
+    hunt.add_argument("--threads", type=int, default=1,
+                      help="parallel campaign workers (default: 1)")
+    hunt.add_argument("--journal", default=None, metavar="PATH",
+                      help="write per-database results to a JSONL "
+                           "journal as the hunt runs")
+    hunt.add_argument("--resume", action="store_true",
+                      help="continue an interrupted hunt from --journal")
     hunt.set_defaults(handler=cmd_hunt)
 
     sqlite_cmd = sub.add_parser("sqlite", help="PQS against the real "
                                                "SQLite build")
     sqlite_cmd.add_argument("--databases", type=int, default=25)
     sqlite_cmd.add_argument("--seed", type=int, default=0)
+    sqlite_cmd.add_argument("--isolate", action="store_true",
+                            help="run SQLite in a crash-isolated child "
+                                 "process (the paper's process moat)")
+    sqlite_cmd.add_argument("--timeout", type=float, default=10.0,
+                            metavar="SECONDS",
+                            help="per-statement watchdog deadline with "
+                                 "--isolate (default: 10)")
     sqlite_cmd.set_defaults(handler=cmd_sqlite)
 
     bugs = sub.add_parser("bugs", help="list the injected-defect catalog")
@@ -90,13 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 def cmd_hunt(args) -> int:
     bug_ids = args.bugs.split(",") if args.bugs else None
-    config = CampaignConfig(dialect=args.dialect, seed=args.seed,
-                            databases=args.databases, bug_ids=bug_ids,
-                            reduce=not args.no_reduce)
-    result = Campaign(config).run()
-    print(f"statements={result.stats.statements} "
-          f"queries={result.stats.queries} "
-          f"expected-errors={result.stats.expected_errors}")
+    if args.resume and not args.journal:
+        print("--resume requires --journal")
+        return 2
+    try:
+        if args.threads > 1:
+            return _hunt_parallel(args, bug_ids)
+        config = CampaignConfig(dialect=args.dialect, seed=args.seed,
+                                databases=args.databases, bug_ids=bug_ids,
+                                reduce=not args.no_reduce,
+                                journal=args.journal, resume=args.resume)
+        result = Campaign(config).run()
+    except PQSError as error:
+        print(f"error: {error}")
+        return 2
+    _print_hunt_stats(result.stats)
     for report in result.reports:
         print(f"\n[{report.oracle.value}] {report.message} "
               f"(triage: {report.triage})")
@@ -108,16 +130,61 @@ def cmd_hunt(args) -> int:
     return 0
 
 
+def _hunt_parallel(args, bug_ids) -> int:
+    from repro.campaigns.parallel import (
+        ParallelCampaign,
+        ParallelCampaignConfig,
+    )
+
+    config = ParallelCampaignConfig(
+        dialect=args.dialect, seed=args.seed, threads=args.threads,
+        databases_per_thread=args.databases, bug_ids=bug_ids,
+        reduce=not args.no_reduce, journal=args.journal,
+        resume=args.resume)
+    result = ParallelCampaign(config).run()
+    _print_hunt_stats(result.stats)
+    for index, count in enumerate(result.per_thread_reports):
+        print(f"worker {index}: {count} report(s)")
+    for summary in result.worker_errors:
+        print(f"FAILED {summary}")
+    print(f"\ndetected {len(result.detected_bug_ids)} distinct "
+          f"defect(s) in {len(result.reports)} report(s) across "
+          f"{args.threads} worker(s)")
+    return 0
+
+
+def _print_hunt_stats(stats) -> None:
+    print(f"statements={stats.statements} "
+          f"queries={stats.queries} "
+          f"expected-errors={stats.expected_errors} "
+          f"timeouts={stats.timeouts}")
+
+
 def cmd_sqlite(args) -> int:
     from repro.adapters.sqlite3_adapter import SQLite3Connection
     from repro.core.error_oracle import SQLITE3_DOCUMENTED_QUIRKS
 
-    runner = PQSRunner(SQLite3Connection,
+    factory = SQLite3Connection
+    if args.isolate:
+        from repro.adapters.subprocess_adapter import (
+            SubprocessConfig,
+            SubprocessConnection,
+        )
+
+        harness_config = SubprocessConfig(
+            statement_timeout=args.timeout)
+
+        def factory() -> SubprocessConnection:
+            return SubprocessConnection(SQLite3Connection,
+                                        harness_config)
+
+    runner = PQSRunner(factory,
                        RunnerConfig(dialect="sqlite", seed=args.seed,
                                     documented_quirks=SQLITE3_DOCUMENTED_QUIRKS))
     stats = runner.run(args.databases)
     print(f"databases={stats.databases} statements={stats.statements} "
-          f"queries={stats.queries} findings={len(stats.reports)}")
+          f"queries={stats.queries} timeouts={stats.timeouts} "
+          f"findings={len(stats.reports)}")
     for report in stats.reports:
         print(f"\n[{report.oracle.value}] {report.message}")
         print(report.test_case.render())

@@ -14,7 +14,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
-from repro.errors import DBError
+from repro.errors import DBError, DBTimeout
 
 #: Message patterns that indicate corruption or internal inconsistency —
 #: unconditionally a bug, whatever the statement (paper §3.3).
@@ -160,6 +160,12 @@ class ErrorOracle:
     def classify(self, sql: str, error: DBError) -> ErrorVerdict:
         kind = statement_kind(sql)
         message = error.message
+        if isinstance(error, DBTimeout):
+            # Watchdog expiry is an availability event, not a wrong-
+            # result logic bug: never an error-oracle finding.  The
+            # runner counts it in RunStatistics.timeouts, distinct from
+            # expected_errors.
+            return ErrorVerdict(True, kind, message)
         for pattern in self.documented_quirks:
             if re.search(pattern, message, re.IGNORECASE):
                 return ErrorVerdict(True, kind, message)

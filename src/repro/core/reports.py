@@ -1,10 +1,39 @@
-"""Bug reports, test cases, and run statistics."""
+"""Bug reports, test cases, and run statistics.
+
+Reports and test cases serialize to plain JSON (``to_json`` /
+``from_json``) so a campaign can journal findings as it runs and a
+``--resume`` continuation can reload them byte-for-byte.
+"""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.values import SQLType, Value
+
+
+def value_to_json(value: Value) -> dict:
+    """Encode a :class:`~repro.values.Value` as a JSON-safe dict.
+
+    BLOBs are hex-encoded; every other payload is a native JSON scalar
+    (Python's ``json`` round-trips ``inf``/``nan`` reals natively).
+    """
+    if value.t is SQLType.BLOB:
+        return {"t": value.t.value, "v": value.v.hex()}
+    return {"t": value.t.value, "v": value.v}
+
+
+def value_from_json(data: dict) -> Value:
+    t = SQLType(data["t"])
+    if t is SQLType.BLOB:
+        return Value.blob(bytes.fromhex(data["v"]))
+    if t is SQLType.REAL:
+        # JSON integers (e.g. a journaled 2.0 written as 2) must come
+        # back as the REAL they were.
+        return Value(t, float(data["v"]))
+    return Value(t, data["v"])
 
 
 class Oracle(enum.Enum):
@@ -42,6 +71,23 @@ class TestCase:
     def render(self) -> str:
         return ";\n".join(self.statements) + ";"
 
+    def to_json(self) -> dict:
+        out: dict = {"statements": list(self.statements),
+                     "dialect": self.dialect}
+        if self.expected_row is not None:
+            out["expected_row"] = [value_to_json(v)
+                                   for v in self.expected_row]
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "TestCase":
+        expected = data.get("expected_row")
+        return TestCase(
+            statements=list(data["statements"]),
+            expected_row=(None if expected is None
+                          else [value_from_json(v) for v in expected]),
+            dialect=data.get("dialect", "sqlite"))
+
 
 @dataclass
 class BugReport:
@@ -60,6 +106,23 @@ class BugReport:
     triage: str = "verified"
     reduced: bool = False
 
+    def to_json(self) -> dict:
+        return {"oracle": self.oracle.value, "dialect": self.dialect,
+                "test_case": self.test_case.to_json(),
+                "message": self.message, "seed": self.seed,
+                "attributed_bugs": list(self.attributed_bugs),
+                "triage": self.triage, "reduced": self.reduced}
+
+    @staticmethod
+    def from_json(data: dict) -> "BugReport":
+        return BugReport(
+            oracle=Oracle(data["oracle"]), dialect=data["dialect"],
+            test_case=TestCase.from_json(data["test_case"]),
+            message=data.get("message", ""), seed=data.get("seed", 0),
+            attributed_bugs=list(data.get("attributed_bugs", [])),
+            triage=data.get("triage", "verified"),
+            reduced=data.get("reduced", False))
+
 
 @dataclass
 class RunStatistics:
@@ -70,6 +133,9 @@ class RunStatistics:
     queries: int = 0
     pivots: int = 0
     expected_errors: int = 0
+    #: Watchdog expirations — counted apart from expected_errors because
+    #: a hang is an availability event, not an error-oracle outcome.
+    timeouts: int = 0
     reports: list[BugReport] = field(default_factory=list)
 
     def merge(self, other: "RunStatistics") -> None:
@@ -78,4 +144,5 @@ class RunStatistics:
         self.queries += other.queries
         self.pivots += other.pivots
         self.expected_errors += other.expected_errors
+        self.timeouts += other.timeouts
         self.reports.extend(other.reports)

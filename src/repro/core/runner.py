@@ -24,7 +24,7 @@ from repro.core.querygen import QueryGenerator
 from repro.core.reports import BugReport, Oracle, RunStatistics, TestCase
 from repro.core.schema import SchemaModel
 from repro.dialects import get_dialect
-from repro.errors import DBCrash, DBError
+from repro.errors import DBCrash, DBError, DBTimeout
 from repro.interp import make_interpreter
 from repro.interp.base import EvalError
 from repro.rng import RandomSource
@@ -80,6 +80,7 @@ class DatabaseRound:
     queries: int = 0
     pivots: int = 0
     expected_errors: int = 0
+    timeouts: int = 0
 
 
 class PQSRunner:
@@ -106,8 +107,16 @@ class PQSRunner:
             stats.queries += round_.queries
             stats.pivots += round_.pivots
             stats.expected_errors += round_.expected_errors
+            stats.timeouts += round_.timeouts
             stats.reports.extend(round_.reports)
         return stats
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random stream mid-run (journaled campaigns derive an
+        independent seed per database so an interrupted hunt can resume
+        at any round without replaying the rounds before it)."""
+        self.config.seed = seed
+        self.rng = RandomSource(seed)
 
     def run_database_round(self) -> DatabaseRound:
         """One full pass: state generation, pivots, queries, oracles."""
@@ -166,6 +175,10 @@ class PQSRunner:
             log.append(sql)
             round_.reports.append(self._report(Oracle.CRASH, log,
                                                crash.message))
+        except DBTimeout:
+            # The watchdog killed the statement; the harness restored
+            # state without it, so it is neither logged nor a finding.
+            round_.timeouts += 1
         except DBError as error:
             verdict = self.error_oracle.classify(sql, error)
             if verdict.expected:
@@ -245,6 +258,9 @@ class PQSRunner:
                 round_.reports.append(self._report(
                     Oracle.CRASH, log + [sql], crash.message))
                 continue
+            except DBTimeout:
+                round_.timeouts += 1
+                continue
             except DBError as error:
                 verdict = self.error_oracle.classify(sql, error)
                 if verdict.expected:
@@ -281,6 +297,9 @@ class PQSRunner:
         except DBCrash as crash:
             round_.reports.append(self._report(
                 Oracle.CRASH, log + [query.sql], crash.message))
+            return
+        except DBTimeout:
+            round_.timeouts += 1
             return
         except DBError as error:
             verdict = self.error_oracle.classify(query.sql, error)

@@ -33,6 +33,17 @@ class ReductionError(PQSError):
     """Test-case reduction failed to preserve the failure it was given."""
 
 
+class HarnessError(PQSError):
+    """The fault-isolation harness could not keep a target alive.
+
+    Raised when the subprocess harness exhausts its restart budget —
+    e.g. the target crashes during every state-restoring replay.  This
+    is an availability failure of the *harness*, distinct from the
+    per-statement :class:`DBCrash`/:class:`DBTimeout` signals the
+    oracles consume.
+    """
+
+
 class DBError(Exception):
     """An error reported by a system under test while executing a statement.
 
@@ -73,6 +84,22 @@ class IntegrityError(DBError):
 
 class UnsupportedError(DBError):
     """The statement uses a feature the engine does not implement."""
+
+
+class DBTimeout(DBError):
+    """The watchdog deadline expired while a statement was executing.
+
+    Raised by fault-isolated adapters when the target fails to answer
+    within the configured per-statement budget — the moral equivalent of
+    an infinite-loop query.  A timeout is *not* an error-oracle finding
+    (hangs are availability problems, not wrong-result logic bugs), so
+    :class:`~repro.core.error_oracle.ErrorOracle` classifies it as
+    expected and :class:`~repro.core.reports.RunStatistics` counts it in
+    a dedicated ``timeouts`` column rather than among errors.
+    """
+
+    def __init__(self, message: str = "statement deadline exceeded"):
+        super().__init__(message)
 
 
 class DBCrash(BaseException):

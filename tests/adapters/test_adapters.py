@@ -7,7 +7,7 @@ from repro.adapters.minidb_adapter import MiniDBConnection
 from repro.adapters.sqlite3_adapter import SQLite3Connection
 from repro.core.error_oracle import SQLITE3_DOCUMENTED_QUIRKS
 from repro.core.runner import PQSRunner, RunnerConfig
-from repro.errors import DBError
+from repro.errors import DBError, IntegrityError
 from repro.values import SQLType
 
 
@@ -41,6 +41,33 @@ class TestSQLite3Adapter:
         conn.close()
         with pytest.raises(Exception):
             conn.execute("SELECT 1")
+
+    def test_real_corruption_maps_to_integrity_error(self, tmp_path):
+        """Scrambling b-tree pages of an on-disk database makes real
+        SQLite report 'database disk image is malformed' — the paper's
+        motivating bug class, which the error oracle must see as an
+        IntegrityError (always a finding), not generic DBError noise."""
+        import sqlite3 as sqlite3_mod
+
+        path = str(tmp_path / "corrupt.db")
+        seed_conn = sqlite3_mod.connect(path)
+        seed_conn.execute("PRAGMA page_size=512")
+        seed_conn.execute("CREATE TABLE t(a)")
+        seed_conn.executemany("INSERT INTO t VALUES (?)",
+                              [(i,) for i in range(2000)])
+        seed_conn.commit()
+        seed_conn.close()
+        data = bytearray(open(path, "rb").read())
+        for page_start in range(512, len(data), 512):
+            for i in range(page_start + 8, page_start + 20):
+                data[i] = 0xFF  # scramble each page's cell pointers
+        open(path, "wb").write(bytes(data))
+
+        conn = SQLite3Connection(path)
+        with pytest.raises(IntegrityError) as exc:
+            conn.execute("SELECT * FROM t")
+        assert "malformed" in exc.value.message
+        conn.close()
 
 
 class TestPQSAgainstRealSQLite:

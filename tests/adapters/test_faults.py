@@ -1,0 +1,113 @@
+"""Deterministic fault injection (the harness's own test double)."""
+
+import pytest
+
+from repro.adapters.faults import FaultPlan, FaultyConnection, FaultyFactory
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.errors import DBCrash, DBError
+
+
+def minidb():
+    return MiniDBConnection("sqlite")
+
+
+class TestFaultPlanDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=99, crash_rate=0.02, hang_rate=0.01,
+                      error_rate=0.03, drop_row_rate=0.01)
+        b = FaultPlan(seed=99, crash_rate=0.02, hang_rate=0.01,
+                      error_rate=0.03, drop_row_rate=0.01)
+        assert a.schedule == b.schedule
+        assert a.schedule, "rates over a 1000-statement horizon " \
+                           "should schedule at least one fault"
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, crash_rate=0.05, error_rate=0.05)
+        b = FaultPlan(seed=2, crash_rate=0.05, error_rate=0.05)
+        assert a.schedule != b.schedule
+
+    def test_explicit_indexes_override_draw(self):
+        plan = FaultPlan(seed=0, error_rate=1.0, crash_at=(3,),
+                         horizon=10)
+        assert plan.action(3) == "crash"
+        assert plan.action(4) == "error"
+
+    def test_fault_indexes_helper(self):
+        plan = FaultPlan(crash_at=(5, 2), hang_at=(7,))
+        assert plan.fault_indexes("crash") == [2, 5]
+        assert plan.fault_indexes("hang") == [7]
+        assert plan.fault_indexes("error") == []
+
+    def test_zero_rates_schedule_nothing(self):
+        assert FaultPlan(seed=123).schedule == {}
+
+
+class TestFaultyConnection:
+    def test_crash_fires_at_index(self):
+        conn = FaultyConnection(minidb(), FaultPlan(crash_at=(1,)))
+        conn.execute("CREATE TABLE t(a)")
+        with pytest.raises(DBCrash):
+            conn.execute("INSERT INTO t VALUES (1)")
+
+    def test_error_fires_once(self):
+        conn = FaultyConnection(minidb(), FaultPlan(error_at=(1,)))
+        conn.execute("CREATE TABLE t(a)")
+        with pytest.raises(DBError) as exc:
+            conn.execute("INSERT INTO t VALUES (1)")
+        assert "injected" in exc.value.message
+        # The schedule advanced past the fault; the retry goes through.
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert len(conn.execute("SELECT * FROM t")) == 1
+
+    def test_drop_row_truncates_result(self):
+        conn = FaultyConnection(minidb(), FaultPlan(drop_row_at=(2,)))
+        conn.execute("CREATE TABLE t(a)")
+        conn.execute("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(conn.execute("SELECT * FROM t")) == 2
+        assert len(conn.execute("SELECT * FROM t")) == 3
+
+    def test_hang_sleeps_then_executes(self):
+        plan = FaultPlan(hang_at=(0,), hang_seconds=0.01)
+        conn = FaultyConnection(minidb(), plan)
+        conn.execute("CREATE TABLE t(a)")  # survives the tiny hang
+        assert conn.execute("SELECT * FROM t") == []
+
+    def test_offset_seats_counter_mid_schedule(self):
+        plan = FaultPlan(crash_at=(5,))
+        conn = FaultyConnection(minidb(), plan, offset=5)
+        with pytest.raises(DBCrash):
+            conn.execute("CREATE TABLE t(a)")
+
+    def test_replay_bypasses_faults_and_counter(self):
+        plan = FaultPlan(crash_at=(1,))
+        conn = FaultyConnection(minidb(), plan)
+        conn.execute("CREATE TABLE t(a)")
+        conn.execute_replay("INSERT INTO t VALUES (1)")
+        assert conn.statement_index == 1
+        with pytest.raises(DBCrash):
+            conn.execute("INSERT INTO t VALUES (2)")
+
+    def test_dialect_passthrough(self):
+        conn = FaultyConnection(MiniDBConnection("mysql"), FaultPlan())
+        assert conn.dialect == "mysql"
+
+
+class TestFaultyFactory:
+    def test_factory_builds_offset_connections(self):
+        factory = FaultyFactory(minidb, FaultPlan(crash_at=(2,)))
+        assert factory.accepts_offset
+        conn = factory(offset=2)
+        with pytest.raises(DBCrash):
+            conn.execute("CREATE TABLE t(a)")
+
+    def test_factory_is_picklable(self):
+        import pickle
+
+        from repro.adapters.sqlite3_adapter import SQLite3Connection
+
+        factory = FaultyFactory(SQLite3Connection,
+                                FaultPlan(seed=7, crash_rate=0.01))
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.plan.schedule == factory.plan.schedule
+        conn = clone(offset=0)
+        assert conn.execute("SELECT 1")[0][0].v == 1

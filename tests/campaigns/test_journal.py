@@ -1,0 +1,148 @@
+"""Campaign durability: journal writes, resume, fingerprint guard."""
+
+import json
+
+import pytest
+
+from repro.campaigns.campaign import Campaign, CampaignConfig
+from repro.campaigns.journal import (
+    CampaignJournal,
+    RoundRecord,
+    round_seed,
+)
+from repro.core.reports import BugReport, Oracle, TestCase
+from repro.errors import PQSError
+from repro.values import Value
+
+
+def fingerprint(result):
+    return [(r.oracle.value, tuple(r.test_case.statements), r.triage,
+             tuple(r.attributed_bugs)) for r in result.reports]
+
+
+def config(path=None, resume=False, seed=7, databases=14):
+    return CampaignConfig(dialect="sqlite", seed=seed,
+                          databases=databases,
+                          journal=str(path) if path else None,
+                          resume=resume)
+
+
+class TestRoundSeed:
+    def test_deterministic(self):
+        assert round_seed(7, 3) == round_seed(7, 3)
+
+    def test_varies_by_index_and_seed(self):
+        seeds = {round_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert round_seed(7, 0) != round_seed(8, 0)
+
+
+class TestSerialization:
+    def test_report_roundtrip_with_values(self):
+        report = BugReport(
+            oracle=Oracle.CONTAINMENT, dialect="sqlite",
+            test_case=TestCase(
+                statements=["CREATE TABLE t(a)", "SELECT * FROM t"],
+                expected_row=[Value.integer(1), Value.real(2.5),
+                              Value.text("x"), Value.blob(b"\x00\xff"),
+                              Value.null()],
+                dialect="sqlite"),
+            message="pivot row not contained", seed=3)
+        clone = BugReport.from_json(
+            json.loads(json.dumps(report.to_json())))
+        assert clone.oracle is Oracle.CONTAINMENT
+        assert clone.test_case.statements == report.test_case.statements
+        assert clone.test_case.expected_row == report.test_case.expected_row
+        assert clone.message == report.message
+        assert clone.seed == report.seed
+
+    def test_round_record_roundtrip(self):
+        record = RoundRecord(index=4, seed=99, statements=20, queries=10,
+                             pivots=2, expected_errors=1, timeouts=3)
+        clone = RoundRecord.from_json(
+            json.loads(json.dumps(record.to_json())))
+        assert clone == record
+
+
+class TestJournaledCampaign:
+    def test_journal_written_per_round(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
+        result = Campaign(config(path, databases=6)).run()
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["dialect"] == "sqlite"
+        rounds = [json.loads(line) for line in lines[1:]]
+        assert [r["index"] for r in rounds] == list(range(6))
+        assert sum(r["statements"] for r in rounds) == \
+            result.stats.statements
+
+    def test_resume_reproduces_uninterrupted_totals(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        uninterrupted = Campaign(config(full)).run()
+
+        # Interrupt: keep the header plus the first 5 rounds, with a
+        # torn (half-written) line the kill left behind.
+        partial = tmp_path / "partial.jsonl"
+        lines = full.read_text().splitlines()
+        partial.write_text("\n".join(lines[:6]) +
+                           '\n{"kind": "round", "ind')
+        resumed = Campaign(config(partial, resume=True)).run()
+
+        assert resumed.stats.databases == uninterrupted.stats.databases
+        assert resumed.stats.statements == uninterrupted.stats.statements
+        assert resumed.stats.queries == uninterrupted.stats.queries
+        assert fingerprint(resumed) == fingerprint(uninterrupted)
+
+    def test_resume_skips_completed_rounds(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
+        Campaign(config(path, databases=5)).run()
+
+        executed = []
+        from repro.core import runner as runner_mod
+
+        original = runner_mod.PQSRunner.run_database_round
+
+        def spy(self):
+            executed.append(1)
+            return original(self)
+
+        runner_mod.PQSRunner.run_database_round = spy
+        try:
+            Campaign(config(path, resume=True, databases=5)).run()
+        finally:
+            runner_mod.PQSRunner.run_database_round = original
+        assert executed == [], "complete journal must re-run nothing"
+
+    def test_mismatched_fingerprint_rejected(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
+        Campaign(config(path, databases=4)).run()
+        with pytest.raises(PQSError):
+            Campaign(config(path, resume=True, seed=8,
+                            databases=4)).run()
+
+    def test_without_resume_starts_over(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
+        Campaign(config(path, databases=4)).run()
+        first = path.read_text()
+        Campaign(config(path, databases=4)).run()
+        assert path.read_text() == first, \
+            "a fresh run overwrites rather than appends"
+
+    def test_journaled_matches_rerun_of_itself(self, tmp_path):
+        a = Campaign(config(tmp_path / "a.jsonl")).run()
+        b = Campaign(config(tmp_path / "b.jsonl")).run()
+        assert fingerprint(a) == fingerprint(b)
+        assert a.stats.statements == b.stats.statements
+
+
+class TestJournalFile:
+    def test_load_missing_file_is_empty(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "nope.jsonl"))
+        assert journal.load({"any": "thing"}) == {}
+
+    def test_load_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "round", "index": 0, "seed": 1}\n')
+        with pytest.raises(PQSError):
+            CampaignJournal(str(path)).load({})

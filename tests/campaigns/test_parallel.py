@@ -1,5 +1,8 @@
 """Parallel campaign tests (paper §3.4: thread per database)."""
 
+import pytest
+
+from repro.campaigns import parallel as parallel_mod
 from repro.campaigns.parallel import (
     ParallelCampaign,
     ParallelCampaignConfig,
@@ -50,3 +53,93 @@ class TestParallelCampaign:
         # streams diverge; assert on totals being plausible instead.
         assert result.stats.statements > 0
         assert result.stats.queries > 0
+
+
+class _FlakyCampaign:
+    """Stands in for Campaign; workers with chosen seeds die mid-run."""
+
+    real = None
+    fail_seeds: set = set()
+
+    def __init__(self, config):
+        self.config = config
+
+    def run(self):
+        if self.config.seed in self.fail_seeds:
+            raise RuntimeError(f"worker with seed {self.config.seed} "
+                               "lost its target")
+        return _FlakyCampaign.real(self.config).run()
+
+
+@pytest.fixture
+def flaky_campaign(monkeypatch):
+    """Patch parallel.Campaign so specific worker seeds raise."""
+    _FlakyCampaign.real = parallel_mod.Campaign
+    monkeypatch.setattr(parallel_mod, "Campaign", _FlakyCampaign)
+    return _FlakyCampaign
+
+
+class TestGracefulDegradation:
+    CONFIG = dict(dialect="sqlite", seed=42, threads=3,
+                  databases_per_thread=10, reduce=False)
+
+    @staticmethod
+    def worker_seed(config: ParallelCampaignConfig, index: int) -> int:
+        return config.seed + 7919 * (index + 1)
+
+    def test_one_dead_worker_keeps_other_results(self, flaky_campaign):
+        config = ParallelCampaignConfig(**self.CONFIG)
+        flaky_campaign.fail_seeds = {self.worker_seed(config, 1)}
+        result = ParallelCampaign(config).run()
+        assert result.stats.databases == 20, \
+            "the two surviving workers' databases must be kept"
+        assert len(result.worker_errors) == 1
+        assert "worker 1" in result.worker_errors[0]
+        assert "RuntimeError" in result.worker_errors[0]
+        assert len(result.per_thread_reports) == 2
+
+    def test_all_workers_dead_raises(self, flaky_campaign):
+        config = ParallelCampaignConfig(**self.CONFIG)
+        flaky_campaign.fail_seeds = {
+            self.worker_seed(config, i) for i in range(config.threads)}
+        with pytest.raises(RuntimeError):
+            ParallelCampaign(config).run()
+
+    def test_no_failures_reports_none(self):
+        config = ParallelCampaignConfig(dialect="sqlite", seed=42,
+                                        threads=2,
+                                        databases_per_thread=5,
+                                        reduce=False)
+        result = ParallelCampaign(config).run()
+        assert result.worker_errors == []
+
+
+class TestParallelJournal:
+    def test_per_worker_journals_written(self, tmp_path):
+        stem = str(tmp_path / "hunt.jsonl")
+        config = ParallelCampaignConfig(dialect="sqlite", seed=9,
+                                        threads=2,
+                                        databases_per_thread=4,
+                                        reduce=False, journal=stem)
+        ParallelCampaign(config).run()
+        assert (tmp_path / "hunt.jsonl.worker0").exists()
+        assert (tmp_path / "hunt.jsonl.worker1").exists()
+
+    def test_parallel_resume_matches_uninterrupted(self, tmp_path):
+        def run(journal, resume=False):
+            config = ParallelCampaignConfig(
+                dialect="sqlite", seed=9, threads=2,
+                databases_per_thread=6, reduce=False,
+                journal=str(journal), resume=resume)
+            return ParallelCampaign(config).run()
+
+        full = run(tmp_path / "full.jsonl")
+        # Interrupt worker 1 after two rounds; worker 0 finished.
+        run(tmp_path / "cut.jsonl")
+        cut = tmp_path / "cut.jsonl.worker1"
+        cut.write_text("\n".join(
+            cut.read_text().splitlines()[:3]) + "\n")
+        resumed = run(tmp_path / "cut.jsonl", resume=True)
+        assert resumed.stats.databases == full.stats.databases
+        assert resumed.stats.statements == full.stats.statements
+        assert len(resumed.reports) == len(full.reports)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.error_oracle import ErrorOracle, statement_kind
-from repro.errors import DBError
+from repro.errors import DBError, DBTimeout
 
 
 ORACLE = ErrorOracle("sqlite")
@@ -86,3 +86,23 @@ class TestUnexpectedErrors:
         verdict = ORACLE.classify("SELECT 1", DBError("boom"))
         assert verdict.statement_kind == "SELECT"
         assert verdict.message == "boom"
+
+
+class TestTimeouts:
+    def test_timeout_never_a_finding(self):
+        # A watchdog expiry is an availability event, not an error-
+        # oracle finding — even when its message would otherwise match
+        # an always-unexpected pattern.
+        verdict = ORACLE.classify(
+            "SELECT 1",
+            DBTimeout("statement exceeded 1s watchdog deadline"))
+        assert verdict.expected
+
+    def test_timeout_classified_before_patterns(self):
+        verdict = ORACLE.classify(
+            "VACUUM", DBTimeout("corrupt state made VACUUM hang"))
+        assert verdict.expected, \
+            "DBTimeout must short-circuit ALWAYS_UNEXPECTED matching"
+
+    def test_timeout_is_a_db_error_subclass(self):
+        assert issubclass(DBTimeout, DBError)

@@ -60,6 +60,34 @@ class TestHunt:
             "--seed", "2", "--no-reduce")
         assert code == 0
 
+    def test_threads_prints_per_worker_counts(self):
+        code, output = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "5",
+            "--seed", "2", "--threads", "2", "--no-reduce")
+        assert code == 0
+        assert "worker 0:" in output
+        assert "worker 1:" in output
+        assert "across 2 worker(s)" in output
+
+    def test_journal_and_resume(self, tmp_path):
+        journal = str(tmp_path / "hunt.jsonl")
+        code, first = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "6",
+            "--seed", "2", "--no-reduce", "--journal", journal)
+        assert code == 0
+        code, second = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "6",
+            "--seed", "2", "--no-reduce", "--journal", journal,
+            "--resume")
+        assert code == 0
+        assert first.splitlines()[0] == second.splitlines()[0], \
+            "resume of a finished journal must reproduce its totals"
+
+    def test_resume_without_journal_rejected(self):
+        code, output = run_cli("hunt", "--resume")
+        assert code == 2
+        assert "--journal" in output
+
 
 class TestReplay:
     LISTING1 = (
