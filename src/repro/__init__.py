@@ -13,7 +13,9 @@ Public API tour:
 * :mod:`repro.interp` — the exact expression interpreter (the oracle),
   cross-validated against real SQLite;
 * :class:`repro.adapters.SQLite3Connection` — run the same loop against
-  a live SQLite build.
+  a live SQLite build;
+* :class:`repro.telemetry.Telemetry` — opt-in metrics registry and span
+  tracer threaded through the runner, campaigns and fault harness.
 
 Quick start::
 
@@ -52,6 +54,7 @@ from repro.errors import (
     PQSError,
 )
 from repro.minidb import BUG_CATALOG, BugRegistry, Engine, ResultSet
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
 from repro.values import Value
 
 __version__ = "1.0.0"
@@ -71,6 +74,7 @@ __all__ = [
     "FaultPlan",
     "FaultyFactory",
     "HarnessError",
+    "MetricsRegistry",
     "MiniDBConnection",
     "Oracle",
     "PQSError",
@@ -80,8 +84,10 @@ __all__ = [
     "SQLite3Connection",
     "SubprocessConfig",
     "SubprocessConnection",
+    "Telemetry",
     "TestCase",
     "TestCaseReducer",
+    "Tracer",
     "Value",
     "__version__",
 ]

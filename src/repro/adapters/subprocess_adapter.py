@@ -53,6 +53,8 @@ from repro.errors import (
     TypeError_,
     UnsupportedError,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import names as metric_names
 from repro.values import Value
 
 _HEADER = struct.Struct("!I")
@@ -130,14 +132,24 @@ class SubprocessConnection:
     """
 
     def __init__(self, factory: Callable[[], Any],
-                 config: Optional[SubprocessConfig] = None):
+                 config: Optional[SubprocessConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.factory = factory
         self.config = config or SubprocessConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.dialect = "sqlite"  # refined by the handshake
         self._proc: Optional[subprocess.Popen] = None
         self._log: list[str] = []
         #: Fresh (non-replay) statements attempted — the fault offset.
         self._fresh = 0
+        t = self.telemetry
+        self._metered = t.registry.enabled
+        self._m_restarts = t.counter(metric_names.WORKER_RESTARTS)
+        self._m_watchdog = t.counter(metric_names.WATCHDOG_KILLS)
+        self._m_replay = t.histogram(metric_names.REPLAY_STATEMENTS,
+                                     buckets=metric_names.COUNT_BUCKETS)
+        self._m_roundtrip = t.histogram(metric_names.ROUNDTRIP_SECONDS)
+        self._started = False
         self._restore()
 
     # -- DBMSConnection -----------------------------------------------------
@@ -145,6 +157,7 @@ class SubprocessConnection:
         if self._proc is None:
             self._restore()
         self._fresh += 1
+        t0 = time.monotonic() if self._metered else 0.0
         try:
             reply = self._request({"op": "execute", "sql": sql},
                                   self.config.statement_timeout)
@@ -152,9 +165,12 @@ class SubprocessConnection:
             raise DBCrash(died.message) from None
         except _DeadlineExceeded:
             self._kill()
+            self._m_watchdog.inc()
             raise DBTimeout(
                 f"statement exceeded {self.config.statement_timeout:.3g}s "
                 f"watchdog deadline: {sql[:120]}") from None
+        if self._metered:
+            self._m_roundtrip.observe(time.monotonic() - t0)
         rows = self._interpret(reply)
         self._log.append(sql)
         return rows
@@ -185,11 +201,16 @@ class SubprocessConnection:
     # -- recovery -----------------------------------------------------------
     def _restore(self) -> None:
         """(Re)start the worker and replay state, with bounded retries."""
+        if self._started:
+            # Anything past the constructor's initial spawn is a
+            # restart — a crash or watchdog kill already happened.
+            self._m_restarts.inc()
         failures = 0
         while True:
             try:
                 self._spawn()
                 self._replay()
+                self._started = True
                 return
             except (_WorkerDied, _DeadlineExceeded, EOFError,
                     OSError) as exc:
@@ -220,6 +241,8 @@ class SubprocessConnection:
         self.dialect = reply["dialect"]
 
     def _replay(self) -> None:
+        if self._metered and self._started:
+            self._m_replay.observe(len(self._log))
         for sql in self._log:
             reply = self._request({"op": "replay", "sql": sql},
                                   self.config.statement_timeout)

@@ -21,6 +21,8 @@ from repro.core.reports import BugReport, Oracle, RunStatistics
 from repro.core.runner import PQSRunner, RunnerConfig
 from repro.errors import ReductionError
 from repro.minidb.bugs import BUG_CATALOG, BugRegistry, bugs_for_dialect
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import names as metric_names
 
 #: BugReport oracle value -> catalog oracle tag.
 _ORACLE_TAG = {"contains": "contains", "error": "error",
@@ -61,6 +63,11 @@ class CampaignConfig:
     journal: Optional[str] = None
     #: Continue from an existing journal instead of starting over.
     resume: bool = False
+    #: Observability sink (metrics registry + tracer); None runs with
+    #: the no-op :data:`repro.telemetry.NULL_TELEMETRY`.  Deliberately
+    #: not part of the journal fingerprint: turning telemetry on must
+    #: not invalidate a resumable hunt.
+    telemetry: Optional["Telemetry"] = None
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -124,7 +131,8 @@ class Campaign:
                                 bugs=BugRegistry(set(self.bugs.enabled)))
 
     def run(self) -> CampaignResult:
-        runner = PQSRunner(self._connection, self.config.runner)
+        runner = PQSRunner(self._connection, self.config.runner,
+                           telemetry=self.config.telemetry)
         if self.config.journal:
             stats = self._run_journaled(runner)
         else:
@@ -172,6 +180,8 @@ class Campaign:
                      if self.config.resume else {})
         journal.start(fingerprint, fresh=not completed)
         stats = RunStatistics()
+        telemetry = self.config.telemetry or NULL_TELEMETRY
+        rounds_counter = telemetry.counter(metric_names.ROUNDS)
         try:
             for index in range(self.config.databases):
                 record = completed.get(index)
@@ -185,14 +195,21 @@ class Campaign:
                         queries=round_.queries, pivots=round_.pivots,
                         expected_errors=round_.expected_errors,
                         timeouts=round_.timeouts,
+                        seconds=round_.seconds,
                         reports=round_.reports)
                     journal.append_round(record)
+                else:
+                    # The runner counts rounds it actually executes;
+                    # journal-loaded rounds still advance the live
+                    # progress line.
+                    rounds_counter.inc()
                 stats.databases += 1
                 stats.statements += record.statements
                 stats.queries += record.queries
                 stats.pivots += record.pivots
                 stats.expected_errors += record.expected_errors
                 stats.timeouts += record.timeouts
+                stats.seconds += record.seconds
                 stats.reports.extend(record.reports)
         finally:
             journal.close()

@@ -54,6 +54,10 @@ class RoundRecord:
     pivots: int = 0
     expected_errors: int = 0
     timeouts: int = 0
+    #: Wall-clock seconds the round took when it actually ran — carried
+    #: in the journal so a --resume continuation reports the same
+    #: throughput an uninterrupted run would have.
+    seconds: float = 0.0
     reports: list[BugReport] = field(default_factory=list)
 
     def to_json(self) -> dict:
@@ -61,7 +65,7 @@ class RoundRecord:
                 "statements": self.statements, "queries": self.queries,
                 "pivots": self.pivots,
                 "expected_errors": self.expected_errors,
-                "timeouts": self.timeouts,
+                "timeouts": self.timeouts, "seconds": self.seconds,
                 "reports": [r.to_json() for r in self.reports]}
 
     @staticmethod
@@ -73,6 +77,7 @@ class RoundRecord:
             pivots=data.get("pivots", 0),
             expected_errors=data.get("expected_errors", 0),
             timeouts=data.get("timeouts", 0),
+            seconds=data.get("seconds", 0.0),
             reports=[BugReport.from_json(r)
                      for r in data.get("reports", [])])
 

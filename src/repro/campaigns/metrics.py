@@ -20,8 +20,9 @@ from repro.core.reports import BugReport
 FIGURE3_CATEGORIES = [
     "CREATE TABLE", "INSERT", "SELECT", "CREATE INDEX", "ALTER TABLE",
     "UPDATE", "OPTION", "ANALYZE", "REINDEX", "VACUUM", "CREATE VIEW",
-    "DELETE", "TRANSACTION", "DROP INDEX", "REPAIR/CHECK TABLE",
-    "DROP/CREATE/USE DB", "DISCARD", "CREATE STATS",
+    "DELETE", "TRANSACTION", "DROP INDEX", "DROP TABLE", "DROP VIEW",
+    "REPAIR/CHECK TABLE", "DROP/CREATE/USE DB", "DISCARD",
+    "CREATE STATS",
 ]
 
 
@@ -39,7 +40,17 @@ def classify_statement(sql: str) -> str:
     if kind == "CREATE STATISTICS":
         return "CREATE STATS"
     if kind == "DROP":
-        return "DROP INDEX"
+        # statement_kind collapses every DROP to one keyword; Figure 3
+        # separates them, so look at the dropped object class.
+        words = sql.strip().upper().split()
+        target = words[1] if len(words) > 1 else ""
+        if target == "INDEX":
+            return "DROP INDEX"
+        if target in ("DATABASE", "SCHEMA"):
+            return "DROP/CREATE/USE DB"
+        if target == "VIEW":
+            return "DROP VIEW"
+        return "DROP TABLE"
     return kind
 
 

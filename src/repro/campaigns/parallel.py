@@ -20,6 +20,7 @@ from typing import Optional
 from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.reports import BugReport, RunStatistics
 from repro.minidb.bugs import BUG_CATALOG
+from repro.telemetry import MetricsRegistry, Telemetry
 
 
 @dataclass
@@ -35,6 +36,13 @@ class ParallelCampaignConfig:
     #: so an interrupted parallel hunt resumes per worker.
     journal: Optional[str] = None
     resume: bool = False
+    #: Observability sink for the merged campaign.  Each worker hunts
+    #: with a *private* registry (zero cross-thread contention on the
+    #: hot path, same recipe as the seed-forking: no shared mutable
+    #: state); after the join every per-worker snapshot is merged into
+    #: this telemetry's registry and kept in
+    #: :attr:`ParallelCampaignResult.worker_snapshots`.
+    telemetry: Optional[Telemetry] = None
 
 
 @dataclass
@@ -46,6 +54,9 @@ class ParallelCampaignResult:
     #: Human-readable summaries of workers that died; completed workers'
     #: results are kept regardless (graceful degradation).
     worker_errors: list[str] = field(default_factory=list)
+    #: Per-worker metric snapshots (one per completed worker), merged
+    #: into the shared registry; kept so per-worker skew is inspectable.
+    worker_snapshots: list[dict] = field(default_factory=list)
 
     @property
     def detected_bug_ids(self) -> set[str]:
@@ -66,9 +77,18 @@ class ParallelCampaign:
             [None] * self.config.threads
         errors: list[Optional[BaseException]] = \
             [None] * self.config.threads
+        shared = self.config.telemetry
+        snapshots: list[Optional[dict]] = [None] * self.config.threads
 
         def worker(index: int) -> None:
             try:
+                child_telemetry = None
+                if shared is not None and shared.enabled:
+                    # Private registry per worker; the shared tracer is
+                    # lock-protected, so spans interleave but each line
+                    # stays whole.
+                    child_telemetry = Telemetry(
+                        registry=MetricsRegistry(), tracer=shared.tracer)
                 child = CampaignConfig(
                     dialect=self.config.dialect,
                     # Distinct seeds per thread: distinct databases.
@@ -79,8 +99,12 @@ class ParallelCampaign:
                     max_reports_per_bug=self.config.max_reports_per_bug,
                     journal=(f"{self.config.journal}.worker{index}"
                              if self.config.journal else None),
-                    resume=self.config.resume)
+                    resume=self.config.resume,
+                    telemetry=child_telemetry)
                 results[index] = Campaign(child).run()
+                if child_telemetry is not None:
+                    snapshots[index] = \
+                        child_telemetry.registry.snapshot()
             except BaseException as exc:  # noqa: BLE001 - surfaced below
                 errors[index] = exc
 
@@ -100,6 +124,10 @@ class ParallelCampaign:
         merged.worker_errors = [
             f"worker {i}: {type(exc).__name__}: {exc}"
             for i, exc in failed]
+        merged.worker_snapshots = [s for s in snapshots if s is not None]
+        if shared is not None:
+            for snapshot in merged.worker_snapshots:
+                shared.registry.merge_snapshot(snapshot)
         return merged
 
     def _merge(self, results: list[CampaignResult],

@@ -57,6 +57,20 @@ def build_parser() -> argparse.ArgumentParser:
                            "journal as the hunt runs")
     hunt.add_argument("--resume", action="store_true",
                       help="continue an interrupted hunt from --journal")
+    hunt.add_argument("--metrics", default=None, metavar="PATH",
+                      help="write a JSON metrics snapshot (counters, "
+                           "per-phase latency histograms, derived "
+                           "throughput) when the hunt finishes; "
+                           "PATH ending in .prom writes Prometheus "
+                           "text format instead")
+    hunt.add_argument("--trace", default=None, metavar="PATH",
+                      help="write JSONL span trace events (one per "
+                           "timed phase) as the hunt runs")
+    hunt.add_argument("--progress", type=float, default=0.0,
+                      metavar="SECS",
+                      help="print a live progress line (rounds, "
+                           "reports, queries/s, ETA) to stderr every "
+                           "SECS seconds")
     hunt.set_defaults(handler=cmd_hunt)
 
     sqlite_cmd = sub.add_parser("sqlite", help="PQS against the real "
@@ -107,18 +121,33 @@ def cmd_hunt(args) -> int:
     if args.resume and not args.journal:
         print("--resume requires --journal")
         return 2
+    telemetry, sink = _build_telemetry(args)
+    reporter = None
+    if args.progress > 0:
+        from repro.telemetry import ProgressReporter
+
+        total_rounds = args.databases * max(args.threads, 1)
+        reporter = ProgressReporter(telemetry.registry, total_rounds,
+                                    interval=args.progress).start()
     try:
         if args.threads > 1:
-            return _hunt_parallel(args, bug_ids)
+            return _hunt_parallel(args, bug_ids, telemetry)
         config = CampaignConfig(dialect=args.dialect, seed=args.seed,
                                 databases=args.databases, bug_ids=bug_ids,
                                 reduce=not args.no_reduce,
-                                journal=args.journal, resume=args.resume)
+                                journal=args.journal, resume=args.resume,
+                                telemetry=telemetry)
         result = Campaign(config).run()
     except PQSError as error:
         print(f"error: {error}")
         return 2
-    _print_hunt_stats(result.stats)
+    finally:
+        if reporter is not None:
+            reporter.stop()
+        if sink is not None:
+            sink.close()
+    _write_metrics(args, telemetry, result.stats)
+    _print_hunt_stats(result.stats, telemetry)
     for report in result.reports:
         print(f"\n[{report.oracle.value}] {report.message} "
               f"(triage: {report.triage})")
@@ -130,7 +159,7 @@ def cmd_hunt(args) -> int:
     return 0
 
 
-def _hunt_parallel(args, bug_ids) -> int:
+def _hunt_parallel(args, bug_ids, telemetry) -> int:
     from repro.campaigns.parallel import (
         ParallelCampaign,
         ParallelCampaignConfig,
@@ -140,9 +169,11 @@ def _hunt_parallel(args, bug_ids) -> int:
         dialect=args.dialect, seed=args.seed, threads=args.threads,
         databases_per_thread=args.databases, bug_ids=bug_ids,
         reduce=not args.no_reduce, journal=args.journal,
-        resume=args.resume)
+        resume=args.resume,
+        telemetry=(telemetry if telemetry.enabled else None))
     result = ParallelCampaign(config).run()
-    _print_hunt_stats(result.stats)
+    _write_metrics(args, telemetry, result.stats)
+    _print_hunt_stats(result.stats, telemetry)
     for index, count in enumerate(result.per_thread_reports):
         print(f"worker {index}: {count} report(s)")
     for summary in result.worker_errors:
@@ -153,11 +184,83 @@ def _hunt_parallel(args, bug_ids) -> int:
     return 0
 
 
-def _print_hunt_stats(stats) -> None:
+def _build_telemetry(args):
+    """A Telemetry bundle for the hunt; null unless a flag asks for it.
+
+    Returns ``(telemetry, sink)`` — the sink (when ``--trace`` is set)
+    must be closed by the caller once the hunt ends.
+    """
+    from repro.telemetry import (
+        NULL_TELEMETRY,
+        JsonlSink,
+        MetricsRegistry,
+        NullTracer,
+        Telemetry,
+        Tracer,
+    )
+
+    wants = (getattr(args, "metrics", None)
+             or getattr(args, "trace", None)
+             or getattr(args, "progress", 0) > 0)
+    if not wants:
+        return NULL_TELEMETRY, None
+    sink = None
+    tracer = NullTracer()
+    if getattr(args, "trace", None):
+        sink = JsonlSink(args.trace)
+        tracer = Tracer(sink)
+    return Telemetry(registry=MetricsRegistry(), tracer=tracer), sink
+
+
+def _write_metrics(args, telemetry, stats) -> None:
+    if not getattr(args, "metrics", None) \
+            or not telemetry.registry.enabled:
+        return
+    import json
+
+    path = args.metrics
+    if path.endswith(".prom"):
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(telemetry.registry.to_prometheus())
+        return
+    document = {
+        "snapshot": telemetry.registry.snapshot(),
+        "derived": {
+            "seconds": stats.seconds,
+            "queries_per_second": stats.queries_per_second,
+            "statements_per_second": stats.statements_per_second,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _print_hunt_stats(stats, telemetry=None) -> None:
     print(f"statements={stats.statements} "
           f"queries={stats.queries} "
           f"expected-errors={stats.expected_errors} "
           f"timeouts={stats.timeouts}")
+    executions = stats.statements + stats.queries
+    if stats.seconds > 0 and executions:
+        print(f"throughput: {stats.queries_per_second:,.1f} queries/s, "
+              f"{stats.statements_per_second:,.1f} statements/s "
+              f"over {stats.seconds:.2f}s of hunting")
+        timeout_rate = 100.0 * stats.timeouts / executions
+        expected_rate = 100.0 * stats.expected_errors / executions
+        print(f"rates: {expected_rate:.1f}% expected errors, "
+              f"{timeout_rate:.2f}% timeouts")
+    if telemetry is not None and telemetry.registry.enabled:
+        from repro.telemetry import names as metric_names
+
+        phases = [
+            (i.labels.get("phase"), i)
+            for i in telemetry.registry.instruments()
+            if i.name == metric_names.PHASE_SECONDS and i.count]
+        for phase, histogram in sorted(phases):
+            print(f"  phase {phase}: n={histogram.count} "
+                  f"mean={histogram.mean * 1e3:.2f}ms "
+                  f"p95={histogram.percentile(95) * 1e3:.2f}ms")
 
 
 def cmd_sqlite(args) -> int:

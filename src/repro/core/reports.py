@@ -136,7 +136,18 @@ class RunStatistics:
     #: Watchdog expirations — counted apart from expected_errors because
     #: a hang is an availability event, not an error-oracle outcome.
     timeouts: int = 0
+    #: Summed per-round wall clock (busy time, not elapsed: parallel
+    #: workers' rounds overlap, so this can exceed wall time).
+    seconds: float = 0.0
     reports: list[BugReport] = field(default_factory=list)
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def statements_per_second(self) -> float:
+        return self.statements / self.seconds if self.seconds > 0 else 0.0
 
     def merge(self, other: "RunStatistics") -> None:
         self.databases += other.databases
@@ -145,4 +156,5 @@ class RunStatistics:
         self.pivots += other.pivots
         self.expected_errors += other.expected_errors
         self.timeouts += other.timeouts
+        self.seconds += other.seconds
         self.reports.extend(other.reports)

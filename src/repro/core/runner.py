@@ -12,12 +12,13 @@ reducer (and the raw material for the paper's Figures 2 and 3).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.adapters.base import DBMSConnection
 from repro.core.containment import check_containment
-from repro.core.error_oracle import ErrorOracle
+from repro.core.error_oracle import ErrorOracle, statement_kind
 from repro.core.exprgen import ExpressionGenerator
 from repro.core.pivot import PivotRow, PivotSelector
 from repro.core.querygen import QueryGenerator
@@ -29,6 +30,8 @@ from repro.interp import make_interpreter
 from repro.interp.base import EvalError
 from repro.rng import RandomSource
 from repro.stategen.actions import ActionGenerator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import names as metric_names
 
 
 @dataclass
@@ -81,21 +84,40 @@ class DatabaseRound:
     pivots: int = 0
     expected_errors: int = 0
     timeouts: int = 0
+    #: Wall-clock seconds for the whole round (always measured — two
+    #: monotonic reads per round — so throughput is computable even with
+    #: telemetry off, and journals carry timing across --resume).
+    seconds: float = 0.0
 
 
 class PQSRunner:
     """Runs Pivoted Query Synthesis against one connection factory."""
 
     def __init__(self, connection_factory: Callable[[], DBMSConnection],
-                 config: Optional[RunnerConfig] = None):
+                 config: Optional[RunnerConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.connection_factory = connection_factory
         self.config = config or RunnerConfig()
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.rng = RandomSource(self.config.seed)
         self.dialect = get_dialect(self.config.dialect)
         self.interpreter = make_interpreter(self.config.dialect)
         self.error_oracle = ErrorOracle(
             self.config.dialect,
             documented_quirks=tuple(self.config.documented_quirks))
+        # Instruments are resolved once here; the hot loop only calls
+        # inc()/observe()/__enter__ on them (no-ops when disabled).
+        t = self.telemetry
+        self._m_rounds = t.counter(metric_names.ROUNDS)
+        self._m_statements = t.counter(metric_names.STATEMENTS)
+        self._m_queries = t.counter(metric_names.QUERIES)
+        self._m_pivots = t.counter(metric_names.PIVOTS)
+        self._m_timeouts = t.counter(metric_names.TIMEOUTS)
+        self._m_round_seconds = t.histogram(metric_names.ROUND_SECONDS)
+        self._phase_stategen = t.phase(metric_names.PHASE_STATEGEN)
+        self._phase_pivot = t.phase(metric_names.PHASE_PIVOT)
+        self._phase_synth = t.phase(metric_names.PHASE_SYNTH)
+        self._phase_contain = t.phase(metric_names.PHASE_CONTAIN)
 
     # -- public -----------------------------------------------------------
     def run(self, databases: int = 10) -> RunStatistics:
@@ -108,6 +130,7 @@ class PQSRunner:
             stats.pivots += round_.pivots
             stats.expected_errors += round_.expected_errors
             stats.timeouts += round_.timeouts
+            stats.seconds += round_.seconds
             stats.reports.extend(round_.reports)
         return stats
 
@@ -120,6 +143,7 @@ class PQSRunner:
 
     def run_database_round(self) -> DatabaseRound:
         """One full pass: state generation, pivots, queries, oracles."""
+        started = time.monotonic()
         connection = self.connection_factory()
         round_ = DatabaseRound()
         # Fresh database => default run-time options; the oracle's LIKE
@@ -131,11 +155,16 @@ class PQSRunner:
         schema = SchemaModel(dialect=self.config.dialect)
         actions = ActionGenerator(self.dialect, schema, self.rng)
         try:
-            self._generate_state(connection, schema, actions, log, round_)
+            with self._phase_stategen:
+                self._generate_state(connection, schema, actions, log,
+                                     round_)
             if len(round_.reports) < self.config.max_reports_per_database:
                 self._query_phase(connection, schema, log, round_)
         finally:
             connection.close()
+        round_.seconds = time.monotonic() - started
+        self._m_round_seconds.observe(round_.seconds)
+        self._m_rounds.inc()
         return round_
 
     # -- step 1: random state ----------------------------------------------
@@ -169,6 +198,7 @@ class PQSRunner:
                        on_success, log: list[str],
                        round_: DatabaseRound) -> None:
         round_.statements += 1
+        self._m_statements.inc()
         try:
             connection.execute(sql)
         except DBCrash as crash:
@@ -179,10 +209,12 @@ class PQSRunner:
             # The watchdog killed the statement; the harness restored
             # state without it, so it is neither logged nor a finding.
             round_.timeouts += 1
+            self._m_timeouts.inc()
         except DBError as error:
             verdict = self.error_oracle.classify(sql, error)
             if verdict.expected:
                 round_.expected_errors += 1
+                self._count_expected(sql)
                 return
             log.append(sql)
             round_.reports.append(self._report(Oracle.ERROR, log,
@@ -226,18 +258,21 @@ class PQSRunner:
             rectify=self.config.rectify)
 
         for _ in range(self.config.pivots_per_database):
-            tables_rows = self._probe_relations(connection, schema, log,
-                                                round_)
-            if not tables_rows or \
-                    len(round_.reports) >= \
-                    self.config.max_reports_per_database:
-                return
-            # Mostly one table, sometimes two (90% of the paper's bug
-            # reports involved a single table).
-            count = 1 if len(tables_rows) == 1 or self.rng.flip(0.7) else 2
-            chosen = self.rng.sample(tables_rows, count)
-            pivot = selector.select(chosen)
+            with self._phase_pivot:
+                tables_rows = self._probe_relations(connection, schema,
+                                                    log, round_)
+                if not tables_rows or \
+                        len(round_.reports) >= \
+                        self.config.max_reports_per_database:
+                    return
+                # Mostly one table, sometimes two (90% of the paper's
+                # bug reports involved a single table).
+                count = (1 if len(tables_rows) == 1 or self.rng.flip(0.7)
+                         else 2)
+                chosen = self.rng.sample(tables_rows, count)
+                pivot = selector.select(chosen)
             round_.pivots += 1
+            self._m_pivots.inc()
             for _ in range(self.config.queries_per_pivot):
                 self._one_query(connection, querygen, pivot, log, round_,
                                 chosen)
@@ -260,11 +295,13 @@ class PQSRunner:
                 continue
             except DBTimeout:
                 round_.timeouts += 1
+                self._m_timeouts.inc()
                 continue
             except DBError as error:
                 verdict = self.error_oracle.classify(sql, error)
                 if verdict.expected:
                     round_.expected_errors += 1
+                    self._count_expected(sql)
                 else:
                     round_.reports.append(self._report(
                         Oracle.ERROR, log + [sql], error.message))
@@ -281,30 +318,35 @@ class PQSRunner:
                     and self.rng.flip(self.config.negative_probability)
                     and self._negative_mode_sound(pivot, chosen))
         try:
-            if negative:
-                query = querygen.synthesize_negative(pivot)
-            else:
-                query = querygen.synthesize(pivot)
+            with self._phase_synth:
+                if negative:
+                    query = querygen.synthesize_negative(pivot)
+                else:
+                    query = querygen.synthesize(pivot)
         except EvalError:
             return
         round_.queries += 1
+        self._m_queries.inc()
         use_intersect = self.rng.flip(
             self.config.use_intersect_probability)
         try:
-            contained = check_containment(
-                connection, query, self.interpreter.semantics,
-                use_intersect=use_intersect)
+            with self._phase_contain:
+                contained = check_containment(
+                    connection, query, self.interpreter.semantics,
+                    use_intersect=use_intersect)
         except DBCrash as crash:
             round_.reports.append(self._report(
                 Oracle.CRASH, log + [query.sql], crash.message))
             return
         except DBTimeout:
             round_.timeouts += 1
+            self._m_timeouts.inc()
             return
         except DBError as error:
             verdict = self.error_oracle.classify(query.sql, error)
             if verdict.expected:
                 round_.expected_errors += 1
+                self._count_expected(query.sql)
             else:
                 round_.reports.append(self._report(
                     Oracle.ERROR, log + [query.sql], error.message))
@@ -358,8 +400,22 @@ class PQSRunner:
             return storage_compare(a, b, collation) == 0
         return self.interpreter.semantics.values_equal(a, b)
 
+    def _count_expected(self, sql: str) -> None:
+        """Expected-error counter, labeled by statement kind (the
+        error oracle's acceptance profile is itself a telemetry
+        target: a kind whose expected-error share explodes usually
+        means the generator regressed)."""
+        if not self.telemetry.registry.enabled:
+            return
+        self.telemetry.counter(metric_names.EXPECTED_ERRORS,
+                               kind=statement_kind(sql)).inc()
+
     def _report(self, oracle: Oracle, statements: list[str],
                 message: str) -> BugReport:
+        if self.telemetry.registry.enabled:
+            self.telemetry.counter(metric_names.REPORTS,
+                                   oracle=oracle.value).inc()
+        self.telemetry.tracer.event("report", oracle=oracle.value)
         return BugReport(
             oracle=oracle, dialect=self.config.dialect,
             test_case=TestCase(statements=list(statements),

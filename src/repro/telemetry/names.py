@@ -1,0 +1,53 @@
+"""Canonical metric and span names.
+
+One vocabulary, used by the instrumentation sites (runner, subprocess
+harness, campaigns), the progress reporter, the CLI snapshot writer,
+and the benchmarks — so a dashboard built against one hunt works
+against every hunt.  Naming follows the Prometheus conventions:
+``_total`` for counters, ``_seconds`` for latency histograms.
+"""
+
+# -- PQS loop (repro.core.runner) -------------------------------------------
+#: Completed database rounds (counter).
+ROUNDS = "pqs_rounds_completed_total"
+#: Statements sent during state generation (counter).
+STATEMENTS = "pqs_statements_total"
+#: Synthesized queries checked (counter).
+QUERIES = "pqs_queries_total"
+#: Pivot rows selected (counter).
+PIVOTS = "pqs_pivots_total"
+#: Errors the error oracle classified as expected (counter,
+#: label ``kind`` = leading statement keyword).
+EXPECTED_ERRORS = "pqs_expected_errors_total"
+#: Watchdog expirations (counter).
+TIMEOUTS = "pqs_timeouts_total"
+#: Findings (counter, label ``oracle`` in contains/error/segfault).
+REPORTS = "pqs_reports_total"
+#: Per-phase latency (histogram, label ``phase`` — see PHASES).
+PHASE_SECONDS = "pqs_phase_seconds"
+#: Whole-round wall clock (histogram).
+ROUND_SECONDS = "pqs_round_seconds"
+
+#: The four instrumented phases of one PQS round (paper Figure 1):
+#: random state generation (step 1), pivot selection (step 2, including
+#: the relation probe), query synthesis incl. rectification (steps 3–5),
+#: and the containment check (steps 6–7).
+PHASE_STATEGEN = "stategen"
+PHASE_PIVOT = "pivot_select"
+PHASE_SYNTH = "synthesize"
+PHASE_CONTAIN = "containment"
+PHASES = (PHASE_STATEGEN, PHASE_PIVOT, PHASE_SYNTH, PHASE_CONTAIN)
+
+# -- fault-isolation harness (repro.adapters.subprocess_adapter) ------------
+#: Worker (re)starts after the initial spawn (counter).
+WORKER_RESTARTS = "pqs_worker_restarts_total"
+#: Hung workers killed by the statement watchdog (counter).
+WATCHDOG_KILLS = "pqs_watchdog_kills_total"
+#: Statements replayed per state restoration (histogram; unit is
+#: statements, not seconds, so it uses count-shaped buckets).
+REPLAY_STATEMENTS = "pqs_replay_statements"
+#: Parent-observed execute() round-trip latency (histogram).
+ROUNDTRIP_SECONDS = "pqs_subprocess_roundtrip_seconds"
+
+#: Bucket layout for count-valued histograms (replay lengths).
+COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)

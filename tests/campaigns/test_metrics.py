@@ -28,11 +28,24 @@ class TestClassifyStatement:
         ("BEGIN", "TRANSACTION"),
         ("CREATE STATISTICS s ON a FROM t", "CREATE STATS"),
         ("DROP INDEX i", "DROP INDEX"),
+        ("drop index if exists i", "DROP INDEX"),
+        ("DROP TABLE t", "DROP TABLE"),
+        ("DROP TABLE IF EXISTS t", "DROP TABLE"),
+        ("DROP VIEW v", "DROP VIEW"),
+        ("DROP DATABASE d", "DROP/CREATE/USE DB"),
+        ("DROP SCHEMA s", "DROP/CREATE/USE DB"),
         ("SELECT 1", "SELECT"),
         ("CREATE TABLE t(a)", "CREATE TABLE"),
     ])
     def test_mapping(self, sql, category):
         assert classify_statement(sql) == category
+
+    def test_every_drop_lands_in_a_figure3_category(self):
+        from repro.campaigns.metrics import FIGURE3_CATEGORIES
+
+        for sql in ("DROP TABLE t", "DROP VIEW v", "DROP INDEX i",
+                    "DROP DATABASE d"):
+            assert classify_statement(sql) in FIGURE3_CATEGORIES
 
 
 class TestLocCdf:

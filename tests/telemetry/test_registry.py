@@ -1,0 +1,186 @@
+"""The metrics registry: thread safety, percentiles, export fidelity."""
+
+import json
+import threading
+
+import pytest
+
+from repro.telemetry import names
+from repro.telemetry.registry import (
+    RESERVOIR_CAP,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_counts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_same_name_same_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c", kind="a") \
+            is registry.counter("c", kind="a")
+        assert registry.counter("c", kind="a") \
+            is not registry.counter("c", kind="b")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(-3.0)
+        assert gauge.value == 7.0
+
+    def test_family_value_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("e", kind="a").inc(2)
+        registry.counter("e", kind="b").inc(3)
+        assert registry.value("e") == 5
+
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hot")
+        histogram = registry.histogram("lat")
+
+        def worker():
+            for i in range(2000):
+                counter.inc()
+                histogram.observe(i / 1000.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 16000
+        assert histogram.count == 16000
+
+    def test_concurrent_instrument_resolution(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def worker():
+            for _ in range(200):
+                seen.append(registry.counter("same"))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(id(c) for c in seen)) == 1
+
+
+class TestHistogramMath:
+    def test_moments_exact(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (0.5, 1.5, 3.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.0)
+        assert histogram.mean == pytest.approx(5.0 / 3.0)
+
+    def test_percentiles_exact_before_decimation(self):
+        histogram = MetricsRegistry().histogram("h")
+        for i in range(1, 101):  # 1..100 ms
+            histogram.observe(i / 1000.0)
+        assert histogram.percentile(0) == pytest.approx(0.001)
+        assert histogram.percentile(100) == pytest.approx(0.100)
+        assert histogram.percentile(50) == pytest.approx(0.0505)
+        # Linear interpolation between ranks 94 and 95 (0-based).
+        assert histogram.percentile(95) == pytest.approx(0.09505)
+
+    def test_empty_percentile_is_zero(self):
+        assert MetricsRegistry().histogram("h").percentile(99) == 0.0
+
+    def test_reservoir_decimation_bounds_memory(self):
+        histogram = MetricsRegistry().histogram("h")
+        n = RESERVOIR_CAP * 4
+        for i in range(n):
+            histogram.observe(i / n)
+        state = histogram.to_json()
+        assert state["count"] == n
+        assert len(state["samples"]) < RESERVOIR_CAP
+        assert state["stride"] > 1
+        # Percentiles stay sane on the decimated reservoir.
+        assert 0.4 < histogram.percentile(50) < 0.6
+
+    def test_bucket_counts_cumulate_correctly(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        text = registry.to_prometheus()
+        assert 'h_bucket{le="0.1"} 1' in text
+        assert 'h_bucket{le="1"} 2' in text
+        assert 'h_bucket{le="10"} 3' in text
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_count 4" in text
+
+
+class TestExport:
+    def build(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter(names.QUERIES).inc(7)
+        registry.counter(names.EXPECTED_ERRORS, kind="INSERT").inc(2)
+        registry.gauge("depth").set(3.5)
+        histogram = registry.histogram(names.PHASE_SECONDS,
+                                       phase="containment")
+        for value in (0.001, 0.002, 0.04):
+            histogram.observe(value)
+        return registry
+
+    def test_json_snapshot_round_trip(self):
+        registry = self.build()
+        snapshot = registry.snapshot()
+        # Snapshot is pure JSON.
+        restored = MetricsRegistry.from_snapshot(
+            json.loads(json.dumps(snapshot)))
+        assert restored.snapshot() == snapshot
+        assert restored.to_prometheus() == registry.to_prometheus()
+
+    def test_merge_snapshot_sums(self):
+        a, b = self.build(), self.build()
+        a.merge_snapshot(b.snapshot())
+        assert a.value(names.QUERIES) == 14
+        merged = a.histogram(names.PHASE_SECONDS, phase="containment")
+        assert merged.count == 6
+        assert merged.sum == pytest.approx(2 * (0.001 + 0.002 + 0.04))
+
+    def test_prometheus_format_shape(self):
+        text = self.build().to_prometheus()
+        assert "# TYPE pqs_queries_total counter" in text
+        assert "pqs_queries_total 7" in text
+        assert 'pqs_expected_errors_total{kind="INSERT"} 2' in text
+        assert "# TYPE pqs_phase_seconds histogram" in text
+        assert 'pqs_phase_seconds_count{phase="containment"} 3' in text
+        assert text.endswith("\n")
+
+    def test_labels_render_sorted_and_quoted(self):
+        registry = MetricsRegistry()
+        registry.counter("c", b="2", a="1").inc()
+        assert 'c{a="1",b="2"} 1' in registry.to_prometheus()
+
+
+class TestNullRegistry:
+    def test_shared_noop_instruments(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is registry.counter("b")
+        registry.counter("a").inc()
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(1.0)
+        assert registry.counter("a").value == 0
+        assert registry.snapshot() == {}
+        assert registry.to_prometheus() == ""
+        assert not registry.enabled

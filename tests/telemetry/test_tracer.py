@@ -1,0 +1,129 @@
+"""The span tracer and the JSONL sink."""
+
+import json
+
+from repro.telemetry import (
+    JsonlSink,
+    ListSink,
+    NullTracer,
+    Telemetry,
+    Tracer,
+)
+from repro.telemetry.registry import MetricsRegistry, NullRegistry
+
+
+class TestSpans:
+    def test_span_records_name_duration_attrs(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("stategen", dialect="sqlite"):
+            pass
+        (event,) = sink.events
+        assert event["name"] == "stategen"
+        assert event["kind"] == "span"
+        assert event["dur"] >= 0
+        assert event["attrs"] == {"dialect": "sqlite"}
+
+    def test_spans_emit_in_close_order(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("round"):
+            with tracer.span("stategen"):
+                pass
+            with tracer.span("containment"):
+                pass
+        names = [e["name"] for e in sink.events]
+        assert names == ["stategen", "containment", "round"]
+        assert [e["seq"] for e in sink.events] == [0, 1, 2]
+
+    def test_nested_span_times_nest(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = sink.events
+        assert outer["t"] <= inner["t"]
+        assert outer["dur"] >= inner["dur"]
+
+    def test_exception_is_recorded_and_propagates(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (event,) = sink.events
+        assert event["attrs"]["error"] == "ValueError"
+
+    def test_mid_span_attributes(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.span("q") as span:
+            span.set("oracle", "contains")
+        assert sink.events[0]["attrs"]["oracle"] == "contains"
+
+    def test_instant_events(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        tracer.event("report", oracle="error")
+        (event,) = sink.events
+        assert event["kind"] == "event" and event["dur"] == 0.0
+
+
+class TestJsonlSink:
+    def test_one_json_object_per_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(sink)
+        with tracer.span("a"):
+            pass
+        tracer.event("b")
+        sink.close()
+        lines = open(path).read().splitlines()
+        assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+    def test_write_after_close_is_ignored(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.write({"name": "late"})  # must not raise
+        sink.close()  # idempotent
+
+
+class TestDisabledMode:
+    def test_null_tracer_emits_nothing(self):
+        tracer = NullTracer()
+        with tracer.span("a", x=1) as span:
+            span.set("y", 2)
+        tracer.event("b")
+        assert tracer.span("a") is tracer.span("b"), \
+            "disabled spans are one shared no-op object"
+
+    def test_null_telemetry_phase_is_shared_noop(self):
+        telemetry = Telemetry(registry=NullRegistry(),
+                              tracer=NullTracer())
+        assert telemetry.phase("a") is telemetry.phase("b")
+        with telemetry.phase("a"):
+            pass
+        assert not telemetry.enabled
+
+    def test_phase_timer_feeds_histogram_and_tracer(self):
+        sink = ListSink()
+        telemetry = Telemetry(registry=MetricsRegistry(),
+                              tracer=Tracer(sink))
+        with telemetry.phase("stategen"):
+            pass
+        histogram = telemetry.histogram("pqs_phase_seconds",
+                                        phase="stategen")
+        assert histogram.count == 1
+        assert sink.events[0]["name"] == "stategen"
+        # One clock pair serves both: the span duration is the sample.
+        assert sink.events[0]["dur"] >= 0
+
+    def test_metrics_only_phase_needs_no_tracer(self):
+        telemetry = Telemetry()  # registry on, tracing off
+        with telemetry.phase("pivot_select"):
+            pass
+        assert telemetry.histogram("pqs_phase_seconds",
+                                   phase="pivot_select").count == 1

@@ -89,6 +89,72 @@ class TestHunt:
         assert "--journal" in output
 
 
+class TestHuntTelemetry:
+    def test_metrics_json_snapshot(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, output = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "8",
+            "--seed", "3", "--no-reduce", "--metrics", str(path))
+        assert code == 0
+        payload = json.loads(path.read_text())
+        snapshot = payload["snapshot"]
+        phases = [k for k in snapshot
+                  if k.startswith("pqs_phase_seconds{")]
+        assert len(phases) == 4
+        assert all(snapshot[k]["count"] > 0 for k in phases)
+        assert payload["derived"]["queries_per_second"] > 0
+        # Stats output grows throughput and phase lines.
+        assert "queries/s" in output
+        assert "phase " in output
+
+    def test_metrics_prometheus_text(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "5",
+            "--seed", "2", "--no-reduce", "--metrics", str(path))
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE pqs_rounds_completed_total counter" in text
+        assert 'phase="stategen"' in text
+        assert "pqs_phase_seconds_bucket{" in text
+
+    def test_trace_jsonl(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "3",
+            "--seed", "2", "--no-reduce", "--trace", str(path))
+        assert code == 0
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        assert events
+        assert {"stategen", "synthesize"} \
+            <= {e["name"] for e in events}
+
+    def test_progress_writes_to_stderr(self, capsys):
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "4",
+            "--seed", "2", "--no-reduce", "--progress", "0.01")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[pqs] round 4/4 (100%)" in err
+
+    def test_parallel_hunt_merges_metrics(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "4",
+            "--seed", "2", "--threads", "2", "--no-reduce",
+            "--metrics", str(path))
+        assert code == 0
+        snapshot = json.loads(path.read_text())["snapshot"]
+        assert snapshot["pqs_rounds_completed_total"]["value"] == 8
+
+
 class TestReplay:
     LISTING1 = (
         "CREATE TABLE t0(c0);\n"
