@@ -14,6 +14,17 @@ class DBMSConnection(Protocol):
     ``execute`` must raise :class:`repro.errors.DBError` (or a subclass)
     for engine-reported errors and :class:`repro.errors.DBCrash` for hard
     crashes — the two signals the error and crash oracles consume.
+
+    Adapters *may* additionally offer plan introspection::
+
+        def query_plan(self, sql: str) -> list[PlanStep]: ...
+
+    returning :class:`repro.guidance.fingerprint.PlanStep` rows for a
+    SELECT without executing it (MiniDB's ``EXPLAIN``, sqlite3's
+    ``EXPLAIN QUERY PLAN``).  The hook is optional — plan-coverage
+    guidance probes for it with ``getattr`` and degrades to passive
+    mode when absent — so it is deliberately *not* part of this
+    Protocol: an adapter without it is still a complete target.
     """
 
     #: Dialect name: 'sqlite' | 'mysql' | 'postgres'.

@@ -127,6 +127,17 @@ class FaultyConnection:
         """State-restoration path: no faults, no schedule advance."""
         return self.inner.execute(sql)
 
+    def query_plan(self, sql: str):
+        """Plan introspection: faults target statements, not EXPLAIN,
+        and the schedule does not advance."""
+        plan_fn = getattr(self.inner, "query_plan", None)
+        if plan_fn is None:
+            from repro.errors import UnsupportedError
+
+            raise UnsupportedError(
+                "wrapped target offers no query_plan introspection")
+        return plan_fn(sql)
+
     def close(self) -> None:
         self.inner.close()
 

@@ -5,8 +5,10 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.guidance.fingerprint import PlanStep, steps_from_minidb
 from repro.minidb.bugs import BugRegistry
 from repro.minidb.engine import Engine
+from repro.minidb.parser import parse_statement
 from repro.values import Value
 
 
@@ -20,6 +22,16 @@ class MiniDBConnection:
 
     def execute(self, sql: str) -> list[tuple[Value, ...]]:
         return self.engine.execute(sql).rows
+
+    def query_plan(self, sql: str) -> list[PlanStep]:
+        """Access-path steps for *sql* via MiniDB's EXPLAIN QUERY PLAN.
+
+        Does not count toward ``statements_executed`` — introspection is
+        not part of the tested statement stream.
+        """
+        result = self.engine.execute_statement(
+            parse_statement(f"EXPLAIN QUERY PLAN {sql}"))
+        return steps_from_minidb(result.python_rows())
 
     def close(self) -> None:  # MiniDB holds no external resources
         self.engine = None  # type: ignore[assignment]

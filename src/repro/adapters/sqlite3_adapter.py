@@ -12,6 +12,7 @@ from __future__ import annotations
 import sqlite3
 
 from repro.errors import DBError, IntegrityError
+from repro.guidance.fingerprint import PlanStep, steps_from_sqlite_eqp
 from repro.values import Value
 
 
@@ -40,6 +41,19 @@ class SQLite3Connection:
                 raise IntegrityError(message) from exc
             raise DBError(message) from exc
         return [tuple(_lift(v) for v in row) for row in rows]
+
+    def query_plan(self, sql: str) -> list[PlanStep]:
+        """Plan steps via ``EXPLAIN QUERY PLAN``, tolerant of the detail
+        format drift across SQLite versions (3.24's "SCAN TABLE t0" vs
+        3.36+'s "SCAN t0" — the parsing lives in
+        :func:`repro.guidance.fingerprint.parse_sqlite_eqp_detail`)."""
+        try:
+            cursor = self._conn.execute(f"EXPLAIN QUERY PLAN {sql}")
+            rows = cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise DBError(str(exc)) from exc
+        # EQP rows are (id, parent, notused, detail); detail is last.
+        return steps_from_sqlite_eqp(str(row[-1]) for row in rows)
 
     def close(self) -> None:
         self._conn.close()

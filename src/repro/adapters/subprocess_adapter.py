@@ -175,6 +175,30 @@ class SubprocessConnection:
         self._log.append(sql)
         return rows
 
+    def query_plan(self, sql: str) -> list:
+        """Forward plan introspection to the worker's target connection.
+
+        Lets plan-coverage guidance drive ``--isolate`` runs.  Unlike
+        ``execute``, a successful introspection is *not* appended to the
+        replay log (EXPLAIN mutates nothing) and does not advance the
+        fault-schedule offset.
+        """
+        if self._proc is None:
+            self._restore()
+        try:
+            reply = self._request({"op": "query_plan", "sql": sql},
+                                  self.config.statement_timeout)
+        except _WorkerDied as died:
+            raise DBCrash(died.message) from None
+        except _DeadlineExceeded:
+            self._kill()
+            self._m_watchdog.inc()
+            raise DBTimeout(
+                f"plan introspection exceeded "
+                f"{self.config.statement_timeout:.3g}s watchdog deadline: "
+                f"{sql[:120]}") from None
+        return self._interpret(reply)
+
     def close(self) -> None:
         proc, self._proc = self._proc, None
         if proc is None:

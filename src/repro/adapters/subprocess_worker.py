@@ -63,12 +63,20 @@ def main() -> int:
             except Exception:
                 pass
             return 0
-        if op not in ("execute", "replay"):
+        if op not in ("execute", "replay", "query_plan"):
             write_frame(stdout, {"fatal": f"unknown op: {op!r}"})
             return 1
         sql = message["sql"]
         try:
-            if op == "replay" and hasattr(connection, "execute_replay"):
+            if op == "query_plan":
+                plan_fn = getattr(connection, "query_plan", None)
+                if plan_fn is None:
+                    write_frame(stdout, {"error": (
+                        "UnsupportedError",
+                        "target offers no query_plan introspection")})
+                    continue
+                rows = plan_fn(sql)
+            elif op == "replay" and hasattr(connection, "execute_replay"):
                 rows = connection.execute_replay(sql)
             else:
                 rows = connection.execute(sql)

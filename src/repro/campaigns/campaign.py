@@ -20,6 +20,7 @@ from repro.core.reducer import TestCaseReducer
 from repro.core.reports import BugReport, Oracle, RunStatistics
 from repro.core.runner import PQSRunner, RunnerConfig
 from repro.errors import ReductionError
+from repro.guidance import NULL_GUIDANCE, PlanCoverage, PlanGuidance
 from repro.minidb.bugs import BUG_CATALOG, BugRegistry, bugs_for_dialect
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
@@ -68,6 +69,19 @@ class CampaignConfig:
     #: not part of the journal fingerprint: turning telemetry on must
     #: not invalidate a resumable hunt.
     telemetry: Optional["Telemetry"] = None
+    #: Query-plan-coverage guidance (repro.guidance).  Unlike telemetry
+    #: this *is* journal-fingerprinted when on: feedback changes what
+    #: the campaign generates, so a guided journal cannot silently
+    #: continue an unguided hunt (or vice versa).
+    guidance: bool = False
+    #: Write the final plan-coverage set (PlanCoverage JSON) here.
+    #: Setting a path without ``guidance=True`` observes plans
+    #: *passively*: coverage is tracked and dumped but generation is the
+    #: exact unguided stream.
+    plan_coverage: Optional[str] = None
+    #: Track plan coverage without dumping it (parallel workers use
+    #: this; the merged set is dumped by the parent).
+    track_plans: bool = False
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -79,6 +93,9 @@ class CampaignConfig:
 class CampaignResult:
     config: CampaignConfig
     stats: RunStatistics
+    #: Final plan-coverage set when the campaign tracked plans
+    #: (``guidance`` or ``plan_coverage`` configured); None otherwise.
+    plan_coverage: Optional["PlanCoverage"] = None
     #: Reduced, attributed reports (unattributed findings excluded —
     #: they would be tool bugs, which the test suite asserts never
     #: happen).
@@ -131,13 +148,26 @@ class Campaign:
                                 bugs=BugRegistry(set(self.bugs.enabled)))
 
     def run(self) -> CampaignResult:
+        guidance = NULL_GUIDANCE
+        if self.config.guidance or self.config.plan_coverage \
+                or self.config.track_plans:
+            # plan_coverage without guidance observes passively: plans
+            # are fingerprinted and dumped, generation is untouched.
+            guidance = PlanGuidance(seed=self.config.seed,
+                                    feedback=self.config.guidance,
+                                    telemetry=self.config.telemetry)
         runner = PQSRunner(self._connection, self.config.runner,
-                           telemetry=self.config.telemetry)
+                           telemetry=self.config.telemetry,
+                           guidance=guidance)
         if self.config.journal:
             stats = self._run_journaled(runner)
         else:
             stats = runner.run(self.config.databases)
         result = CampaignResult(config=self.config, stats=stats)
+        if guidance.enabled:
+            result.plan_coverage = guidance.coverage
+            if self.config.plan_coverage:
+                guidance.coverage.dump(self.config.plan_coverage)
         reports_per_bug: dict[str, int] = {}
         seen_bugs: set[str] = set()
         for report in stats.reports:
@@ -159,11 +189,17 @@ class Campaign:
     def _fingerprint(self) -> dict:
         from repro.campaigns.journal import JOURNAL_VERSION
 
-        return {"version": JOURNAL_VERSION,
-                "dialect": self.config.dialect,
-                "seed": self.config.seed,
-                "databases": self.config.databases,
-                "bug_ids": sorted(self.bugs.enabled)}
+        fingerprint = {"version": JOURNAL_VERSION,
+                       "dialect": self.config.dialect,
+                       "seed": self.config.seed,
+                       "databases": self.config.databases,
+                       "bug_ids": sorted(self.bugs.enabled)}
+        if self.config.guidance:
+            # Feedback changes generation, so a guided journal must not
+            # silently continue an unguided hunt.  The key is added only
+            # when on, keeping journals from before this field resumable.
+            fingerprint["guidance"] = True
+        return fingerprint
 
     def _run_journaled(self, runner: PQSRunner) -> RunStatistics:
         """Per-round execution with a durable JSONL journal.
@@ -196,12 +232,18 @@ class Campaign:
                         expected_errors=round_.expected_errors,
                         timeouts=round_.timeouts,
                         seconds=round_.seconds,
-                        reports=round_.reports)
+                        reports=round_.reports,
+                        plans=runner.guidance.take_round_plans())
                     journal.append_round(record)
                 else:
                     # The runner counts rounds it actually executes;
                     # journal-loaded rounds still advance the live
-                    # progress line.
+                    # progress line.  Guidance replays the journaled
+                    # round so its seen-set, pool, and scheduling
+                    # stream match the original process exactly.
+                    if runner.guidance.enabled:
+                        runner.guidance.restore_round(record.seed,
+                                                      record.plans)
                     rounds_counter.inc()
                 stats.databases += 1
                 stats.statements += record.statements

@@ -59,14 +59,22 @@ class RoundRecord:
     #: throughput an uninterrupted run would have.
     seconds: float = 0.0
     reports: list[BugReport] = field(default_factory=list)
+    #: Novel (plan fingerprint, example SQL) pairs the round discovered
+    #: under plan-coverage guidance; empty when guidance is off.  Carried
+    #: in the journal so ``--resume`` reconstructs the guidance seen-set
+    #: and scheduler pool without re-running completed rounds.
+    plans: list[tuple[str, str]] = field(default_factory=list)
 
     def to_json(self) -> dict:
-        return {"kind": "round", "index": self.index, "seed": self.seed,
+        data = {"kind": "round", "index": self.index, "seed": self.seed,
                 "statements": self.statements, "queries": self.queries,
                 "pivots": self.pivots,
                 "expected_errors": self.expected_errors,
                 "timeouts": self.timeouts, "seconds": self.seconds,
                 "reports": [r.to_json() for r in self.reports]}
+        if self.plans:
+            data["plans"] = [[fp, example] for fp, example in self.plans]
+        return data
 
     @staticmethod
     def from_json(data: dict) -> "RoundRecord":
@@ -79,7 +87,9 @@ class RoundRecord:
             timeouts=data.get("timeouts", 0),
             seconds=data.get("seconds", 0.0),
             reports=[BugReport.from_json(r)
-                     for r in data.get("reports", [])])
+                     for r in data.get("reports", [])],
+            plans=[(fp, example)
+                   for fp, example in data.get("plans", [])])
 
 
 class CampaignJournal:

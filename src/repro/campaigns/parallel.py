@@ -19,6 +19,7 @@ from typing import Optional
 
 from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
 from repro.core.reports import BugReport, RunStatistics
+from repro.guidance import PlanCoverage
 from repro.minidb.bugs import BUG_CATALOG
 from repro.telemetry import MetricsRegistry, Telemetry
 
@@ -43,6 +44,12 @@ class ParallelCampaignConfig:
     #: this telemetry's registry and kept in
     #: :attr:`ParallelCampaignResult.worker_snapshots`.
     telemetry: Optional[Telemetry] = None
+    #: Plan-coverage guidance: each worker runs its own scheduler (same
+    #: no-shared-state recipe as seeds and telemetry); the per-worker
+    #: coverage sets are merged after the join.
+    guidance: bool = False
+    #: Write the merged plan-coverage set (PlanCoverage JSON) here.
+    plan_coverage: Optional[str] = None
 
 
 @dataclass
@@ -57,6 +64,11 @@ class ParallelCampaignResult:
     #: Per-worker metric snapshots (one per completed worker), merged
     #: into the shared registry; kept so per-worker skew is inspectable.
     worker_snapshots: list[dict] = field(default_factory=list)
+    #: Union of the workers' plan-coverage sets (None when plan
+    #: tracking was off); per-worker distinct counts are in
+    #: :attr:`per_thread_plans`.
+    plan_coverage: Optional["PlanCoverage"] = None
+    per_thread_plans: list[int] = field(default_factory=list)
 
     @property
     def detected_bug_ids(self) -> set[str]:
@@ -100,7 +112,9 @@ class ParallelCampaign:
                     journal=(f"{self.config.journal}.worker{index}"
                              if self.config.journal else None),
                     resume=self.config.resume,
-                    telemetry=child_telemetry)
+                    telemetry=child_telemetry,
+                    guidance=self.config.guidance,
+                    track_plans=bool(self.config.plan_coverage))
                 results[index] = Campaign(child).run()
                 if child_telemetry is not None:
                     snapshots[index] = \
@@ -128,6 +142,16 @@ class ParallelCampaign:
         if shared is not None:
             for snapshot in merged.worker_snapshots:
                 shared.registry.merge_snapshot(snapshot)
+        if any(r.plan_coverage is not None for r in completed):
+            coverage = PlanCoverage()
+            for result in completed:
+                if result.plan_coverage is not None:
+                    merged.per_thread_plans.append(
+                        result.plan_coverage.distinct)
+                    coverage.merge(result.plan_coverage)
+            merged.plan_coverage = coverage
+            if self.config.plan_coverage:
+                coverage.dump(self.config.plan_coverage)
         return merged
 
     def _merge(self, results: list[CampaignResult],

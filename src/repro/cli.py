@@ -66,6 +66,14 @@ def build_parser() -> argparse.ArgumentParser:
     hunt.add_argument("--trace", default=None, metavar="PATH",
                       help="write JSONL span trace events (one per "
                            "timed phase) as the hunt runs")
+    hunt.add_argument("--guidance", action="store_true",
+                      help="query-plan-guided generation: fingerprint "
+                           "each query's plan and bias state generation "
+                           "toward states that produced novel plans")
+    hunt.add_argument("--plan-coverage", default=None, metavar="PATH",
+                      help="write the distinct-plan coverage set (JSON) "
+                           "when the hunt finishes; without --guidance "
+                           "plans are observed passively")
     hunt.add_argument("--progress", type=float, default=0.0,
                       metavar="SECS",
                       help="print a live progress line (rounds, "
@@ -136,7 +144,9 @@ def cmd_hunt(args) -> int:
                                 databases=args.databases, bug_ids=bug_ids,
                                 reduce=not args.no_reduce,
                                 journal=args.journal, resume=args.resume,
-                                telemetry=telemetry)
+                                telemetry=telemetry,
+                                guidance=args.guidance,
+                                plan_coverage=args.plan_coverage)
         result = Campaign(config).run()
     except PQSError as error:
         print(f"error: {error}")
@@ -147,7 +157,8 @@ def cmd_hunt(args) -> int:
         if sink is not None:
             sink.close()
     _write_metrics(args, telemetry, result.stats)
-    _print_hunt_stats(result.stats, telemetry)
+    _print_hunt_stats(result.stats, telemetry,
+                      coverage=result.plan_coverage)
     for report in result.reports:
         print(f"\n[{report.oracle.value}] {report.message} "
               f"(triage: {report.triage})")
@@ -170,10 +181,12 @@ def _hunt_parallel(args, bug_ids, telemetry) -> int:
         databases_per_thread=args.databases, bug_ids=bug_ids,
         reduce=not args.no_reduce, journal=args.journal,
         resume=args.resume,
-        telemetry=(telemetry if telemetry.enabled else None))
+        telemetry=(telemetry if telemetry.enabled else None),
+        guidance=args.guidance, plan_coverage=args.plan_coverage)
     result = ParallelCampaign(config).run()
     _write_metrics(args, telemetry, result.stats)
-    _print_hunt_stats(result.stats, telemetry)
+    _print_hunt_stats(result.stats, telemetry,
+                      coverage=result.plan_coverage)
     for index, count in enumerate(result.per_thread_reports):
         print(f"worker {index}: {count} report(s)")
     for summary in result.worker_errors:
@@ -236,11 +249,22 @@ def _write_metrics(args, telemetry, stats) -> None:
         handle.write("\n")
 
 
-def _print_hunt_stats(stats, telemetry=None) -> None:
+def _print_hunt_stats(stats, telemetry=None, coverage=None) -> None:
     print(f"statements={stats.statements} "
           f"queries={stats.queries} "
           f"expected-errors={stats.expected_errors} "
           f"timeouts={stats.timeouts}")
+    if coverage is not None:
+        novel_rounds = 0
+        if telemetry is not None and telemetry.registry.enabled:
+            from repro.telemetry import names as metric_names
+
+            novel_rounds = telemetry.counter(
+                metric_names.GUIDANCE_NOVEL_ROUNDS).value
+        line = f"plan coverage: {coverage.distinct} distinct plan(s)"
+        if novel_rounds:
+            line += f", {novel_rounds} round(s) with novelty"
+        print(line)
     executions = stats.statements + stats.queries
     if stats.seconds > 0 and executions:
         print(f"throughput: {stats.queries_per_second:,.1f} queries/s, "

@@ -26,6 +26,7 @@ from repro.core.reports import BugReport, Oracle, RunStatistics, TestCase
 from repro.core.schema import SchemaModel
 from repro.dialects import get_dialect
 from repro.errors import DBCrash, DBError, DBTimeout
+from repro.guidance.scheduler import NULL_GUIDANCE
 from repro.interp import make_interpreter
 from repro.interp.base import EvalError
 from repro.rng import RandomSource
@@ -95,10 +96,14 @@ class PQSRunner:
 
     def __init__(self, connection_factory: Callable[[], DBMSConnection],
                  config: Optional[RunnerConfig] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 guidance=None):
         self.connection_factory = connection_factory
         self.config = config or RunnerConfig()
         self.telemetry = telemetry or NULL_TELEMETRY
+        #: Plan-coverage guidance (repro.guidance); NULL_GUIDANCE keeps
+        #: the unguided path bit-identical to a build without it.
+        self.guidance = guidance or NULL_GUIDANCE
         self.rng = RandomSource(self.config.seed)
         self.dialect = get_dialect(self.config.dialect)
         self.interpreter = make_interpreter(self.config.dialect)
@@ -153,15 +158,34 @@ class PQSRunner:
             self.interpreter.semantics.like_case_sensitive = False
         log: list[str] = []
         schema = SchemaModel(dialect=self.config.dialect)
-        actions = ActionGenerator(self.dialect, schema, self.rng)
+        # Guidance may redirect state generation to a scheduler-chosen
+        # seed (replaying an "interesting" state) plus a mutation burst.
+        # With guidance off (or passive) the profile is None and state
+        # generation draws from self.rng exactly as it always has.
+        profile = self.guidance.begin_round(self.config.seed)
+        mutators: list[ActionGenerator] = []
+        mutation_statements = 0
+        if profile is None:
+            actions = ActionGenerator(self.dialect, schema, self.rng)
+        else:
+            actions = ActionGenerator(self.dialect, schema,
+                                      RandomSource(profile.state_seed))
+            mutation_statements = profile.mutation_statements
+            mutators = [
+                ActionGenerator(self.dialect, schema,
+                                RandomSource(mutation_seed),
+                                weights=profile.weights)
+                for mutation_seed in profile.mutations]
         try:
             with self._phase_stategen:
                 self._generate_state(connection, schema, actions, log,
-                                     round_)
+                                     round_, mutators,
+                                     mutation_statements)
             if len(round_.reports) < self.config.max_reports_per_database:
                 self._query_phase(connection, schema, log, round_)
         finally:
             connection.close()
+        self.guidance.end_round()
         round_.seconds = time.monotonic() - started
         self._m_round_seconds.observe(round_.seconds)
         self._m_rounds.inc()
@@ -170,11 +194,17 @@ class PQSRunner:
     # -- step 1: random state ----------------------------------------------
     def _generate_state(self, connection: DBMSConnection,
                         schema: SchemaModel, actions: ActionGenerator,
-                        log: list[str], round_: DatabaseRound) -> None:
-        n_tables = self.rng.int_between(self.config.min_tables,
-                                        self.config.max_tables)
-        rows = self.rng.int_between(self.config.min_rows,
-                                    self.config.max_rows)
+                        log: list[str], round_: DatabaseRound,
+                        mutators: Optional[list[ActionGenerator]] = None,
+                        mutation_statements: int = 0) -> None:
+        # Table/row counts come from the state generator's stream —
+        # unguided that stream *is* self.rng (identical draws to before
+        # guidance existed); guided it is the scheduler's state seed, so
+        # replaying the seed reproduces the whole state.
+        n_tables = actions.rng.int_between(self.config.min_tables,
+                                           self.config.max_tables)
+        rows = actions.rng.int_between(self.config.min_rows,
+                                       self.config.max_rows)
         plan = actions.initial_statements(n_tables, rows)
         for generated in plan:
             self._run_statement(connection, generated.sql,
@@ -193,6 +223,23 @@ class PQSRunner:
         if closing is not None:
             self._run_statement(connection, closing.sql,
                                 closing.on_success, log, round_)
+        # Guided mutation bursts: extra index/ANALYZE-heavy statements
+        # stacked on the replayed base state, each burst from its own
+        # independent stream so replaying the chain reproduces the state.
+        for mutator in mutators or ():
+            for _ in range(mutation_statements):
+                generated = mutator.random_action()
+                if generated is None:
+                    continue
+                self._run_statement(connection, generated.sql,
+                                    generated.on_success, log, round_)
+                if len(round_.reports) >= \
+                        self.config.max_reports_per_database:
+                    return
+            closing = mutator.close_transaction()
+            if closing is not None:
+                self._run_statement(connection, closing.sql,
+                                    closing.on_success, log, round_)
 
     def _run_statement(self, connection: DBMSConnection, sql: str,
                        on_success, log: list[str],
@@ -327,6 +374,7 @@ class PQSRunner:
             return
         round_.queries += 1
         self._m_queries.inc()
+        self.guidance.observe_query(connection, query.sql)
         use_intersect = self.rng.flip(
             self.config.use_intersect_probability)
         try:

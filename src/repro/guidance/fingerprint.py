@@ -1,0 +1,185 @@
+"""Plan canonicalization and fingerprinting.
+
+Query Plan Guidance (Ba & Rigger, "Testing Database Engines via Query
+Plan Guidance") steers generation toward *unseen query plans*.  That
+needs a notion of plan identity that is
+
+* **schema-shape invariant** — two states that differ only in table and
+  index *names* produce the same fingerprint, so coverage measures plan
+  structure, not identifier entropy;
+* **literal-free** — plans never embed query literals (MiniDB EXPLAIN
+  reports no values; sqlite EXPLAIN QUERY PLAN constraint lists are
+  normalized down to their operators);
+* **stable across processes** — fingerprints are truncated SHA-256
+  digests, never Python ``hash()`` (which is salted per process), so a
+  resumed or parallel campaign can merge seen-sets byte-for-byte.
+
+The unit of identity is a sequence of :class:`PlanStep` rows.  Two
+producers exist: MiniDB's ``EXPLAIN`` (already structured) and sqlite3's
+``EXPLAIN QUERY PLAN`` (free-text detail strings, parsed tolerantly
+across SQLite versions by :func:`parse_sqlite_eqp_detail`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+#: Hex digits kept from the SHA-256 digest.  64 bits of fingerprint is
+#: collision-safe for any realistic campaign (billions of plans).
+FINGERPRINT_HEX_CHARS = 16
+
+
+@dataclass(frozen=True, slots=True)
+class PlanStep:
+    """One canonicalizable row of a query plan."""
+
+    kind: str                      # 'full-scan' | 'index-scan' | ...
+    table: Optional[str] = None    # raw table name (canonicalized later)
+    index: Optional[str] = None    # raw index name (canonicalized later)
+    detail: str = ""               # literal-free, name-free annotations
+
+
+def canonicalize(steps: Sequence[PlanStep]) -> str:
+    """Render *steps* with identifiers replaced by shape tokens.
+
+    Table names map to ``T0, T1, ...`` and index names to ``I0, I1,
+    ...`` in order of first appearance (auto-generated PK/UNIQUE indexes
+    collapse to the single token ``auto``), so the canonical text — and
+    therefore the fingerprint — depends only on plan shape.
+    """
+    tables: dict[str, str] = {}
+    indexes: dict[str, str] = {}
+    parts = []
+    for step in steps:
+        table = _canonical_name(step.table, tables, "T")
+        index = ("auto" if step.index and _is_auto_index(step.index)
+                 else _canonical_name(step.index, indexes, "I"))
+        parts.append(f"{step.kind}[{table},{index},{step.detail}]")
+    return ";".join(parts)
+
+
+def fingerprint(steps: Sequence[PlanStep]) -> str:
+    """Stable hex fingerprint of a canonicalized plan."""
+    digest = hashlib.sha256(canonicalize(steps).encode("utf-8"))
+    return digest.hexdigest()[:FINGERPRINT_HEX_CHARS]
+
+
+def _canonical_name(name: Optional[str], seen: dict[str, str],
+                    prefix: str) -> str:
+    if not name:
+        return "-"
+    key = name.lower()
+    if key not in seen:
+        seen[key] = f"{prefix}{len(seen)}"
+    return seen[key]
+
+
+_AUTO_INDEX = re.compile(r"(^sqlite_autoindex_|_autoindex_\d+$)",
+                         re.IGNORECASE)
+
+
+def _is_auto_index(name: str) -> bool:
+    return bool(_AUTO_INDEX.search(name))
+
+
+# ---------------------------------------------------------------------------
+# MiniDB EXPLAIN rows -> PlanSteps
+# ---------------------------------------------------------------------------
+
+def steps_from_minidb(rows: Iterable[tuple]) -> list[PlanStep]:
+    """Convert MiniDB ``EXPLAIN`` result rows (already plain Python
+    values) into :class:`PlanStep` objects."""
+    steps = []
+    for table, kind, index, detail in rows:
+        steps.append(PlanStep(kind=str(kind),
+                              table=None if table in (None, "-")
+                              else str(table),
+                              index=None if index is None else str(index),
+                              detail=str(detail or "")))
+    return steps
+
+
+# ---------------------------------------------------------------------------
+# sqlite3 EXPLAIN QUERY PLAN detail strings -> PlanSteps
+# ---------------------------------------------------------------------------
+#
+# The EQP detail format changed across SQLite versions — 3.24 says
+# "SCAN TABLE t0" and "SEARCH TABLE t0 USING INDEX i0 (c0=?)", 3.36+
+# drops the TABLE keyword ("SCAN t0").  The regexes below accept both,
+# and everything they cannot classify degrades to a digit-stripped
+# keyword form rather than an error, so a new SQLite never breaks
+# guidance — it just coarsens unknown rows.
+
+_EQP_SCAN = re.compile(
+    r"^(SCAN|SEARCH)\s+(?:TABLE\s+)?(\S+)(?:\s+AS\s+\S+)?(.*)$",
+    re.IGNORECASE)
+_EQP_INDEX = re.compile(
+    r"USING\s+(AUTOMATIC\s+)?(?:PARTIAL\s+)?(COVERING\s+)?INDEX\s+(\S+)",
+    re.IGNORECASE)
+_EQP_IPK = re.compile(r"USING\s+INTEGER\s+PRIMARY\s+KEY", re.IGNORECASE)
+_EQP_TEMP_BTREE = re.compile(r"^USE\s+TEMP\s+B-TREE\s+FOR\s+(.+)$",
+                             re.IGNORECASE)
+_EQP_CONSTRAINT = re.compile(r"\(([^()]*)\)\s*$")
+_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+
+
+def parse_sqlite_eqp_detail(detail: str) -> PlanStep:
+    """One EQP detail string -> one :class:`PlanStep`, version-tolerant."""
+    text = detail.strip()
+    m = _EQP_SCAN.match(text)
+    if m:
+        verb, table, rest = m.group(1).upper(), m.group(2), m.group(3)
+        tags = []
+        index = None
+        im = _EQP_INDEX.search(rest)
+        if im:
+            if im.group(1):
+                tags.append("automatic")
+            if im.group(2):
+                tags.append("covering")
+            index = im.group(3)
+        elif _EQP_IPK.search(rest):
+            index = "<ipk>"
+            tags.append("ipk")
+        if verb == "SEARCH":
+            cm = _EQP_CONSTRAINT.search(rest)
+            if cm:
+                tags.append(_canonical_constraint(cm.group(1)))
+        kind = "index-scan" if index is not None else "full-scan"
+        if verb == "SCAN" and index is not None:
+            tags.append("index-order")
+        return PlanStep(kind=kind, table=table, index=index,
+                        detail=" ".join(t for t in tags if t))
+    m = _EQP_TEMP_BTREE.match(text)
+    if m:
+        return PlanStep(kind="temp-btree",
+                        detail=m.group(1).strip().lower())
+    return _eqp_fallback(text)
+
+
+def _canonical_constraint(constraint: str) -> str:
+    """Strip identifiers and literals from an EQP constraint list.
+
+    ``c0=? AND c1>?`` and ``x=? AND y>?`` both canonicalize to
+    ``(=? AND >?)`` — the shape of the index lookup, nothing else.
+    """
+    stripped = _WORD.sub(
+        lambda m: m.group(0) if m.group(0).upper() == "AND" else "",
+        constraint)
+    return "(" + re.sub(r"\s+", " ", stripped).strip() + ")"
+
+
+def _eqp_fallback(text: str) -> PlanStep:
+    """Unrecognized EQP rows (COMPOUND, MERGE, SUBQUERY, CO-ROUTINE,
+    MATERIALIZE, ...) keep their keywords, shorn of numbering and of
+    identifiers.  SQLite prints keywords upper-case and preserves user
+    identifier case, so all-upper words are the keyword skeleton."""
+    words = [w.lower() for w in _WORD.findall(text) if w.isupper()]
+    return PlanStep(kind="other", detail=" ".join(words))
+
+
+def steps_from_sqlite_eqp(details: Iterable[str]) -> list[PlanStep]:
+    return [parse_sqlite_eqp_detail(d) for d in details]

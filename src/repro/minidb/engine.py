@@ -119,6 +119,8 @@ class Engine:
     def execute_statement(self, stmt: st.Statement) -> ResultSet:
         if isinstance(stmt, st.Select):
             return SelectExecutor(self).execute(stmt)
+        if isinstance(stmt, st.Explain):
+            return self._explain(stmt)
         if isinstance(stmt, st.CreateTable):
             return self._create_table(stmt)
         if isinstance(stmt, st.CreateIndex):
@@ -144,6 +146,16 @@ class Engine:
         if isinstance(stmt, st.TransactionStmt):
             return self._transaction(stmt)
         raise UnsupportedError(f"unsupported statement: {stmt!r}")
+
+    def _explain(self, stmt: st.Explain) -> ResultSet:
+        """EXPLAIN [QUERY PLAN]: the chosen access paths as rows."""
+        steps = SelectExecutor(self).explain(stmt.select)
+        rows = [(Value.text(table), Value.text(kind),
+                 Value.text(index) if index is not None else NULL,
+                 Value.text(detail))
+                for table, kind, index, detail in steps]
+        return ResultSet(columns=["table", "kind", "index", "detail"],
+                         rows=rows)
 
     def _atomic(self, handler, stmt) -> ResultSet:
         """Statement atomicity for DML: a failing statement must leave no

@@ -66,6 +66,110 @@ class SelectExecutor:
         columns, rows = self._run(select)
         return ResultSet(columns=columns, rows=rows)
 
+    def explain(self, select: st.Select,
+                ) -> list[tuple[str, str, Optional[str], str]]:
+        """Access-path rows for *select* without scanning any data.
+
+        Mirrors the planning half of :meth:`_run` (scope → bind →
+        rewrite → choose_path) so EXPLAIN always reports the path the
+        executor would take, then renders each path as a
+        ``(table, kind, index, detail)`` row.  Planning-time *defect*
+        checks are deliberately skipped: EXPLAIN inspects the plan, it
+        does not trigger the modeled bugs.
+        """
+        steps: list[tuple[str, str, Optional[str], str]] = []
+        self._explain_into(select, steps)
+        return steps
+
+    def _explain_into(self, select: st.Select,
+                      steps: list[tuple[str, str, Optional[str], str]],
+                      ) -> None:
+        scope_tables = self._scope_tables(select)
+        scope = Scope(scope_tables, self.dialect)
+        bound = self._bind_select(select, scope)
+        where = None
+        rewrite_tags: list[str] = []
+        if bound.where is not None:
+            where = rewrite(bound.where, self.dialect, self.bugs, scope)
+            rewrite_tags = self._rewrite_tags(bound.where, where)
+        for visible, table in scope_tables[:len(bound.tables)]:
+            indexes = self.catalog.indexes_on(table.name)
+            if self.dialect == "postgres" and \
+                    self.catalog.has_table(table.name) and \
+                    self.catalog.children_of(table.name):
+                indexes = []
+            path = choose_path(table, where, indexes, bound.distinct,
+                               self.bugs)
+            steps.append(self._plan_step(visible, path))
+        for join, (visible, table) in zip(
+                select.joins, scope_tables[len(bound.tables):]):
+            steps.append((visible, "full-scan", None,
+                          f"{join.kind.lower()} join"))
+        for tag in rewrite_tags:
+            steps.append(("-", "rewrite", None, tag))
+        if bound.compound is not None:
+            kind, rhs = bound.compound
+            steps.append(("-", "compound", None, kind.lower()))
+            self._explain_into(rhs, steps)
+
+    @staticmethod
+    def _plan_step(visible: str,
+                   path: AccessPath) -> tuple[str, str, Optional[str], str]:
+        index = path.index
+        tags = []
+        if index is not None:
+            if index.is_partial:
+                tags.append("partial")
+            if index.is_expression_index:
+                tags.append("expression")
+            if index.unique:
+                tags.append("unique")
+            if any(e.collation for e in index.exprs):
+                tags.append("collated")
+            if any(e.descending for e in index.exprs):
+                tags.append("desc")
+            if index.implicit:
+                tags.append("implicit")
+        detail = " ".join(tags)
+        if path.reason:
+            detail = f"{detail} ({path.reason})" if detail \
+                else f"({path.reason})"
+        return (visible, path.kind,
+                index.name if index is not None else None, detail)
+
+    @staticmethod
+    def _rewrite_tags(before: Expr, after: Expr) -> list[str]:
+        """Which optimizer rewrites fired between *before* and *after*.
+
+        Detected structurally (operator-count deltas) so EXPLAIN output —
+        and therefore plan fingerprints — distinguishes states where a
+        rewrite such as the LIKE-affinity optimization kicked in.
+        """
+        from repro.sqlast.nodes import BinaryNode, BinaryOp, UnaryNode, UnaryOp
+
+        def counts(expr: Expr) -> tuple[int, int, int]:
+            like = nots = nullsafe = 0
+            for node in walk(expr):
+                if isinstance(node, BinaryNode):
+                    if node.op is BinaryOp.LIKE:
+                        like += 1
+                    elif node.op is BinaryOp.NULL_SAFE_EQ:
+                        nullsafe += 1
+                elif isinstance(node, UnaryNode) and \
+                        node.op is UnaryOp.NOT:
+                    nots += 1
+            return like, nots, nullsafe
+
+        b, a = counts(before), counts(after)
+        tags = []
+        if a[0] < b[0]:
+            tags.append("like-opt")
+        if a[1] < b[1]:
+            tags.append("not-not-opt")
+        if a[2] < b[2]:
+            tags.append("nullsafe-fold")
+        return tags
+
     def _run(self, select: st.Select) -> tuple[list[str], list[tuple]]:
         scope_tables = self._scope_tables(select)
         scope = Scope(scope_tables, self.dialect)

@@ -120,6 +120,8 @@ class Parser:
             return self._alter()
         if tok.is_kw("SELECT", "VALUES"):
             return self._select()
+        if tok.is_kw("EXPLAIN"):
+            return self._explain()
         if tok.is_kw("VACUUM", "REINDEX", "ANALYZE", "REPAIR", "CHECK",
                      "DISCARD"):
             return self._maintenance()
@@ -381,6 +383,18 @@ class Parser:
                                  column_def=self._column_def())
         raise ParseError(f"unsupported ALTER TABLE action near "
                          f"{self.cur.text!r}")
+
+    # -- EXPLAIN ----------------------------------------------------------------
+    def _explain(self) -> st.Explain:
+        self.expect_kw("EXPLAIN")
+        query_plan = False
+        if self.accept_kw("QUERY"):
+            self.expect_kw("PLAN")
+            query_plan = True
+        if not self.cur.is_kw("SELECT"):
+            raise ParseError("EXPLAIN supports SELECT statements only, "
+                             f"got {self.cur.text!r}")
+        return st.Explain(select=self._select(), query_plan=query_plan)
 
     # -- SELECT -----------------------------------------------------------------
     def _select(self) -> st.Select:

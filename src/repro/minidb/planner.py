@@ -178,11 +178,16 @@ def _has_like_wildcards(pattern: str) -> bool:
 
 @dataclass(slots=True)
 class AccessPath:
-    """How the executor reaches the rows of one table."""
+    """How the executor reaches the rows of one table.
+
+    ``reason`` is the planner's one-line justification; it feeds EXPLAIN
+    output and plan fingerprints but never influences execution.
+    """
 
     kind: str                       # 'full-scan' | 'index-scan' | 'skip-scan'
     table: str
     index: Optional[Index] = None
+    reason: str = ""
 
 
 def choose_path(table: Table, where: Optional[Expr],
@@ -199,22 +204,30 @@ def choose_path(table: Table, where: Optional[Expr],
     if bugs.on("sqlite-skip-scan-distinct") and distinct and table.analyzed:
         for index in indexes:
             if not index.is_partial:
-                return AccessPath("skip-scan", table.name, index)
+                return AccessPath("skip-scan", table.name, index,
+                                  reason="DISTINCT over analyzed table")
     if where is not None:
         for index in indexes:
             if index.is_partial and _partial_index_usable(where, index,
                                                           bugs):
-                return AccessPath("index-scan", table.name, index)
+                return AccessPath("index-scan", table.name, index,
+                                  reason="WHERE implies partial-index "
+                                         "predicate")
         for index in indexes:
             if not index.is_partial and _full_index_usable(where, index):
-                return AccessPath("index-scan", table.name, index)
+                return AccessPath("index-scan", table.name, index,
+                                  reason="WHERE references leading "
+                                         "indexed expression")
     if distinct:
         # DISTINCT queries walk an index when one covers the table, the
         # way SQLite satisfies DISTINCT from index order.
         for index in indexes:
             if not index.is_partial:
-                return AccessPath("index-scan", table.name, index)
-    return AccessPath("full-scan", table.name)
+                return AccessPath("index-scan", table.name, index,
+                                  reason="DISTINCT satisfied from index "
+                                         "order")
+    return AccessPath("full-scan", table.name,
+                      reason="no usable index")
 
 
 def _partial_index_usable(where: Expr, index: Index,

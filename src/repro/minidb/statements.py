@@ -147,6 +147,18 @@ class Select:
 
 
 @dataclass(slots=True)
+class Explain:
+    """``EXPLAIN [QUERY PLAN] SELECT ...`` — plan introspection.
+
+    MiniDB keeps the SQLite spelling; both forms return the access-path
+    rows (there is no separate bytecode listing to show).
+    """
+
+    select: Select
+    query_plan: bool = False           # the EXPLAIN QUERY PLAN spelling
+
+
+@dataclass(slots=True)
 class Maintenance:
     """VACUUM / REINDEX / ANALYZE / CHECK TABLE / REPAIR TABLE / DISCARD."""
 
@@ -172,6 +184,6 @@ class TransactionStmt:
 
 Statement = (
     CreateTable | CreateIndex | CreateView | CreateStatistics | Drop
-    | Insert | Update | Delete | AlterTable | Select | Maintenance
-    | SetOption | TransactionStmt
+    | Insert | Update | Delete | AlterTable | Select | Explain
+    | Maintenance | SetOption | TransactionStmt
 )

@@ -32,10 +32,12 @@ class TokenType(enum.Enum):
 KEYWORDS = frozenset("""
     ABORT ADD ALL ALTER ANALYZE AND AS ASC BEGIN BETWEEN BY CASE CAST CHECK
     COLLATE COLUMN COMMIT CONSTRAINT CREATE CROSS DEFAULT DELETE DESC
-    DISCARD DISTINCT DROP ELSE END ENGINE ESCAPE EXCEPT EXISTS FAIL FALSE
+    DISCARD DISTINCT DROP ELSE END ENGINE ESCAPE EXCEPT EXISTS EXPLAIN
+    FAIL FALSE
     FOR FOREIGN FROM FULL GLOB GROUP HAVING IF IGNORE IN INDEX INHERITS
     INNER INSERT INTERSECT INTO IS ISNULL JOIN KEY LEFT LIKE LIMIT NOT
-    NOTNULL NULL OFFSET ON OR ORDER OUTER PRAGMA PRIMARY REFERENCES REINDEX
+    NOTNULL NULL OFFSET ON OR ORDER OUTER PLAN PRAGMA PRIMARY QUERY
+    REFERENCES REINDEX
     RENAME REPAIR REPLACE ROLLBACK ROWID SELECT SET STATISTICS TABLE THEN
     TO TRANSACTION TRUE UNION UNIQUE UPDATE UPGRADE USING VACUUM VALUES
     VIEW WHEN WHERE WITHOUT GLOBAL SESSION LOCAL

@@ -179,6 +179,11 @@ ARTIFACTS: tuple[Artifact, ...] = (
         "§7 negative containment", "pivot row NOT contained",
         ("src/repro/core/rectify.py", "tests/core/test_negative_mode.py"),
         "implemented future-work extension"),
+    Artifact(
+        "§7 plan guidance", "steer generation toward unseen query plans",
+        ("src/repro/guidance/scheduler.py", "benchmarks/bench_guidance.py",
+         "tests/guidance/test_runner_guidance.py"),
+        "follow-up work (Ba & Rigger, query-plan guidance) as extension"),
 )
 
 

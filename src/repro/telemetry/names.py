@@ -38,6 +38,14 @@ PHASE_SYNTH = "synthesize"
 PHASE_CONTAIN = "containment"
 PHASES = (PHASE_STATEGEN, PHASE_PIVOT, PHASE_SYNTH, PHASE_CONTAIN)
 
+# -- plan-coverage guidance (repro.guidance) --------------------------------
+#: Distinct plan fingerprints seen so far (gauge).
+GUIDANCE_PLANS_DISTINCT = "pqs_guidance_plans_distinct"
+#: Rounds that produced at least one novel plan (counter).
+GUIDANCE_NOVEL_ROUNDS = "pqs_guidance_novel_rounds_total"
+#: Successful query_plan introspections (counter).
+GUIDANCE_PLAN_LOOKUPS = "pqs_guidance_plan_lookups_total"
+
 # -- fault-isolation harness (repro.adapters.subprocess_adapter) ------------
 #: Worker (re)starts after the initial spawn (counter).
 WORKER_RESTARTS = "pqs_worker_restarts_total"

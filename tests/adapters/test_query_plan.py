@@ -1,0 +1,128 @@
+"""The optional ``query_plan`` adapter hook, across every adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adapters.faults import FaultPlan, FaultyConnection
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.adapters.sqlite3_adapter import SQLite3Connection
+from repro.errors import DBError, UnsupportedError
+from repro.guidance import PlanStep, fingerprint
+
+STATE = ("CREATE TABLE t0 (c0 INT, c1 TEXT)",
+         "CREATE INDEX i0 ON t0(c0)",
+         "INSERT INTO t0 VALUES (1, 'a'), (2, 'b')")
+
+
+def build(conn):
+    for sql in STATE:
+        conn.execute(sql)
+    return conn
+
+
+def test_minidb_query_plan():
+    conn = build(MiniDBConnection())
+    steps = conn.query_plan("SELECT * FROM t0 WHERE c0 = 1")
+    assert steps and isinstance(steps[0], PlanStep)
+    assert steps[0].kind == "index-scan"
+    assert steps[0].index == "i0"
+
+
+def test_minidb_query_plan_does_not_count_statements():
+    conn = build(MiniDBConnection())
+    before = conn.statements_executed
+    conn.query_plan("SELECT * FROM t0")
+    assert conn.statements_executed == before
+
+
+def test_sqlite3_query_plan():
+    conn = build(SQLite3Connection())
+    steps = conn.query_plan("SELECT * FROM t0 WHERE c0 = 1")
+    assert steps and steps[0].kind == "index-scan"
+    assert steps[0].index == "i0"
+    full = conn.query_plan("SELECT * FROM t0")
+    assert full[0].kind == "full-scan"
+
+
+def test_sqlite3_query_plan_bad_sql_raises_dberror():
+    conn = build(SQLite3Connection())
+    with pytest.raises(DBError):
+        conn.query_plan("SELECT * FROM nonexistent")
+
+
+def test_minidb_and_sqlite3_agree_on_shape():
+    """Different engines, same schema shape => same fingerprint family
+    (index-scan over T0/I0), though constraint details may differ."""
+    mini = build(MiniDBConnection()).query_plan(
+        "SELECT * FROM t0 WHERE c0 = 1")
+    lite = build(SQLite3Connection()).query_plan(
+        "SELECT * FROM t0 WHERE c0 = 1")
+    assert mini[0].kind == lite[0].kind == "index-scan"
+    assert fingerprint(mini) and fingerprint(lite)
+
+
+def test_faulty_connection_forwards_without_schedule_advance():
+    plan = FaultPlan(error_at=(1,))
+    conn = FaultyConnection(MiniDBConnection(), plan)
+    conn.execute(STATE[0])  # index 0
+    for _ in range(3):
+        conn.query_plan("SELECT * FROM t0")
+    # The next execute is global statement #1 and must still fault.
+    with pytest.raises(DBError):
+        conn.execute(STATE[1])
+
+
+def test_faulty_connection_without_inner_hook():
+    class Bare:
+        dialect = "sqlite"
+
+        def execute(self, sql):
+            return []
+
+        def close(self):
+            pass
+
+    conn = FaultyConnection(Bare(), FaultPlan())
+    with pytest.raises(UnsupportedError):
+        conn.query_plan("SELECT 1")
+
+
+def test_subprocess_forwards_query_plan():
+    pytest.importorskip("repro.adapters.subprocess_adapter")
+    from repro.adapters.subprocess_adapter import SubprocessConnection
+
+    conn = SubprocessConnection(MiniDBConnection)
+    try:
+        for sql in STATE:
+            conn.execute(sql)
+        steps = conn.query_plan("SELECT * FROM t0 WHERE c0 = 1")
+        assert steps[0].kind == "index-scan"
+        assert steps[0].index == "i0"
+    finally:
+        conn.close()
+
+
+def test_subprocess_query_plan_not_replayed_after_crash():
+    """Plan lookups must not enter the replay log: after a crash the
+    worker restores state from executed statements only."""
+    from repro.adapters.faults import FaultyFactory
+    from repro.adapters.subprocess_adapter import SubprocessConnection
+    from repro.errors import DBCrash
+
+    factory = FaultyFactory(MiniDBConnection, FaultPlan(crash_at=(3,)))
+    conn = SubprocessConnection(factory)
+    try:
+        for sql in STATE:
+            conn.execute(sql)
+        conn.query_plan("SELECT * FROM t0")
+        with pytest.raises(DBCrash):
+            conn.execute("SELECT * FROM t0")
+        # Restarted worker replays the three state statements; the
+        # query still answers and the plan hook still works.
+        rows = conn.execute("SELECT c0 FROM t0")
+        assert len(rows) == 2
+        steps = conn.query_plan("SELECT * FROM t0 WHERE c0 = 1")
+        assert steps[0].index == "i0"
+    finally:
+        conn.close()

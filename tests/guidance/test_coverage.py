@@ -1,0 +1,48 @@
+"""PlanCoverage: seen-set semantics, merge, JSON round-trip."""
+
+from __future__ import annotations
+
+from repro.guidance import PlanCoverage
+
+
+def test_observe_reports_novelty_once():
+    cov = PlanCoverage()
+    assert cov.observe("aa", "SELECT 1")
+    assert not cov.observe("aa", "SELECT 2")
+    assert cov.distinct == 1
+    assert "aa" in cov
+    # First example wins — it is the plan's canonical witness.
+    assert cov.example("aa") == "SELECT 1"
+
+
+def test_merge_counts_only_new():
+    a, b = PlanCoverage(), PlanCoverage()
+    a.observe("x", "qx")
+    b.observe("x", "other")
+    b.observe("y", "qy")
+    added = a.merge(b)
+    assert added == 1
+    assert a.distinct == 2
+    assert a.example("x") == "qx"
+
+
+def test_json_round_trip(tmp_path):
+    cov = PlanCoverage()
+    cov.observe("x", "qx")
+    cov.observe("y", "qy")
+    path = tmp_path / "cov.json"
+    cov.dump(str(path))
+    loaded = PlanCoverage.load(str(path))
+    assert loaded.to_json() == cov.to_json()
+    assert loaded.distinct == 2
+
+
+def test_dump_is_deterministic(tmp_path):
+    a, b = PlanCoverage(), PlanCoverage()
+    for cov in (a, b):
+        cov.observe("x", "qx")
+        cov.observe("y", "qy")
+    pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+    a.dump(str(pa))
+    b.dump(str(pb))
+    assert pa.read_text() == pb.read_text()

@@ -1,0 +1,61 @@
+"""Guidance wired into PQSRunner: bit-identity off, coverage on."""
+
+from __future__ import annotations
+
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.core.runner import PQSRunner, RunnerConfig
+from repro.guidance import NULL_GUIDANCE, PlanGuidance
+
+
+class Recording(MiniDBConnection):
+    """Shared statement stream across a run's connections."""
+
+    stream: list[str] = []
+
+    def execute(self, sql):
+        Recording.stream.append(sql)
+        return super().execute(sql)
+
+
+def run_stream(guidance, seed=11, rounds=4):
+    Recording.stream = []
+    runner = PQSRunner(Recording, RunnerConfig(seed=seed),
+                       guidance=guidance)
+    stats = runner.run(rounds)
+    return list(Recording.stream), stats
+
+
+def test_guidance_off_is_bit_identical():
+    """No guidance, NULL_GUIDANCE, and passive observation all produce
+    the exact statement stream of a build without the subsystem."""
+    baseline, _ = run_stream(None)
+    null_obj, _ = run_stream(NULL_GUIDANCE)
+    passive, _ = run_stream(PlanGuidance(seed=11, feedback=False))
+    assert baseline == null_obj
+    assert baseline == passive
+
+
+def test_passive_mode_still_tracks_coverage():
+    guidance = PlanGuidance(seed=11, feedback=False)
+    run_stream(guidance)
+    assert guidance.coverage.distinct > 0
+    assert guidance.pool == []
+
+
+def test_guided_run_steers_and_tracks():
+    guidance = PlanGuidance(seed=11)
+    stream, stats = run_stream(guidance)
+    baseline, base_stats = run_stream(None)
+    assert stream != baseline  # feedback changes generation...
+    assert stats.queries == base_stats.queries  # ...not the query budget
+    assert guidance.coverage.distinct > 0
+    assert guidance.pool  # novel rounds seeded the pool
+
+
+def test_guided_run_is_deterministic():
+    a = PlanGuidance(seed=11)
+    stream_a, _ = run_stream(a)
+    b = PlanGuidance(seed=11)
+    stream_b, _ = run_stream(b)
+    assert stream_a == stream_b
+    assert a.coverage.to_json() == b.coverage.to_json()

@@ -1,0 +1,120 @@
+"""MiniDB ``EXPLAIN [QUERY PLAN] SELECT`` — plan introspection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.minidb.bugs import BugRegistry
+from repro.minidb.engine import Engine
+from repro.minidb.parser import parse_statement
+from repro.minidb import statements as st
+
+
+def explain(engine, sql):
+    result = engine.execute_statement(parse_statement(sql))
+    return result.python_rows()
+
+
+def setup_table(engine):
+    for sql in ("CREATE TABLE t0 (c0 INT, c1 TEXT)",
+                "CREATE INDEX i0 ON t0(c0)",
+                "INSERT INTO t0 VALUES (1, 'a'), (2, 'b')"):
+        engine.execute_statement(parse_statement(sql))
+
+
+def test_parse_explain_forms():
+    plain = parse_statement("EXPLAIN SELECT 1")
+    assert isinstance(plain, st.Explain) and not plain.query_plan
+    eqp = parse_statement("EXPLAIN QUERY PLAN SELECT 1")
+    assert isinstance(eqp, st.Explain) and eqp.query_plan
+
+
+def test_explain_rejects_non_select():
+    with pytest.raises(ParseError):
+        parse_statement("EXPLAIN INSERT INTO t0 VALUES (1)")
+    with pytest.raises(ParseError):
+        parse_statement("EXPLAIN QUERY PLAN UPDATE t0 SET c0 = 1")
+
+
+def test_explain_returns_plan_rows(engine):
+    setup_table(engine)
+    rows = explain(engine, "EXPLAIN QUERY PLAN "
+                           "SELECT * FROM t0 WHERE c0 = 1")
+    assert len(rows) == 1
+    table, kind, index, detail = rows[0]
+    assert (table, kind, index) == ("t0", "index-scan", "i0")
+    assert "leading indexed expression" in detail
+
+
+def test_explain_full_scan_without_index(engine):
+    engine.execute_statement(parse_statement("CREATE TABLE t1 (c0 INT)"))
+    rows = explain(engine, "EXPLAIN SELECT * FROM t1 WHERE c0 = 1")
+    assert rows[0][1] == "full-scan"
+    assert rows[0][2] is None
+
+
+def test_explain_does_not_execute_or_mutate(engine):
+    setup_table(engine)
+    explain(engine, "EXPLAIN QUERY PLAN SELECT * FROM t0")
+    rows = engine.execute_statement(
+        parse_statement("SELECT * FROM t0")).python_rows()
+    assert len(rows) == 2
+
+
+def test_explain_skip_scan_under_defect():
+    engine = Engine("sqlite",
+                    bugs=BugRegistry({"sqlite-skip-scan-distinct"}))
+    setup_table(engine)
+    engine.execute_statement(parse_statement("ANALYZE"))
+    rows = explain(engine, "EXPLAIN QUERY PLAN "
+                           "SELECT DISTINCT c0 FROM t0")
+    assert rows[0][1] == "skip-scan"
+
+
+def test_explain_partial_index_path(engine):
+    setup_table(engine)
+    engine.execute_statement(parse_statement(
+        "CREATE INDEX ip ON t0(c1) WHERE c1 NOT NULL"))
+    rows = explain(engine, "EXPLAIN QUERY PLAN "
+                           "SELECT * FROM t0 WHERE c1 NOT NULL")
+    assert rows[0][1] == "index-scan"
+    assert rows[0][2] == "ip"
+    assert "partial" in rows[0][3]
+
+
+def test_explain_like_rewrite_tag():
+    engine = Engine("sqlite",
+                    bugs=BugRegistry({"sqlite-like-affinity-opt"}))
+    setup_table(engine)
+    rows = explain(engine, "EXPLAIN QUERY PLAN "
+                           "SELECT * FROM t0 WHERE c0 LIKE '1'")
+    tags = [r[3] for r in rows if r[1] == "rewrite"]
+    assert "like-opt" in tags
+
+
+def test_explain_never_trips_planning_defects():
+    """EXPLAIN introspects; only real execution may trigger modeled
+    bugs, so an EXPLAIN-heavy guidance loop cannot corrupt oracle
+    state."""
+    engine = Engine("sqlite",
+                    bugs=BugRegistry({"sqlite-skip-scan-distinct"}))
+    setup_table(engine)
+    engine.execute_statement(parse_statement("ANALYZE"))
+    before = engine.execute_statement(
+        parse_statement("SELECT DISTINCT c0 FROM t0")).python_rows()
+    explain(engine, "EXPLAIN QUERY PLAN SELECT DISTINCT c0 FROM t0")
+    after = engine.execute_statement(
+        parse_statement("SELECT DISTINCT c0 FROM t0")).python_rows()
+    assert before == after
+
+
+def test_explain_join_and_compound(engine):
+    setup_table(engine)
+    engine.execute_statement(parse_statement("CREATE TABLE t1 (c0 INT)"))
+    rows = explain(engine, "EXPLAIN SELECT * FROM t0, t1")
+    assert [r[0] for r in rows] == ["t0", "t1"]
+    rows = explain(engine, "EXPLAIN SELECT c0 FROM t0 "
+                           "UNION SELECT c0 FROM t1")
+    kinds = [r[1] for r in rows]
+    assert "compound" in kinds
