@@ -6,16 +6,39 @@ against a MiniDB engine with that dialect's injected defects enabled,
 reduces every finding, attributes it to specific defects by differential
 replay against single-defect engines, and aggregates the statistics that
 regenerate the paper's Tables 2–3 and Figures 2–3.
+
+Long campaigns are *supervised*: rounds flow through a work-stealing
+queue (repro.campaigns.scheduler), workers are restarted under a budget
+and stalled ones detected (repro.campaigns.supervisor), poison rounds
+are quarantined instead of aborting, the journal is checksummed and
+self-healing (repro.campaigns.journal), and the whole stack is
+exercised by a deterministic fault injector (repro.campaigns.chaos).
 """
 
 from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
-from repro.campaigns.journal import CampaignJournal, RoundRecord, round_seed
+from repro.campaigns.chaos import ChaosEvents, ChaosKill, ChaosPolicy, NULL_CHAOS
+from repro.campaigns.executor import RoundExecutor
+from repro.campaigns.journal import (
+    CampaignJournal,
+    JournalState,
+    QuarantineRecord,
+    RecoveryStats,
+    RoundRecord,
+    round_seed,
+)
 from repro.campaigns.parallel import (
     ParallelCampaign,
     ParallelCampaignConfig,
     ParallelCampaignResult,
 )
 from repro.campaigns.replay import DifferentialReplayer
+from repro.campaigns.scheduler import RoundQueue
+from repro.campaigns.supervisor import (
+    SupervisionReport,
+    Supervisor,
+    SupervisorConfig,
+    WorkerFailure,
+)
 from repro.campaigns.metrics import (
     constraint_statistics,
     statement_distribution,
@@ -27,11 +50,24 @@ __all__ = [
     "CampaignConfig",
     "CampaignJournal",
     "CampaignResult",
+    "ChaosEvents",
+    "ChaosKill",
+    "ChaosPolicy",
     "DifferentialReplayer",
+    "JournalState",
+    "NULL_CHAOS",
     "ParallelCampaign",
     "ParallelCampaignConfig",
     "ParallelCampaignResult",
+    "QuarantineRecord",
+    "RecoveryStats",
+    "RoundExecutor",
+    "RoundQueue",
     "RoundRecord",
+    "SupervisionReport",
+    "Supervisor",
+    "SupervisorConfig",
+    "WorkerFailure",
     "constraint_statistics",
     "round_seed",
     "statement_distribution",

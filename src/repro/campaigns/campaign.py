@@ -10,12 +10,19 @@ resolution (fixed / verified / docs / intended / duplicate).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.adapters.minidb_adapter import MiniDBConnection
-from repro.campaigns.journal import CampaignJournal, RoundRecord, round_seed
+from repro.campaigns.executor import RoundExecutor
+from repro.campaigns.journal import (
+    CampaignJournal,
+    JournalState,
+    QuarantineRecord,
+    RecoveryStats,
+)
 from repro.campaigns.replay import DifferentialReplayer
+from repro.campaigns.scheduler import RoundQueue
 from repro.core.reducer import TestCaseReducer
 from repro.core.reports import BugReport, Oracle, RunStatistics
 from repro.core.runner import PQSRunner, RunnerConfig
@@ -45,6 +52,41 @@ def primary_attribution(report: BugReport) -> str:
         if BUG_CATALOG[bug_id].oracle == tag:
             return bug_id
     return report.attributed_bugs[0]
+
+
+def stats_from_records(records, quarantined=()) -> RunStatistics:
+    """Fold per-round records (journal-loaded or freshly run, already in
+    round-index order) into campaign statistics.  Shared by the
+    single-process journaled path and the parallel fleet so both merge
+    identically."""
+    stats = RunStatistics()
+    for record in records:
+        stats.databases += 1
+        stats.statements += record.statements
+        stats.queries += record.queries
+        stats.pivots += record.pivots
+        stats.expected_errors += record.expected_errors
+        stats.timeouts += record.timeouts
+        stats.seconds += record.seconds
+        stats.reports.extend(record.reports)
+    stats.quarantined_rounds = len(quarantined)
+    return stats
+
+
+def record_recovery(recovery: RecoveryStats, telemetry: "Telemetry",
+                    recovered: int = 0) -> None:
+    """Surface journal-recovery outcomes as telemetry counters."""
+    telemetry = telemetry or NULL_TELEMETRY
+    if recovered:
+        telemetry.counter(
+            metric_names.JOURNAL_RECOVERED_ROUNDS).inc(recovered)
+    if recovery.corrupt_lines:
+        telemetry.counter(
+            metric_names.JOURNAL_CORRUPT_LINES).inc(recovery.corrupt_lines)
+    if recovery.duplicate_rounds:
+        telemetry.counter(
+            metric_names.JOURNAL_DUPLICATE_ROUNDS).inc(
+                recovery.duplicate_rounds)
 
 
 @dataclass
@@ -82,6 +124,10 @@ class CampaignConfig:
     #: Track plan coverage without dumping it (parallel workers use
     #: this; the merged set is dumped by the parent).
     track_plans: bool = False
+    #: Failed attempts before a journaled round is quarantined (a
+    #: poison round — e.g. HarnessError on every try — is journaled and
+    #: surfaced instead of aborting the hunt).
+    quarantine_threshold: int = 3
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -101,6 +147,16 @@ class CampaignResult:
     #: happen).
     reports: list[BugReport] = field(default_factory=list)
     unattributed: list[BugReport] = field(default_factory=list)
+    #: Poison rounds retired after exhausting the retry threshold
+    #: (journaled campaigns only).
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+    #: What journal recovery had to repair on ``--resume``.
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    def harness_reports(self) -> list[str]:
+        """Synthesized human-readable reports for quarantined rounds —
+        availability failures of the harness, never DBMS findings."""
+        return [record.harness_report() for record in self.quarantined]
 
     @property
     def detected_bug_ids(self) -> set[str]:
@@ -147,23 +203,41 @@ class Campaign:
         return MiniDBConnection(self.config.dialect,
                                 bugs=BugRegistry(set(self.bugs.enabled)))
 
-    def run(self) -> CampaignResult:
+    def build_runner(self, telemetry=None, seed: Optional[int] = None,
+                     ) -> PQSRunner:
+        """A fresh runner wired exactly as this campaign hunts: own
+        connection factory, telemetry, and guidance scheduler.  Used by
+        :meth:`run` and by the parallel fleet's executor factory (each
+        worker — and each supervisor restart — gets its own)."""
+        if telemetry is None:
+            telemetry = self.config.telemetry
         guidance = NULL_GUIDANCE
         if self.config.guidance or self.config.plan_coverage \
                 or self.config.track_plans:
             # plan_coverage without guidance observes passively: plans
             # are fingerprinted and dumped, generation is untouched.
-            guidance = PlanGuidance(seed=self.config.seed,
-                                    feedback=self.config.guidance,
-                                    telemetry=self.config.telemetry)
-        runner = PQSRunner(self._connection, self.config.runner,
-                           telemetry=self.config.telemetry,
-                           guidance=guidance)
+            guidance = PlanGuidance(
+                seed=self.config.seed if seed is None else seed,
+                feedback=self.config.guidance,
+                telemetry=telemetry)
+        # Each runner gets its own RunnerConfig: reseed() mutates
+        # config.seed, and concurrent workers sharing one config would
+        # race on it (stamping reports with another worker's seed).
+        return PQSRunner(self._connection, replace(self.config.runner),
+                         telemetry=telemetry, guidance=guidance)
+
+    def run(self) -> CampaignResult:
+        runner = self.build_runner()
+        guidance = runner.guidance
+        quarantined: list[QuarantineRecord] = []
+        recovery = RecoveryStats()
         if self.config.journal:
-            stats = self._run_journaled(runner)
+            stats, quarantined, recovery = self._run_journaled(runner)
         else:
             stats = runner.run(self.config.databases)
-        result = CampaignResult(config=self.config, stats=stats)
+        result = CampaignResult(config=self.config, stats=stats,
+                                quarantined=quarantined,
+                                recovery=recovery)
         if guidance.enabled:
             result.plan_coverage = guidance.coverage
             if self.config.plan_coverage:
@@ -201,61 +275,50 @@ class Campaign:
             fingerprint["guidance"] = True
         return fingerprint
 
-    def _run_journaled(self, runner: PQSRunner) -> RunStatistics:
+    def _run_journaled(self, runner: PQSRunner):
         """Per-round execution with a durable JSONL journal.
 
         Each round runs under :func:`~repro.campaigns.journal.round_seed`
         — an independent derivation from (campaign seed, round index) —
         so completed rounds loaded from the journal and freshly-run
         rounds compose into exactly the statistics an uninterrupted run
-        would produce.
+        would produce.  Execution is a one-shard fleet: the same
+        :class:`~repro.campaigns.scheduler.RoundQueue` and
+        :class:`~repro.campaigns.executor.RoundExecutor` the parallel
+        campaign runs per worker, driven inline (no supervisor thread),
+        so quarantine and recovery semantics are identical in both modes.
         """
-        journal = CampaignJournal(self.config.journal)
-        fingerprint = self._fingerprint()
-        completed = (journal.load(fingerprint)
-                     if self.config.resume else {})
-        journal.start(fingerprint, fresh=not completed)
-        stats = RunStatistics()
         telemetry = self.config.telemetry or NULL_TELEMETRY
-        rounds_counter = telemetry.counter(metric_names.ROUNDS)
-        try:
-            for index in range(self.config.databases):
-                record = completed.get(index)
-                if record is None:
-                    runner.reseed(round_seed(self.config.seed, index))
-                    round_ = runner.run_database_round()
-                    record = RoundRecord(
-                        index=index,
-                        seed=round_seed(self.config.seed, index),
-                        statements=round_.statements,
-                        queries=round_.queries, pivots=round_.pivots,
-                        expected_errors=round_.expected_errors,
-                        timeouts=round_.timeouts,
-                        seconds=round_.seconds,
-                        reports=round_.reports,
-                        plans=runner.guidance.take_round_plans())
-                    journal.append_round(record)
-                else:
-                    # The runner counts rounds it actually executes;
-                    # journal-loaded rounds still advance the live
-                    # progress line.  Guidance replays the journaled
-                    # round so its seen-set, pool, and scheduling
-                    # stream match the original process exactly.
-                    if runner.guidance.enabled:
-                        runner.guidance.restore_round(record.seed,
-                                                      record.plans)
-                    rounds_counter.inc()
-                stats.databases += 1
-                stats.statements += record.statements
-                stats.queries += record.queries
-                stats.pivots += record.pivots
-                stats.expected_errors += record.expected_errors
-                stats.timeouts += record.timeouts
-                stats.seconds += record.seconds
-                stats.reports.extend(record.reports)
-        finally:
-            journal.close()
-        return stats
+        with CampaignJournal(self.config.journal) as journal:
+            fingerprint = self._fingerprint()
+            state = (journal.load_state(fingerprint)
+                     if self.config.resume else JournalState())
+            journal.start(fingerprint, fresh=state.empty)
+            record_recovery(state.recovery, telemetry,
+                            recovered=len(state.rounds))
+            queue = RoundQueue(
+                range(self.config.databases), self.config.seed,
+                quarantine_threshold=self.config.quarantine_threshold)
+            queue.preload(state.rounds, state.quarantined)
+            if runner.guidance.enabled:
+                # Guidance replays each journaled round so its seen-set,
+                # pool, and scheduling stream match the original
+                # process exactly (exact for prefix-complete journals;
+                # a corruption gap re-runs only the lost round).
+                for index in sorted(state.rounds):
+                    record = state.rounds[index]
+                    runner.guidance.restore_round(record.seed,
+                                                  record.plans)
+            # The runner counts rounds it actually executes;
+            # journal-loaded rounds still advance the live progress line.
+            telemetry.counter(metric_names.ROUNDS).inc(len(state.rounds))
+            executor = RoundExecutor(
+                0, runner, queue, self.config.seed,
+                journal=journal, telemetry=telemetry)
+            executor.run_loop()
+        quarantined = queue.quarantined_in_order()
+        stats = stats_from_records(queue.records_in_order(), quarantined)
+        return stats, quarantined, state.recovery
 
     # -- per-report processing ---------------------------------------------
     def _process(self, report: BugReport) -> Optional[BugReport]:

@@ -1,4 +1,4 @@
-"""Campaign durability: a JSONL journal of per-database results.
+"""Campaign durability: a checksummed JSONL journal of per-round results.
 
 A journaled campaign writes one line per completed database round as it
 runs, so an interrupted hunt (crash of the *tool* host, SIGKILL, power
@@ -8,9 +8,22 @@ file layout is append-only JSONL:
 * line 1 — a header fingerprinting the campaign (dialect, seed,
   database count, enabled defects, journal version); resuming under a
   different configuration is an error, not silent corruption;
-* each further line — one database round: its index, derived seed,
-  counters, and raw (pre-reduction) findings serialized via
-  :meth:`~repro.core.reports.BugReport.to_json`.
+* each further line — one record: a ``round`` (index, derived seed,
+  counters, raw pre-reduction findings serialized via
+  :meth:`~repro.core.reports.BugReport.to_json`) or a ``quarantine``
+  (a poison round retired after exhausting its retry threshold).
+
+**Format v2** adds a per-line CRC32 checksum: every line is plain JSON
+carrying a ``crc`` field computed over the canonical serialization of
+the rest of the line.  On load, a line that fails to parse *or* fails
+its checksum is skipped and counted — not trusted, and crucially not
+treated as end-of-file, so one corrupt line in the middle of a journal
+no longer drops every later valid round.  Re-run round indexes (a
+work-stealing fleet can journal the same round twice when a lease is
+stolen from a stalled worker that later finishes) are deduplicated on
+load, first occurrence wins.  v1 journals (no checksums) remain
+readable: ``crc`` is verified whenever present and required only when
+the header declares version ≥ 2.
 
 Journaled campaigns derive an **independent seed per round**
 (:func:`round_seed`) so round *i* can be re-run — or skipped on resume —
@@ -23,13 +36,15 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import zlib
 from dataclasses import dataclass, field
 from typing import Optional, TextIO
 
 from repro.core.reports import BugReport
 from repro.errors import PQSError
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
 
 #: SplitMix64-style constants; any fixed odd multipliers would do.
 _GOLDEN = 0x9E3779B97F4A7C15
@@ -41,6 +56,17 @@ def round_seed(campaign_seed: int, index: int) -> int:
     x = (campaign_seed * _GOLDEN + (index + 1) * _MIX) % 2**64
     x ^= x >> 31
     return (x * _GOLDEN) % 2**63
+
+
+def _canonical(data: dict) -> str:
+    """The byte-stable serialization the checksum is computed over."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def line_checksum(data: dict) -> str:
+    """CRC32 (hex) of a record's canonical JSON, ``crc`` key excluded."""
+    body = {k: v for k, v in data.items() if k != "crc"}
+    return format(zlib.crc32(_canonical(body).encode("utf-8")), "08x")
 
 
 @dataclass
@@ -92,12 +118,90 @@ class RoundRecord:
                    for fp, example in data.get("plans", [])])
 
 
+@dataclass
+class QuarantineRecord:
+    """A poison round retired after exhausting its retry threshold.
+
+    Quarantine is the campaign-level analogue of the subprocess
+    harness's restart budget: a round that fails deterministically
+    (e.g. :class:`~repro.errors.HarnessError` on every attempt) is
+    journaled and surfaced instead of aborting the whole hunt.
+    """
+
+    index: int
+    seed: int
+    attempts: int
+    error: str = ""
+
+    def to_json(self) -> dict:
+        return {"kind": "quarantine", "index": self.index,
+                "seed": self.seed, "attempts": self.attempts,
+                "error": self.error}
+
+    @staticmethod
+    def from_json(data: dict) -> "QuarantineRecord":
+        return QuarantineRecord(
+            index=data["index"], seed=data["seed"],
+            attempts=data.get("attempts", 0),
+            error=data.get("error", ""))
+
+    def harness_report(self) -> str:
+        """A human-readable synthesized report for the final stats."""
+        return (f"round {self.index} (seed {self.seed}) quarantined "
+                f"after {self.attempts} attempt(s): {self.error}")
+
+
+@dataclass
+class RecoveryStats:
+    """What journal recovery had to do while loading."""
+
+    #: Checksum-mismatched or unparseable lines skipped (a torn final
+    #: line counts here too).
+    corrupt_lines: int = 0
+    #: Re-run round indexes deduplicated (first occurrence won).
+    duplicate_rounds: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.corrupt_lines or self.duplicate_rounds)
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`CampaignJournal.load_state` recovered."""
+
+    rounds: dict[int, RoundRecord] = field(default_factory=dict)
+    quarantined: dict[int, QuarantineRecord] = field(default_factory=dict)
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+
+    @property
+    def empty(self) -> bool:
+        return not (self.rounds or self.quarantined)
+
+
 class CampaignJournal:
-    """Append-only JSONL journal for one campaign."""
+    """Append-only checksummed JSONL journal for one campaign.
+
+    Thread-safe for writers: a work-stealing fleet's executors append
+    to one shared journal, serialized by an internal lock.  Usable as a
+    context manager; :meth:`close` is idempotent.
+    """
 
     def __init__(self, path: str):
         self.path = path
         self._handle: Optional[TextIO] = None
+        self._lock = threading.Lock()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
 
     # -- reading ------------------------------------------------------------
     def load(self, fingerprint: dict) -> dict[int, RoundRecord]:
@@ -106,36 +210,87 @@ class CampaignJournal:
         Raises :class:`~repro.errors.PQSError` when the journal was
         written by a differently-configured campaign.
         """
+        return self.load_state(fingerprint).rounds
+
+    def load_state(self, fingerprint: dict) -> JournalState:
+        """Full recovery: rounds, quarantines, and recovery counters.
+
+        Corrupt lines (bad JSON or checksum mismatch) are *skipped and
+        counted*, never treated as end-of-file; duplicate round indexes
+        keep their first occurrence.  Raises
+        :class:`~repro.errors.PQSError` when the header is unreadable or
+        fingerprints a differently-configured campaign.
+        """
+        state = JournalState()
         if not os.path.exists(self.path):
-            return {}
-        completed: dict[int, RoundRecord] = {}
+            return state
         with open(self.path, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
         if not lines:
-            return {}
+            return state
+        header = self._check_header(lines[0], fingerprint)
+        require_crc = header.get("version", 1) >= 2
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            data = self._check_line(line, require_crc)
+            if data is None:
+                state.recovery.corrupt_lines += 1
+                continue
+            kind = data.get("kind")
+            if kind == "round":
+                record = RoundRecord.from_json(data)
+                if record.index in state.rounds:
+                    state.recovery.duplicate_rounds += 1
+                    continue
+                state.rounds[record.index] = record
+            elif kind == "quarantine":
+                record = QuarantineRecord.from_json(data)
+                if record.index in state.quarantined:
+                    state.recovery.duplicate_rounds += 1
+                    continue
+                state.quarantined[record.index] = record
+        return state
+
+    def _check_header(self, line: str, fingerprint: dict) -> dict:
         try:
-            header = json.loads(lines[0])
+            header = json.loads(line)
         except json.JSONDecodeError:
             raise PQSError(f"journal {self.path}: unreadable header")
         if header.get("kind") != "header":
             raise PQSError(f"journal {self.path}: missing header line")
-        recorded = {k: v for k, v in header.items() if k != "kind"}
-        if recorded != fingerprint:
+        crc = header.get("crc")
+        if crc is not None and crc != line_checksum(header):
+            raise PQSError(f"journal {self.path}: corrupt header")
+        recorded = {k: v for k, v in header.items()
+                    if k not in ("kind", "crc")}
+        expected = dict(fingerprint)
+        if recorded.get("version") == 1 and expected.get("version") == \
+                JOURNAL_VERSION:
+            # Backward-compatible read: a v1 journal resumes under a v2
+            # campaign whose configuration otherwise matches.
+            expected["version"] = 1
+        if recorded != expected:
             raise PQSError(
                 f"journal {self.path} was written by a different "
                 f"campaign: {recorded!r} != {fingerprint!r}")
-        for line in lines[1:]:
-            if not line.strip():
-                continue
-            try:
-                data = json.loads(line)
-            except json.JSONDecodeError:
-                break  # torn final write — that round re-runs
-            if data.get("kind") != "round":
-                continue
-            record = RoundRecord.from_json(data)
-            completed[record.index] = record
-        return completed
+        return recorded
+
+    @staticmethod
+    def _check_line(line: str, require_crc: bool) -> Optional[dict]:
+        """Parse + verify one record line; None means corrupt."""
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(data, dict):
+            return None
+        crc = data.get("crc")
+        if crc is None:
+            return None if require_crc else data
+        if crc != line_checksum(data):
+            return None
+        return data
 
     # -- writing ------------------------------------------------------------
     def start(self, fingerprint: dict, fresh: bool) -> None:
@@ -150,14 +305,22 @@ class CampaignJournal:
         assert self._handle is not None, "journal not started"
         self._write_line(record.to_json())
 
+    def append_quarantine(self, record: QuarantineRecord) -> None:
+        assert self._handle is not None, "journal not started"
+        self._write_line(record.to_json())
+
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def _write_line(self, data: dict) -> None:
-        self._handle.write(json.dumps(data) + "\n")
-        # One durable line per database round: a kill between rounds
-        # loses nothing, a kill mid-round loses only that round.
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        data = dict(data)
+        data["crc"] = line_checksum(data)
+        with self._lock:
+            self._handle.write(_canonical(data) + "\n")
+            # One durable line per record: a kill between rounds loses
+            # nothing, a kill mid-round loses only that round.
+            self._handle.flush()
+            os.fsync(self._handle.fileno())

@@ -1,10 +1,23 @@
-"""Parallel campaigns — paper §3.4's performance recipe.
+"""Parallel campaigns — paper §3.4's performance recipe, supervised.
 
 "We parallelized the system by running each thread on a distinct
 database."  Each worker thread owns its own engines, runner and random
-stream (a forked seed), so there is no shared mutable state; results are
+stream, so there is no shared mutable state on the hot path; results are
 merged and re-triaged globally, the same way the benchmark harness
 merges seed chunks.
+
+Scheduling is a shared work queue of round indexes
+(:class:`~repro.campaigns.scheduler.RoundQueue`), not a static
+per-thread shard split: every round's seed derives from the *campaign*
+seed and the round index, so any worker can run any round and produce
+the same result.  A :class:`~repro.campaigns.supervisor.Supervisor`
+watches the fleet — a dead worker's leased rounds are requeued for the
+survivors and the worker is restarted under a bounded budget with
+deterministic backoff; a round that keeps failing is quarantined instead
+of aborting the hunt.  The optional
+:class:`~repro.campaigns.chaos.ChaosPolicy` injects exactly those faults
+so the acceptance tests can assert the merged results are bit-identical
+to an undisturbed run.
 
 Python threads do not overlap CPU-bound work (the GIL), so against the
 pure-Python MiniDB this is about workload *shape*, not speedup; against
@@ -13,15 +26,34 @@ an out-of-process DBMS adapter the same structure pipelines naturally.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.campaigns.campaign import Campaign, CampaignConfig, CampaignResult
+from repro.campaigns.campaign import (
+    Campaign,
+    CampaignConfig,
+    primary_attribution,
+    record_recovery,
+    stats_from_records,
+)
+from repro.campaigns.chaos import NULL_CHAOS
+from repro.campaigns.executor import RoundExecutor
+from repro.campaigns.journal import (
+    CampaignJournal,
+    JournalState,
+    QuarantineRecord,
+    RecoveryStats,
+)
+from repro.campaigns.scheduler import RoundQueue
+from repro.campaigns.supervisor import (
+    SupervisionReport,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.core.reports import BugReport, RunStatistics
 from repro.guidance import PlanCoverage
-from repro.minidb.bugs import BUG_CATALOG
 from repro.telemetry import MetricsRegistry, Telemetry
+from repro.telemetry import names as metric_names
 
 
 @dataclass
@@ -33,8 +65,10 @@ class ParallelCampaignConfig:
     bug_ids: Optional[list[str]] = None
     reduce: bool = True
     max_reports_per_bug: int = 2
-    #: Journal path stem; worker *i* journals to ``{journal}.worker{i}``
-    #: so an interrupted parallel hunt resumes per worker.
+    #: JSONL journal path.  One *shared* journal for the whole fleet
+    #: (the journal is internally locked): any worker's completed round
+    #: is durable immediately, and a resume redistributes the remaining
+    #: rounds over however many threads the resuming run has.
     journal: Optional[str] = None
     resume: bool = False
     #: Observability sink for the merged campaign.  Each worker hunts
@@ -42,14 +76,29 @@ class ParallelCampaignConfig:
     #: hot path, same recipe as the seed-forking: no shared mutable
     #: state); after the join every per-worker snapshot is merged into
     #: this telemetry's registry and kept in
-    #: :attr:`ParallelCampaignResult.worker_snapshots`.
+    #: :attr:`ParallelCampaignResult.worker_snapshots`.  Supervisor
+    #: counters (restarts, stalls, backoff) land in the shared registry
+    #: directly — supervision runs on the parent thread.
     telemetry: Optional[Telemetry] = None
     #: Plan-coverage guidance: each worker runs its own scheduler (same
-    #: no-shared-state recipe as seeds and telemetry); the per-worker
-    #: coverage sets are merged after the join.
+    #: no-shared-state recipe as seeds and telemetry).  Feedback under
+    #: work stealing is best-effort per worker — which rounds a worker
+    #: sees depends on scheduling — but *passive* coverage tracking is
+    #: deterministic: the merged set is rebuilt from the per-round
+    #: records in round-index order.
     guidance: bool = False
     #: Write the merged plan-coverage set (PlanCoverage JSON) here.
     plan_coverage: Optional[str] = None
+    #: Supervision knobs (see repro.campaigns.supervisor).
+    max_worker_restarts: int = 2
+    restart_backoff: float = 0.05
+    backoff_cap: float = 2.0
+    stall_timeout: float = 0.0
+    #: Failed attempts before a round is quarantined instead of requeued.
+    quarantine_threshold: int = 3
+    #: Fault-injection schedule (repro.campaigns.chaos.ChaosPolicy);
+    #: None runs undisturbed.
+    chaos: Optional[object] = None
 
 
 @dataclass
@@ -57,18 +106,34 @@ class ParallelCampaignResult:
     config: ParallelCampaignConfig
     stats: RunStatistics
     reports: list[BugReport] = field(default_factory=list)
-    per_thread_reports: list[int] = field(default_factory=list)
-    #: Human-readable summaries of workers that died; completed workers'
-    #: results are kept regardless (graceful degradation).
+    #: Rounds completed per logical worker slot (restarted incarnations
+    #: count toward their slot; journal-preloaded rounds toward none).
+    per_thread_rounds: list[int] = field(default_factory=list)
+    #: One entry per worker death: the summary line followed by the
+    #: full formatted traceback — a fleet failure must be debuggable
+    #: from the campaign result alone.
     worker_errors: list[str] = field(default_factory=list)
-    #: Per-worker metric snapshots (one per completed worker), merged
-    #: into the shared registry; kept so per-worker skew is inspectable.
+    #: Per-worker metric snapshots (one per spawned incarnation),
+    #: merged into the shared registry; kept so per-worker skew is
+    #: inspectable.
     worker_snapshots: list[dict] = field(default_factory=list)
-    #: Union of the workers' plan-coverage sets (None when plan
-    #: tracking was off); per-worker distinct counts are in
-    #: :attr:`per_thread_plans`.
+    #: Union of the per-round plan sets, rebuilt in round-index order
+    #: (None when plan tracking was off); per-slot distinct counts are
+    #: in :attr:`per_thread_plans`.
     plan_coverage: Optional["PlanCoverage"] = None
     per_thread_plans: list[int] = field(default_factory=list)
+    #: Poison rounds retired after exhausting the retry threshold.
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
+    #: What journal recovery had to repair on ``--resume``.
+    recovery: RecoveryStats = field(default_factory=RecoveryStats)
+    #: What supervision did (restarts, stalls, backoff, failures).
+    supervision: SupervisionReport = field(
+        default_factory=SupervisionReport)
+
+    def harness_reports(self) -> list[str]:
+        """Synthesized human-readable reports for quarantined rounds —
+        availability failures of the harness, never DBMS findings."""
+        return [record.harness_report() for record in self.quarantined]
 
     @property
     def detected_bug_ids(self) -> set[str]:
@@ -79,21 +144,54 @@ class ParallelCampaignResult:
 
 
 class ParallelCampaign:
-    """Runs one campaign per thread and merges the findings."""
+    """A supervised worker fleet over one shared round queue."""
 
     def __init__(self, config: ParallelCampaignConfig):
         self.config = config
+        self.total_rounds = config.threads * config.databases_per_thread
+        # The parent campaign supplies the runner recipe (engines,
+        # guidance wiring) for every worker and the replay/reduce/triage
+        # pipeline for the merged reports.
+        self._parent = Campaign(self._base_config())
+
+    def _base_config(self) -> CampaignConfig:
+        cfg = self.config
+        return CampaignConfig(
+            dialect=cfg.dialect, seed=cfg.seed,
+            databases=self.total_rounds, bug_ids=cfg.bug_ids,
+            reduce=cfg.reduce,
+            max_reports_per_bug=cfg.max_reports_per_bug,
+            journal=cfg.journal, resume=cfg.resume,
+            telemetry=cfg.telemetry, guidance=cfg.guidance,
+            track_plans=cfg.guidance or bool(cfg.plan_coverage),
+            quarantine_threshold=cfg.quarantine_threshold)
 
     def run(self) -> ParallelCampaignResult:
-        results: list[Optional[CampaignResult]] = \
-            [None] * self.config.threads
-        errors: list[Optional[BaseException]] = \
-            [None] * self.config.threads
-        shared = self.config.telemetry
-        snapshots: list[Optional[dict]] = [None] * self.config.threads
+        cfg = self.config
+        shared = cfg.telemetry
+        chaos = cfg.chaos or NULL_CHAOS
+        queue = RoundQueue(range(self.total_rounds), cfg.seed,
+                           quarantine_threshold=cfg.quarantine_threshold)
+        spawned_telemetry: list[Optional[Telemetry]] = []
 
-        def worker(index: int) -> None:
-            try:
+        journal: Optional[CampaignJournal] = None
+        state = JournalState()
+        try:
+            if cfg.journal:
+                journal = CampaignJournal(cfg.journal)
+                fingerprint = self._parent._fingerprint()
+                if cfg.resume:
+                    state = journal.load_state(fingerprint)
+                journal.start(fingerprint, fresh=state.empty)
+                queue.preload(state.rounds, state.quarantined)
+                record_recovery(state.recovery, shared,
+                                recovered=len(state.rounds))
+                if shared is not None:
+                    shared.counter(metric_names.ROUNDS).inc(
+                        len(state.rounds))
+
+            def worker_factory(worker_id: int,
+                               heartbeats: dict) -> RoundExecutor:
                 child_telemetry = None
                 if shared is not None and shared.enabled:
                     # Private registry per worker; the shared tracer is
@@ -101,81 +199,107 @@ class ParallelCampaign:
                     # stays whole.
                     child_telemetry = Telemetry(
                         registry=MetricsRegistry(), tracer=shared.tracer)
-                child = CampaignConfig(
-                    dialect=self.config.dialect,
-                    # Distinct seeds per thread: distinct databases.
-                    seed=self.config.seed + 7919 * (index + 1),
-                    databases=self.config.databases_per_thread,
-                    bug_ids=self.config.bug_ids,
-                    reduce=self.config.reduce,
-                    max_reports_per_bug=self.config.max_reports_per_bug,
-                    journal=(f"{self.config.journal}.worker{index}"
-                             if self.config.journal else None),
-                    resume=self.config.resume,
+                spawned_telemetry.append(child_telemetry)
+                runner = self._parent.build_runner(
                     telemetry=child_telemetry,
-                    guidance=self.config.guidance,
-                    track_plans=bool(self.config.plan_coverage))
-                results[index] = Campaign(child).run()
-                if child_telemetry is not None:
-                    snapshots[index] = \
-                        child_telemetry.registry.snapshot()
-            except BaseException as exc:  # noqa: BLE001 - surfaced below
-                errors[index] = exc
+                    # Distinct guidance streams per incarnation.
+                    seed=cfg.seed + 7919 * (worker_id + 1))
+                return RoundExecutor(
+                    worker_id, runner, queue, cfg.seed,
+                    journal=journal, chaos=chaos,
+                    telemetry=child_telemetry, heartbeats=heartbeats)
 
-        threads = [threading.Thread(target=worker, args=(i,),
-                                    name=f"pqs-worker-{i}")
-                   for i in range(self.config.threads)]
-        for thread in threads:
-            thread.start()
-        for thread in threads:
-            thread.join()
-        completed = [r for r in results if r is not None]
-        failed = [(i, e) for i, e in enumerate(errors) if e is not None]
-        if not completed and failed:
+            supervisor = Supervisor(
+                queue, cfg.threads, worker_factory,
+                config=SupervisorConfig(
+                    max_worker_restarts=cfg.max_worker_restarts,
+                    restart_backoff=cfg.restart_backoff,
+                    backoff_cap=cfg.backoff_cap,
+                    stall_timeout=cfg.stall_timeout),
+                telemetry=shared)
+            supervision = supervisor.run()
+        finally:
+            if journal is not None:
+                journal.close()
+
+        if not queue.completed and supervision.failures:
             # Nothing survived; there is nothing to degrade to.
-            raise failed[0][1]
-        merged = self._merge(completed)
-        merged.worker_errors = [
-            f"worker {i}: {type(exc).__name__}: {exc}"
-            for i, exc in failed]
-        merged.worker_snapshots = [s for s in snapshots if s is not None]
+            raise supervision.failures[0].exception
+
+        merged = self._merge(queue, supervision, state)
+        merged.worker_snapshots = [
+            t.registry.snapshot() for t in spawned_telemetry
+            if t is not None]
         if shared is not None:
             for snapshot in merged.worker_snapshots:
                 shared.registry.merge_snapshot(snapshot)
-        if any(r.plan_coverage is not None for r in completed):
-            coverage = PlanCoverage()
-            for result in completed:
-                if result.plan_coverage is not None:
-                    merged.per_thread_plans.append(
-                        result.plan_coverage.distinct)
-                    coverage.merge(result.plan_coverage)
-            merged.plan_coverage = coverage
-            if self.config.plan_coverage:
-                coverage.dump(self.config.plan_coverage)
         return merged
 
-    def _merge(self, results: list[CampaignResult],
-               ) -> ParallelCampaignResult:
-        stats = RunStatistics()
-        merged = ParallelCampaignResult(config=self.config, stats=stats)
+    # -- merging (parent thread, round-index order) --------------------------
+    def _merge(self, queue: RoundQueue, supervision: SupervisionReport,
+               state: JournalState) -> ParallelCampaignResult:
+        records = queue.records_in_order()
+        quarantined = queue.quarantined_in_order()
+        stats = stats_from_records(records, quarantined)
+        merged = ParallelCampaignResult(
+            config=self.config, stats=stats, quarantined=quarantined,
+            recovery=state.recovery, supervision=supervision)
+        merged.worker_errors = [
+            f"worker slot {failure.slot}: {failure.summary}\n"
+            f"{failure.traceback}"
+            for failure in supervision.failures]
+
+        # Rounds and plans attributed to logical slots.  completed_by
+        # holds the completing incarnation's worker_id (None for
+        # journal-preloaded rounds); worker_slots maps it home.
+        rounds_per_slot = [0] * self.config.threads
+        track_plans = self.config.guidance \
+            or bool(self.config.plan_coverage)
+        coverage = PlanCoverage() if track_plans else None
+        per_slot_coverage = [PlanCoverage()
+                             for _ in range(self.config.threads)]
+        for record in records:
+            worker_id = queue.completed_by.get(record.index)
+            slot = supervision.worker_slots.get(worker_id) \
+                if worker_id is not None else None
+            if slot is not None:
+                rounds_per_slot[slot] += 1
+            if coverage is None:
+                continue
+            # Index-order rebuild: the globally-earliest round holding
+            # a fingerprint always recorded it (no worker saw it
+            # before), so the merged set — including which example
+            # query witnesses each plan — is schedule-independent.
+            for fingerprint, example in record.plans:
+                coverage.observe(fingerprint, example)
+                if slot is not None:
+                    per_slot_coverage[slot].observe(fingerprint, example)
+        merged.per_thread_rounds = rounds_per_slot
+        if coverage is not None:
+            merged.plan_coverage = coverage
+            merged.per_thread_plans = [c.distinct
+                                       for c in per_slot_coverage]
+            if self.config.plan_coverage:
+                coverage.dump(self.config.plan_coverage)
+
+        # Reduce, attribute, and triage centrally, in round-index order
+        # (stats.reports was filled from records_in_order), so the
+        # outcome is independent of worker scheduling.
         per_bug: dict[str, int] = {}
         seen: set[str] = set()
-        for result in results:
-            stats.merge(result.stats)
-            merged.per_thread_reports.append(len(result.reports))
-            for report in result.reports:
-                primary = report.attributed_bugs[0]
-                if per_bug.get(primary, 0) >= \
-                        self.config.max_reports_per_bug:
-                    continue
-                per_bug[primary] = per_bug.get(primary, 0) + 1
-                if primary in seen:
-                    report.triage = "duplicate"
-                else:
-                    report.triage = BUG_CATALOG[primary].triage
-                    seen.add(primary)
-                merged.reports.append(report)
-        # merge() already accumulated the raw per-thread reports into
-        # stats.reports; keep only the merged, re-triaged ones visible.
+        for report in stats.reports:
+            processed = self._parent._process(report)
+            if processed is None:
+                continue
+            primary = primary_attribution(processed)
+            if per_bug.get(primary, 0) >= \
+                    self.config.max_reports_per_bug:
+                continue
+            per_bug[primary] = per_bug.get(primary, 0) + 1
+            processed.triage = self._parent._triage(primary, seen)
+            seen.add(primary)
+            merged.reports.append(processed)
+        # stats.reports held the raw per-round reports; keep only the
+        # merged, re-triaged ones visible.
         stats.reports = list(merged.reports)
         return merged

@@ -1,0 +1,195 @@
+"""The campaign work queue: round indexes as stealable units of work.
+
+The static per-thread shard split (worker *i* owns rounds
+``i*k .. i*k+k-1``) had a failure mode the paper's long-running hunts
+cannot afford: a dead or slow worker silently loses its whole shard.
+:class:`RoundQueue` replaces it with a shared queue of round indexes —
+any worker leases the next pending round, a failed or abandoned lease is
+*requeued* for someone else, and a round that keeps failing is
+*quarantined* after a bounded number of attempts instead of aborting the
+campaign.
+
+Because every round derives its own seed
+(:func:`~repro.campaigns.journal.round_seed`), a round's outcome is
+independent of which worker runs it and when; the queue therefore makes
+worker death a scheduling event, not a data-loss event.  Completion is
+idempotent — a stalled worker whose lease was stolen may finish late and
+its duplicate result is simply dropped (and deduplicated on journal
+load).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.campaigns.journal import QuarantineRecord, RoundRecord, round_seed
+
+
+class RoundQueue:
+    """Thread-safe work-stealing queue of campaign round indexes.
+
+    Lifecycle of one round: ``pending`` → leased (by :meth:`lease`) →
+    either completed (:meth:`complete`), requeued (:meth:`fail` under
+    the threshold, or :meth:`release` when its worker died), or
+    quarantined (:meth:`fail` at the threshold).  :meth:`lease` blocks
+    while the queue is merely *empty* (a requeue may still arrive) and
+    returns None once every round is settled or :meth:`abort` was
+    called.
+    """
+
+    def __init__(self, indexes: Iterable[int], campaign_seed: int,
+                 quarantine_threshold: int = 3):
+        self._pending = deque(sorted(indexes))
+        self._campaign_seed = campaign_seed
+        self.quarantine_threshold = max(1, quarantine_threshold)
+        self._total = len(self._pending)
+        #: index -> worker slot currently holding the lease.
+        self._leases: dict[int, int] = {}
+        #: index -> failed attempts so far.
+        self._attempts: dict[int, int] = {}
+        self.completed: dict[int, RoundRecord] = {}
+        #: index -> slot that completed it (None for preloaded rounds).
+        self.completed_by: dict[int, Optional[int]] = {}
+        self.quarantined: dict[int, QuarantineRecord] = {}
+        self._aborted = False
+        #: Worker ids barred from leasing (stalled incarnations whose
+        #: leases were stolen); their in-flight completions still count.
+        self._retired_workers: set[int] = set()
+        self._cond = threading.Condition()
+
+    # -- preloading (journal resume) ----------------------------------------
+    def preload(self, rounds: dict[int, RoundRecord],
+                quarantined: dict[int, QuarantineRecord]) -> None:
+        """Mark journal-recovered rounds as already settled."""
+        with self._cond:
+            for index, record in rounds.items():
+                if index in self._leases or index not in self._pending:
+                    continue
+                self._pending.remove(index)
+                self.completed[index] = record
+                self.completed_by[index] = None
+            for index, record in quarantined.items():
+                if index not in self._pending:
+                    continue
+                self._pending.remove(index)
+                self.quarantined[index] = record
+            self._cond.notify_all()
+
+    # -- worker-facing ------------------------------------------------------
+    def lease(self, slot: int) -> Optional[int]:
+        """Next round index for *slot*; None when the queue is done."""
+        with self._cond:
+            while True:
+                if self._aborted or self._settled_locked() \
+                        or slot in self._retired_workers:
+                    self._cond.notify_all()
+                    return None
+                if self._pending:
+                    index = self._pending.popleft()
+                    self._leases[index] = slot
+                    return index
+                # Empty but not settled: leased rounds may be requeued.
+                self._cond.wait(timeout=0.05)
+
+    def complete(self, index: int, record: RoundRecord,
+                 slot: Optional[int] = None) -> bool:
+        """Settle *index* with *record*; False if it already settled
+        (a late finish after the lease was stolen)."""
+        with self._cond:
+            self._leases.pop(index, None)
+            if index in self.completed or index in self.quarantined:
+                self._cond.notify_all()
+                return False
+            self.completed[index] = record
+            self.completed_by[index] = slot
+            self._cond.notify_all()
+            return True
+
+    def fail(self, index: int, error: str) -> Optional[QuarantineRecord]:
+        """Record a failed attempt; requeue or quarantine.
+
+        Returns the :class:`QuarantineRecord` when the round just hit
+        the threshold (the caller journals it), None when it was
+        requeued for another attempt.
+        """
+        with self._cond:
+            self._leases.pop(index, None)
+            if index in self.completed or index in self.quarantined:
+                self._cond.notify_all()
+                return None
+            attempts = self._attempts.get(index, 0) + 1
+            self._attempts[index] = attempts
+            if attempts >= self.quarantine_threshold:
+                record = QuarantineRecord(
+                    index=index,
+                    seed=round_seed(self._campaign_seed, index),
+                    attempts=attempts, error=error)
+                self.quarantined[index] = record
+                self._cond.notify_all()
+                return record
+            self._pending.append(index)
+            self._cond.notify_all()
+            return None
+
+    def attempts(self, index: int) -> int:
+        with self._cond:
+            return self._attempts.get(index, 0)
+
+    # -- supervisor-facing --------------------------------------------------
+    def release(self, slot: int) -> list[int]:
+        """Requeue every round leased to *slot* (worker died or
+        stalled); returns the stolen indexes."""
+        with self._cond:
+            stolen = sorted(i for i, s in self._leases.items()
+                            if s == slot)
+            for index in stolen:
+                del self._leases[index]
+                self._pending.append(index)
+            if stolen:
+                self._cond.notify_all()
+            return stolen
+
+    def retire_worker(self, slot: int) -> None:
+        """Bar *slot* from future leases (a stalled zombie must not
+        pick up fresh work after its leases were stolen)."""
+        with self._cond:
+            self._retired_workers.add(slot)
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Give up: wake every blocked worker with None."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+    def _settled_locked(self) -> bool:
+        return len(self.completed) + len(self.quarantined) >= self._total
+
+    @property
+    def settled(self) -> bool:
+        """Every round completed or quarantined."""
+        with self._cond:
+            return self._settled_locked()
+
+    @property
+    def aborted(self) -> bool:
+        with self._cond:
+            return self._aborted
+
+    @property
+    def outstanding(self) -> int:
+        """Rounds not yet settled (pending + leased)."""
+        with self._cond:
+            return self._total - len(self.completed) - len(self.quarantined)
+
+    def records_in_order(self) -> list[RoundRecord]:
+        """Completed records sorted by round index — merge in this
+        order and the result is independent of worker scheduling."""
+        with self._cond:
+            return [self.completed[i] for i in sorted(self.completed)]
+
+    def quarantined_in_order(self) -> list[QuarantineRecord]:
+        with self._cond:
+            return [self.quarantined[i] for i in sorted(self.quarantined)]

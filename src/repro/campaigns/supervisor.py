@@ -1,0 +1,245 @@
+"""Worker supervision: bounded restarts, backoff, heartbeat stalls.
+
+The supervisor turns a pool of round executors into a self-healing
+fleet.  It owns the worker threads, watches them, and reacts to the two
+ways a worker stops contributing:
+
+* **death** — the worker thread terminated with an exception (a real
+  harness bug, or an injected :class:`~repro.campaigns.chaos.ChaosKill`).
+  Its leased rounds are released back to the queue immediately (work
+  stealing: nothing is lost), the full traceback is captured for the
+  campaign result, and — under a per-slot restart budget with
+  *deterministic* exponential backoff (``backoff * 2**restarts``,
+  capped) — a fresh executor is spawned in its place;
+* **stall** — the worker is alive but its heartbeat (updated by the
+  executor once per round) has gone stale past ``stall_timeout``.  Its
+  leases are stolen so other workers finish the rounds; if it later
+  completes anyway, :meth:`RoundQueue.complete` drops the duplicate.
+
+If every slot exhausts its budget while rounds remain, the supervisor
+aborts the queue rather than hanging — the campaign then degrades
+gracefully (partial results + captured errors) or, with nothing
+completed at all, surfaces the first worker's real exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.campaigns.scheduler import RoundQueue
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import names as metric_names
+
+
+@dataclass
+class SupervisorConfig:
+    #: Restarts allowed per worker slot before it is retired.
+    max_worker_restarts: int = 2
+    #: Base of the deterministic exponential backoff slept before a
+    #: restart: ``restart_backoff * 2**restarts_so_far`` seconds.
+    restart_backoff: float = 0.05
+    backoff_cap: float = 2.0
+    #: Heartbeat staleness (seconds) after which an alive worker's
+    #: leases are stolen; 0 disables stall detection.
+    stall_timeout: float = 0.0
+    poll_interval: float = 0.01
+
+
+@dataclass
+class WorkerFailure:
+    """One worker death, with full diagnostics (not just the summary —
+    losing the traceback made fleet failures undebuggable)."""
+
+    slot: int
+    summary: str
+    traceback: str
+    exception: BaseException
+
+
+@dataclass
+class SupervisionReport:
+    """What supervision did over one campaign."""
+
+    restarts: int = 0
+    stalls: int = 0
+    backoff_seconds: float = 0.0
+    failures: list[WorkerFailure] = field(default_factory=list)
+    #: Every executor ever spawned (initial + restarts), for snapshot
+    #: and coverage collection.
+    executors: list = field(default_factory=list)
+    #: worker_id -> logical slot index, for every incarnation ever
+    #: spawned (restarts get fresh ids; this maps them home).
+    worker_slots: dict = field(default_factory=dict)
+    aborted: bool = False
+
+
+class _Slot:
+    """One logical worker position and its current incarnation."""
+
+    def __init__(self, index: int):
+        self.index = index
+        self.worker_id: int = index
+        self.thread: Optional[threading.Thread] = None
+        self.restarts = 0
+        self.retired = False
+        self.dead_handled = True
+
+
+class Supervisor:
+    """Runs ``slots`` workers over a shared queue until it settles."""
+
+    def __init__(self, queue: RoundQueue, slots: int,
+                 worker_factory: Callable[[int, dict], object],
+                 config: Optional[SupervisorConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
+        self.queue = queue
+        self.config = config or SupervisorConfig()
+        #: worker_factory(worker_id, heartbeats) -> RoundExecutor.
+        self.worker_factory = worker_factory
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self.heartbeats: dict[int, float] = {}
+        self._slots = [_Slot(i) for i in range(slots)]
+        self._next_worker_id = slots
+        self._lock = threading.Lock()
+        #: Worker ids whose run_loop returned normally (drained queue),
+        #: keyed per incarnation — a zombie's late clean exit must not
+        #: mask its replacement's death.
+        self._clean_exits: set[int] = set()
+        self.report = SupervisionReport()
+        self._m_restarts = self.telemetry.counter(
+            metric_names.SUPERVISOR_RESTARTS)
+        self._m_stalls = self.telemetry.counter(
+            metric_names.SUPERVISOR_STALLS)
+        self._m_backoff = self.telemetry.counter(
+            metric_names.SUPERVISOR_BACKOFF_SECONDS)
+        self._m_requeued = self.telemetry.counter(
+            metric_names.SUPERVISOR_REQUEUED)
+
+    # -- public -------------------------------------------------------------
+    def run(self) -> SupervisionReport:
+        for slot in self._slots:
+            self._spawn(slot, slot.index)
+        try:
+            while not self.queue.settled:
+                self._poll()
+                if self._everyone_retired():
+                    self.report.aborted = True
+                    self.queue.abort()
+                    break
+                time.sleep(self.config.poll_interval)
+        finally:
+            if not self.queue.settled:
+                self.queue.abort()
+            self._join_all()
+        return self.report
+
+    # -- monitoring ---------------------------------------------------------
+    def _poll(self) -> None:
+        now = time.monotonic()
+        for slot in self._slots:
+            if slot.retired or slot.thread is None:
+                continue
+            if slot.thread.is_alive():
+                self._check_stall(slot, now)
+                continue
+            if slot.dead_handled:
+                continue
+            slot.dead_handled = True
+            with self._lock:
+                clean = slot.worker_id in self._clean_exits
+            if clean:
+                continue
+            self._handle_death(slot)
+
+    def _handle_death(self, slot: _Slot) -> None:
+        requeued = self.queue.release(slot.worker_id)
+        self._m_requeued.inc(len(requeued))
+        self._restart_or_retire(slot)
+
+    def _check_stall(self, slot: _Slot, now: float) -> None:
+        timeout = self.config.stall_timeout
+        if timeout <= 0:
+            return
+        beat = self.heartbeats.get(slot.worker_id)
+        if beat is None or now - beat < timeout:
+            return
+        # Steal the stuck incarnation's leases and bar it from new
+        # work; its in-flight round, should it ever finish, is dropped
+        # as a duplicate by the queue.
+        stolen = self.queue.release(slot.worker_id)
+        self.queue.retire_worker(slot.worker_id)
+        self.report.stalls += 1
+        self._m_stalls.inc()
+        self._m_requeued.inc(len(stolen))
+        self._restart_or_retire(slot)
+
+    def _restart_or_retire(self, slot: _Slot) -> None:
+        if slot.restarts >= self.config.max_worker_restarts:
+            slot.retired = True
+            return
+        backoff = min(self.config.backoff_cap,
+                      self.config.restart_backoff * 2 ** slot.restarts)
+        slot.restarts += 1
+        self.report.restarts += 1
+        self._m_restarts.inc()
+        if backoff > 0:
+            self.report.backoff_seconds += backoff
+            self._m_backoff.inc(backoff)
+            time.sleep(backoff)
+        with self._lock:
+            worker_id = self._next_worker_id
+            self._next_worker_id += 1
+        self._spawn(slot, worker_id)
+
+    # -- lifecycle ----------------------------------------------------------
+    def _spawn(self, slot: _Slot, worker_id: int) -> None:
+        executor = self.worker_factory(worker_id, self.heartbeats)
+        self.report.executors.append(executor)
+        self.report.worker_slots[worker_id] = slot.index
+        slot.worker_id = worker_id
+        slot.dead_handled = False
+        self.heartbeats[worker_id] = time.monotonic()
+        thread = threading.Thread(
+            target=self._worker_main, args=(slot, executor),
+            name=f"pqs-worker-{slot.index}.{worker_id}", daemon=True)
+        slot.thread = thread
+        thread.start()
+
+    def _worker_main(self, slot: _Slot, executor) -> None:
+        try:
+            executor.run_loop()
+            with self._lock:
+                self._clean_exits.add(executor.worker_id)
+        except BaseException as exc:  # noqa: BLE001 - full capture is the point
+            failure = WorkerFailure(
+                slot=slot.index,
+                summary=f"{type(exc).__name__}: {exc}",
+                traceback="".join(traceback.format_exception(
+                    type(exc), exc, exc.__traceback__)),
+                exception=exc)
+            with self._lock:
+                self.report.failures.append(failure)
+
+    def _everyone_retired(self) -> bool:
+        # A retired slot counts even if its stuck zombie thread is
+        # still alive — it is barred from leasing, so it cannot make
+        # progress on the queue's behalf.
+        return all(slot.retired for slot in self._slots)
+
+    def _join_all(self) -> None:
+        # Workers exit as soon as lease() returns None (settled or
+        # aborted); a genuinely stuck stalled thread is left behind as
+        # a daemon rather than hanging the campaign.
+        for slot in self._slots:
+            if slot.thread is not None:
+                slot.thread.join(timeout=5.0)
+        # A death in the final instants still releases its leases.
+        for slot in self._slots:
+            if not slot.dead_handled and slot.thread is not None \
+                    and not slot.thread.is_alive():
+                slot.dead_handled = True
+                self.queue.release(slot.worker_id)

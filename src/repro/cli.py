@@ -79,6 +79,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="print a live progress line (rounds, "
                            "reports, queries/s, ETA) to stderr every "
                            "SECS seconds")
+    hunt.add_argument("--max-worker-restarts", type=int, default=2,
+                      metavar="N",
+                      help="restarts allowed per parallel worker slot "
+                           "before it is retired (default: 2)")
+    hunt.add_argument("--quarantine-threshold", type=int, default=3,
+                      metavar="N",
+                      help="failed attempts before a round is "
+                           "quarantined instead of retried "
+                           "(default: 3)")
+    hunt.add_argument("--stall-timeout", type=float, default=0.0,
+                      metavar="SECS",
+                      help="steal a parallel worker's leased rounds "
+                           "when its heartbeat goes stale this long "
+                           "(default: 0 = disabled)")
+    hunt.add_argument("--chaos-seed", type=int, default=None,
+                      metavar="SEED",
+                      help="inject a seeded fault schedule (worker "
+                           "kills, transient failures, journal "
+                           "corruption) into a parallel hunt — "
+                           "exercises the supervision layer; results "
+                           "must match an undisturbed run")
     hunt.set_defaults(handler=cmd_hunt)
 
     sqlite_cmd = sub.add_parser("sqlite", help="PQS against the real "
@@ -129,6 +150,10 @@ def cmd_hunt(args) -> int:
     if args.resume and not args.journal:
         print("--resume requires --journal")
         return 2
+    if args.chaos_seed is not None and args.threads <= 1:
+        print("--chaos-seed requires --threads > 1 (chaos targets the "
+              "supervised parallel fleet)")
+        return 2
     telemetry, sink = _build_telemetry(args)
     reporter = None
     if args.progress > 0:
@@ -140,13 +165,15 @@ def cmd_hunt(args) -> int:
     try:
         if args.threads > 1:
             return _hunt_parallel(args, bug_ids, telemetry)
-        config = CampaignConfig(dialect=args.dialect, seed=args.seed,
-                                databases=args.databases, bug_ids=bug_ids,
-                                reduce=not args.no_reduce,
-                                journal=args.journal, resume=args.resume,
-                                telemetry=telemetry,
-                                guidance=args.guidance,
-                                plan_coverage=args.plan_coverage)
+        config = CampaignConfig(
+            dialect=args.dialect, seed=args.seed,
+            databases=args.databases, bug_ids=bug_ids,
+            reduce=not args.no_reduce,
+            journal=args.journal, resume=args.resume,
+            telemetry=telemetry,
+            guidance=args.guidance,
+            plan_coverage=args.plan_coverage,
+            quarantine_threshold=args.quarantine_threshold)
         result = Campaign(config).run()
     except PQSError as error:
         print(f"error: {error}")
@@ -158,7 +185,9 @@ def cmd_hunt(args) -> int:
             sink.close()
     _write_metrics(args, telemetry, result.stats)
     _print_hunt_stats(result.stats, telemetry,
-                      coverage=result.plan_coverage)
+                      coverage=result.plan_coverage,
+                      recovery=result.recovery)
+    _print_quarantine(result.harness_reports())
     for report in result.reports:
         print(f"\n[{report.oracle.value}] {report.message} "
               f"(triage: {report.triage})")
@@ -176,25 +205,55 @@ def _hunt_parallel(args, bug_ids, telemetry) -> int:
         ParallelCampaignConfig,
     )
 
+    chaos = None
+    if args.chaos_seed is not None:
+        from repro.campaigns.chaos import ChaosPolicy
+
+        chaos = ChaosPolicy(seed=args.chaos_seed)
     config = ParallelCampaignConfig(
         dialect=args.dialect, seed=args.seed, threads=args.threads,
         databases_per_thread=args.databases, bug_ids=bug_ids,
         reduce=not args.no_reduce, journal=args.journal,
         resume=args.resume,
         telemetry=(telemetry if telemetry.enabled else None),
-        guidance=args.guidance, plan_coverage=args.plan_coverage)
+        guidance=args.guidance, plan_coverage=args.plan_coverage,
+        max_worker_restarts=args.max_worker_restarts,
+        stall_timeout=args.stall_timeout,
+        quarantine_threshold=args.quarantine_threshold,
+        chaos=chaos)
     result = ParallelCampaign(config).run()
     _write_metrics(args, telemetry, result.stats)
     _print_hunt_stats(result.stats, telemetry,
-                      coverage=result.plan_coverage)
-    for index, count in enumerate(result.per_thread_reports):
-        print(f"worker {index}: {count} report(s)")
+                      coverage=result.plan_coverage,
+                      recovery=result.recovery)
+    for index, count in enumerate(result.per_thread_rounds):
+        print(f"worker {index}: {count} round(s)")
+    supervision = result.supervision
+    if supervision.restarts or supervision.stalls:
+        print(f"supervision: {supervision.restarts} restart(s), "
+              f"{supervision.stalls} stall(s), "
+              f"{supervision.backoff_seconds:.2f}s backoff")
+    if chaos is not None:
+        events = chaos.events
+        print(f"chaos: {events.kills} kill(s), "
+              f"{events.transients} transient(s), "
+              f"{events.corruptions} corruption(s)")
+    _print_quarantine(result.harness_reports())
     for summary in result.worker_errors:
         print(f"FAILED {summary}")
     print(f"\ndetected {len(result.detected_bug_ids)} distinct "
           f"defect(s) in {len(result.reports)} report(s) across "
           f"{args.threads} worker(s)")
     return 0
+
+
+def _print_quarantine(harness_reports: list[str]) -> None:
+    if not harness_reports:
+        return
+    print(f"quarantined {len(harness_reports)} round(s) — harness "
+          "availability failures, not DBMS findings:")
+    for line in harness_reports:
+        print(f"  {line}")
 
 
 def _build_telemetry(args):
@@ -249,11 +308,19 @@ def _write_metrics(args, telemetry, stats) -> None:
         handle.write("\n")
 
 
-def _print_hunt_stats(stats, telemetry=None, coverage=None) -> None:
-    print(f"statements={stats.statements} "
-          f"queries={stats.queries} "
-          f"expected-errors={stats.expected_errors} "
-          f"timeouts={stats.timeouts}")
+def _print_hunt_stats(stats, telemetry=None, coverage=None,
+                      recovery=None) -> None:
+    line = (f"statements={stats.statements} "
+            f"queries={stats.queries} "
+            f"expected-errors={stats.expected_errors} "
+            f"timeouts={stats.timeouts}")
+    if stats.quarantined_rounds:
+        line += f" quarantined={stats.quarantined_rounds}"
+    print(line)
+    if recovery is not None and not recovery.clean:
+        print(f"journal recovery: {recovery.corrupt_lines} corrupt "
+              f"line(s) skipped, {recovery.duplicate_rounds} duplicate "
+              f"round(s) deduplicated")
     if coverage is not None:
         novel_rounds = 0
         if telemetry is not None and telemetry.registry.enabled:

@@ -139,6 +139,9 @@ class RunStatistics:
     #: Summed per-round wall clock (busy time, not elapsed: parallel
     #: workers' rounds overlap, so this can exceed wall time).
     seconds: float = 0.0
+    #: Rounds retired to quarantine after exhausting their retry
+    #: threshold (supervised journaled campaigns only).
+    quarantined_rounds: int = 0
     reports: list[BugReport] = field(default_factory=list)
 
     @property
@@ -157,4 +160,5 @@ class RunStatistics:
         self.expected_errors += other.expected_errors
         self.timeouts += other.timeouts
         self.seconds += other.seconds
+        self.quarantined_rounds += other.quarantined_rounds
         self.reports.extend(other.reports)

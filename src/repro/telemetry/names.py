@@ -46,6 +46,30 @@ GUIDANCE_NOVEL_ROUNDS = "pqs_guidance_novel_rounds_total"
 #: Successful query_plan introspections (counter).
 GUIDANCE_PLAN_LOOKUPS = "pqs_guidance_plan_lookups_total"
 
+# -- supervised campaign fleet (repro.campaigns.{scheduler,supervisor}) -----
+#: Campaign workers restarted by the supervisor after a death (counter).
+SUPERVISOR_RESTARTS = "pqs_supervisor_worker_restarts_total"
+#: Workers whose heartbeat went stale and had their leases stolen
+#: (counter).
+SUPERVISOR_STALLS = "pqs_supervisor_stalled_workers_total"
+#: Deterministic backoff slept before worker restarts (counter, seconds).
+SUPERVISOR_BACKOFF_SECONDS = "pqs_supervisor_backoff_seconds_total"
+#: Rounds returned to the work queue after a failure, worker death, or
+#: lease steal (counter).
+SUPERVISOR_REQUEUED = "pqs_supervisor_requeued_rounds_total"
+#: Rounds quarantined after exhausting the retry threshold (counter).
+SUPERVISOR_QUARANTINED = "pqs_supervisor_quarantined_rounds_total"
+
+# -- journal durability (repro.campaigns.journal) ----------------------------
+#: Corrupt (checksum-mismatched or unparseable) journal lines skipped on
+#: load (counter); a torn final line counts here too.
+JOURNAL_CORRUPT_LINES = "pqs_journal_corrupt_lines_total"
+#: Duplicate round indexes deduplicated on journal load (counter).
+JOURNAL_DUPLICATE_ROUNDS = "pqs_journal_duplicate_rounds_total"
+#: Rounds recovered (loaded and skipped) from a journal on resume
+#: (counter).
+JOURNAL_RECOVERED_ROUNDS = "pqs_journal_recovered_rounds_total"
+
 # -- fault-isolation harness (repro.adapters.subprocess_adapter) ------------
 #: Worker (re)starts after the initial spawn (counter).
 WORKER_RESTARTS = "pqs_worker_restarts_total"

@@ -6,8 +6,11 @@ import pytest
 
 from repro.campaigns.campaign import Campaign, CampaignConfig
 from repro.campaigns.journal import (
+    JOURNAL_VERSION,
     CampaignJournal,
+    QuarantineRecord,
     RoundRecord,
+    line_checksum,
     round_seed,
 )
 from repro.core.reports import BugReport, Oracle, TestCase
@@ -131,6 +134,8 @@ class TestJournaledCampaign:
             for line in text.splitlines():
                 data = json.loads(line)
                 data.pop("seconds", None)
+                # The checksum covers "seconds", so it varies with it.
+                data.pop("crc", None)
                 out.append(data)
             return out
 
@@ -159,3 +164,150 @@ class TestJournalFile:
         path.write_text('{"kind": "round", "index": 0, "seed": 1}\n')
         with pytest.raises(PQSError):
             CampaignJournal(str(path)).load({})
+
+
+def _write_journal(path, fingerprint, records):
+    with CampaignJournal(str(path)) as journal:
+        journal.start(fingerprint, fresh=True)
+        for record in records:
+            if isinstance(record, QuarantineRecord):
+                journal.append_quarantine(record)
+            else:
+                journal.append_round(record)
+
+
+def _records(n):
+    return [RoundRecord(index=i, seed=round_seed(1, i), statements=5)
+            for i in range(n)]
+
+
+class TestJournalV2:
+    FP = {"version": JOURNAL_VERSION, "seed": 1}
+
+    def test_every_line_checksummed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, self.FP, _records(3))
+        for line in path.read_text().splitlines():
+            data = json.loads(line)
+            assert data["crc"] == line_checksum(data)
+
+    def test_corrupt_midfile_line_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, self.FP, _records(5))
+        lines = path.read_text().splitlines()
+        # Flip a byte in round 2's line: checksum mismatch.
+        lines[3] = lines[3].replace('"statements":5',
+                                    '"statements":9')
+        path.write_text("\n".join(lines) + "\n")
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert sorted(state.rounds) == [0, 1, 3, 4], \
+            "a corrupt line must not hide the valid lines after it"
+        assert state.recovery.corrupt_lines == 1
+        assert not state.recovery.clean
+
+    def test_unparseable_midfile_line_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, self.FP, _records(4))
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]  # torn mid-file line
+        path.write_text("\n".join(lines) + "\n")
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert sorted(state.rounds) == [0, 2, 3]
+        assert state.recovery.corrupt_lines == 1
+
+    def test_duplicate_rounds_first_occurrence_wins(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        first = RoundRecord(index=1, seed=round_seed(1, 1), statements=5)
+        late = RoundRecord(index=1, seed=round_seed(1, 1), statements=8)
+        _write_journal(path, self.FP,
+                       [_records(1)[0], first, late])
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert state.rounds[1].statements == 5
+        assert state.recovery.duplicate_rounds == 1
+
+    def test_quarantine_records_loaded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        quarantine = QuarantineRecord(index=2, seed=round_seed(1, 2),
+                                      attempts=3, error="HarnessError: x")
+        _write_journal(path, self.FP, [_records(1)[0], quarantine])
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert state.quarantined[2].attempts == 3
+        assert "round 2" in state.quarantined[2].harness_report()
+
+    def test_quarantine_roundtrip(self):
+        record = QuarantineRecord(index=7, seed=99, attempts=3,
+                                  error="boom")
+        clone = QuarantineRecord.from_json(
+            json.loads(json.dumps(record.to_json())))
+        assert clone == record
+
+    def test_v1_journal_still_loads(self, tmp_path):
+        # A pre-checksum journal: version-1 header, no crc anywhere.
+        path = tmp_path / "old.jsonl"
+        v1_header = {"kind": "header", "version": 1, "seed": 1}
+        record = RoundRecord(index=0, seed=round_seed(1, 0),
+                             statements=4)
+        path.write_text(json.dumps(v1_header) + "\n" +
+                        json.dumps(record.to_json()) + "\n")
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert state.rounds[0].statements == 4
+        assert state.recovery.clean
+
+    def test_v2_journal_requires_crc(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, self.FP, _records(1))
+        record = RoundRecord(index=1, seed=round_seed(1, 1))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_json()) + "\n")
+        state = CampaignJournal(str(path)).load_state(self.FP)
+        assert 1 not in state.rounds, \
+            "a v2 journal line without a checksum is untrusted"
+        assert state.recovery.corrupt_lines == 1
+
+    def test_corrupt_header_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write_journal(path, self.FP, _records(1))
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"seed":1', '"seed":2')
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(PQSError):
+            CampaignJournal(str(path)).load_state(self.FP)
+
+
+class TestJournalLifecycle:
+    def test_context_manager_closes(self, tmp_path):
+        with CampaignJournal(str(tmp_path / "j.jsonl")) as journal:
+            journal.start({"version": JOURNAL_VERSION}, fresh=True)
+            assert not journal.closed
+        assert journal.closed
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        journal.start({"version": JOURNAL_VERSION}, fresh=True)
+        journal.close()
+        journal.close()
+        assert journal.closed
+
+    def test_campaign_closes_journal_on_failure(self, tmp_path,
+                                                monkeypatch):
+        """Regression: Campaign.run() must close the journal on *every*
+        exit path, including a runner blowing up mid-round."""
+        opened = []
+        original_init = CampaignJournal.__init__
+
+        def spy_init(self, path):
+            original_init(self, path)
+            opened.append(self)
+
+        monkeypatch.setattr(CampaignJournal, "__init__", spy_init)
+
+        from repro.core import runner as runner_mod
+
+        def boom(self):
+            raise RuntimeError("mid-campaign explosion")
+
+        monkeypatch.setattr(runner_mod.PQSRunner,
+                            "run_database_round", boom)
+        with pytest.raises(RuntimeError):
+            Campaign(config(tmp_path / "j.jsonl", databases=3)).run()
+        assert opened and all(j.closed for j in opened)

@@ -1,8 +1,16 @@
-"""Parallel campaign tests (paper §3.4: thread per database)."""
+"""Parallel campaign tests (paper §3.4: thread per database).
+
+The fleet is a supervised work-stealing queue: any worker can run any
+round (rounds derive campaign-global seeds), so these tests assert on
+scheduling-independent properties — totals, merged triage, and journal
+recovery — plus the supervision semantics (worker death keeps the
+survivors' results; total fleet death surfaces the real exception).
+"""
 
 import pytest
 
-from repro.campaigns import parallel as parallel_mod
+from repro.campaigns.executor import RoundExecutor
+from repro.campaigns.journal import round_seed
 from repro.campaigns.parallel import (
     ParallelCampaign,
     ParallelCampaignConfig,
@@ -15,7 +23,8 @@ class TestParallelCampaign:
                                         threads=3,
                                         databases_per_thread=25)
         result = ParallelCampaign(config).run()
-        assert len(result.per_thread_reports) == 3
+        assert len(result.per_thread_rounds) == 3
+        assert sum(result.per_thread_rounds) == 75
         assert result.stats.databases == 75
         assert result.detected_bug_ids, "threads found nothing"
         for report in result.reports:
@@ -42,68 +51,98 @@ class TestParallelCampaign:
         for reports in by_bug.values():
             assert all(r.triage == "duplicate" for r in reports[1:])
 
-    def test_threads_use_distinct_seeds(self):
+    def test_rounds_use_campaign_global_seeds(self):
         config = ParallelCampaignConfig(dialect="sqlite", seed=0,
                                         threads=2,
                                         databases_per_thread=3,
                                         reduce=False)
         result = ParallelCampaign(config).run()
-        # Distinct seeds -> distinct statement streams -> the combined
-        # statement count differs from 2x a single stream only if the
-        # streams diverge; assert on totals being plausible instead.
         assert result.stats.statements > 0
         assert result.stats.queries > 0
+        # Every report's seed must be one of the campaign's round
+        # seeds, never a per-worker derived stream.
+        expected = {round_seed(0, i) for i in range(6)}
+        for report in result.stats.reports:
+            assert report.seed in expected
 
+    def test_thread_count_does_not_change_results(self):
+        def run(threads, per_thread):
+            config = ParallelCampaignConfig(
+                dialect="sqlite", seed=13, threads=threads,
+                databases_per_thread=per_thread, reduce=False)
+            return ParallelCampaign(config).run()
 
-class _FlakyCampaign:
-    """Stands in for Campaign; workers with chosen seeds die mid-run."""
-
-    real = None
-    fail_seeds: set = set()
-
-    def __init__(self, config):
-        self.config = config
-
-    def run(self):
-        if self.config.seed in self.fail_seeds:
-            raise RuntimeError(f"worker with seed {self.config.seed} "
-                               "lost its target")
-        return _FlakyCampaign.real(self.config).run()
-
-
-@pytest.fixture
-def flaky_campaign(monkeypatch):
-    """Patch parallel.Campaign so specific worker seeds raise."""
-    _FlakyCampaign.real = parallel_mod.Campaign
-    monkeypatch.setattr(parallel_mod, "Campaign", _FlakyCampaign)
-    return _FlakyCampaign
+        a = run(2, 6)
+        b = run(3, 4)
+        assert a.stats.statements == b.stats.statements
+        assert a.stats.queries == b.stats.queries
+        assert [r.seed for r in a.reports] == \
+            [r.seed for r in b.reports], \
+            "round seeds are campaign-global, so the same 12 rounds " \
+            "must produce the same findings under any thread count"
 
 
 class TestGracefulDegradation:
     CONFIG = dict(dialect="sqlite", seed=42, threads=3,
-                  databases_per_thread=10, reduce=False)
+                  databases_per_thread=10, reduce=False,
+                  max_worker_restarts=0)
 
     @staticmethod
-    def worker_seed(config: ParallelCampaignConfig, index: int) -> int:
-        return config.seed + 7919 * (index + 1)
+    def _kill_worker_rounds(monkeypatch, doomed, every_attempt=False):
+        """Make run_round raise for chosen round indexes — the worker
+        thread dies (non-HarnessError escapes the executor loop).  By
+        default only the *first* attempt of each doomed round kills, so
+        the requeued round succeeds under whoever steals it."""
+        original = RoundExecutor.run_round
+        import threading
 
-    def test_one_dead_worker_keeps_other_results(self, flaky_campaign):
-        config = ParallelCampaignConfig(**self.CONFIG)
-        flaky_campaign.fail_seeds = {self.worker_seed(config, 1)}
-        result = ParallelCampaign(config).run()
-        assert result.stats.databases == 20, \
-            "the two surviving workers' databases must be kept"
+        lock = threading.Lock()
+        killed = set()
+
+        def flaky(self, index):
+            with lock:
+                first = index not in killed
+                killed.add(index)
+            if index in doomed and (first or every_attempt):
+                raise RuntimeError(f"worker lost its target on "
+                                   f"round {index}")
+            return original(self, index)
+
+        monkeypatch.setattr(RoundExecutor, "run_round", flaky)
+
+    def test_one_dead_worker_keeps_other_results(self, monkeypatch):
+        # Round 0 kills the worker that first leases it; with restarts
+        # off that slot is retired, the lease is stolen, and a survivor
+        # completes the round — nothing is lost.
+        self._kill_worker_rounds(monkeypatch, {0})
+        result = ParallelCampaign(
+            ParallelCampaignConfig(**self.CONFIG)).run()
+        assert result.stats.databases == 30, \
+            "a dead worker's leased round must be requeued, not lost"
         assert len(result.worker_errors) == 1
-        assert "worker 1" in result.worker_errors[0]
         assert "RuntimeError" in result.worker_errors[0]
-        assert len(result.per_thread_reports) == 2
+        assert "run_round" in result.worker_errors[0], \
+            "worker errors must carry the full traceback"
+        assert len(result.supervision.failures) == 1
 
-    def test_all_workers_dead_raises(self, flaky_campaign):
-        config = ParallelCampaignConfig(**self.CONFIG)
-        flaky_campaign.fail_seeds = {
-            self.worker_seed(config, i) for i in range(config.threads)}
+    def test_all_workers_dead_raises(self, monkeypatch):
+        self._kill_worker_rounds(monkeypatch, set(range(30)),
+                                 every_attempt=True)
         with pytest.raises(RuntimeError):
-            ParallelCampaign(config).run()
+            ParallelCampaign(
+                ParallelCampaignConfig(**self.CONFIG)).run()
+
+    def test_restart_budget_recovers_worker_deaths(self, monkeypatch):
+        # Three lethal first attempts, one restart per slot: the fleet
+        # loses incarnations but completes every round.
+        self._kill_worker_rounds(monkeypatch, {0, 1, 2})
+        config = dict(self.CONFIG)
+        config.update(max_worker_restarts=1, restart_backoff=0.0)
+        result = ParallelCampaign(
+            ParallelCampaignConfig(**config)).run()
+        assert result.stats.databases == 30
+        assert result.supervision.restarts >= 1
+        assert len(result.worker_errors) == 3
 
     def test_no_failures_reports_none(self):
         config = ParallelCampaignConfig(dialect="sqlite", seed=42,
@@ -112,34 +151,72 @@ class TestGracefulDegradation:
                                         reduce=False)
         result = ParallelCampaign(config).run()
         assert result.worker_errors == []
+        assert result.supervision.restarts == 0
 
 
 class TestParallelJournal:
-    def test_per_worker_journals_written(self, tmp_path):
-        stem = str(tmp_path / "hunt.jsonl")
+    def test_single_shared_journal_written(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
         config = ParallelCampaignConfig(dialect="sqlite", seed=9,
                                         threads=2,
                                         databases_per_thread=4,
-                                        reduce=False, journal=stem)
+                                        reduce=False,
+                                        journal=str(path))
         ParallelCampaign(config).run()
-        assert (tmp_path / "hunt.jsonl.worker0").exists()
-        assert (tmp_path / "hunt.jsonl.worker1").exists()
+        assert path.exists()
+        import json
+
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["kind"] == "header"
+        indexes = sorted(line["index"] for line in lines[1:])
+        assert indexes == list(range(8))
 
     def test_parallel_resume_matches_uninterrupted(self, tmp_path):
-        def run(journal, resume=False):
+        def run(journal, resume=False, threads=2):
             config = ParallelCampaignConfig(
-                dialect="sqlite", seed=9, threads=2,
-                databases_per_thread=6, reduce=False,
+                dialect="sqlite", seed=9, threads=threads,
+                databases_per_thread=12 // threads, reduce=False,
                 journal=str(journal), resume=resume)
             return ParallelCampaign(config).run()
 
         full = run(tmp_path / "full.jsonl")
-        # Interrupt worker 1 after two rounds; worker 0 finished.
+        # Interrupt: keep the header plus the first 5 journaled rounds.
         run(tmp_path / "cut.jsonl")
-        cut = tmp_path / "cut.jsonl.worker1"
+        cut = tmp_path / "cut.jsonl"
         cut.write_text("\n".join(
-            cut.read_text().splitlines()[:3]) + "\n")
-        resumed = run(tmp_path / "cut.jsonl", resume=True)
+            cut.read_text().splitlines()[:6]) + "\n")
+        # Resume under a different thread count: rounds are
+        # campaign-global, so the shard shape must not matter.
+        resumed = run(cut, resume=True, threads=3)
         assert resumed.stats.databases == full.stats.databases
         assert resumed.stats.statements == full.stats.statements
         assert len(resumed.reports) == len(full.reports)
+
+    def test_resume_runs_only_missing_rounds(self, tmp_path):
+        path = tmp_path / "hunt.jsonl"
+
+        def run(resume=False):
+            config = ParallelCampaignConfig(
+                dialect="sqlite", seed=9, threads=2,
+                databases_per_thread=3, reduce=False,
+                journal=str(path), resume=resume)
+            return ParallelCampaign(config).run()
+
+        run()
+        executed = []
+        original = RoundExecutor.run_round
+
+        def spy(self, index):
+            executed.append(index)
+            return original(self, index)
+
+        RoundExecutor.run_round = spy
+        try:
+            result = run(resume=True)
+        finally:
+            RoundExecutor.run_round = original
+        assert executed == [], "complete journal must re-run nothing"
+        assert result.stats.databases == 6
+        assert result.per_thread_rounds == [0, 0], \
+            "preloaded rounds belong to no worker slot"

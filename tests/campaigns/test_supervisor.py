@@ -1,0 +1,122 @@
+"""Supervisor: bounded restarts, deterministic backoff, stall stealing."""
+
+import time
+
+from repro.campaigns.journal import RoundRecord, round_seed
+from repro.campaigns.scheduler import RoundQueue
+from repro.campaigns.supervisor import Supervisor, SupervisorConfig
+
+
+class StubExecutor:
+    """A minimal run_loop-compatible worker for supervision tests."""
+
+    def __init__(self, worker_id, queue, heartbeats,
+                 die_on=(), stall_on=()):
+        self.worker_id = worker_id
+        self.queue = queue
+        self.heartbeats = heartbeats
+        self.die_on = set(die_on)
+        self.stall_on = set(stall_on)
+        self.rounds_completed = 0
+
+    def run_loop(self):
+        while True:
+            index = self.queue.lease(self.worker_id)
+            if index is None:
+                return
+            self.heartbeats[self.worker_id] = time.monotonic()
+            if index in self.die_on:
+                self.die_on.discard(index)
+                raise RuntimeError(f"death on round {index}")
+            if index in self.stall_on:
+                # Stop heartbeating but keep holding the lease until
+                # the queue settles or aborts (a stuck incarnation).
+                while not (self.queue.settled or self.queue.aborted
+                           or self.worker_id in
+                           self.queue._retired_workers):
+                    time.sleep(0.005)
+                return
+            record = RoundRecord(index=index, seed=round_seed(0, index))
+            self.queue.complete(index, record, self.worker_id)
+            self.rounds_completed += 1
+
+
+def run_supervised(rounds, slots, factory_behaviors, config=None):
+    """factory_behaviors: worker_id -> dict of StubExecutor kwargs."""
+    queue = RoundQueue(range(rounds), campaign_seed=0)
+
+    def factory(worker_id, heartbeats):
+        kwargs = factory_behaviors.get(worker_id, {})
+        return StubExecutor(worker_id, queue, heartbeats, **kwargs)
+
+    supervisor = Supervisor(
+        queue, slots, factory,
+        config=config or SupervisorConfig(restart_backoff=0.0))
+    report = supervisor.run()
+    return queue, report
+
+
+class TestRestart:
+    def test_dead_worker_restarted_and_rounds_kept(self):
+        # Worker 0's first incarnation dies on its first lease; the
+        # replacement (and worker 1) finish everything.
+        queue, report = run_supervised(
+            6, 2, {0: dict(die_on={0})})
+        assert queue.settled
+        assert len(queue.completed) == 6
+        assert report.restarts == 1
+        assert len(report.failures) == 1
+        assert "death on round" in report.failures[0].traceback
+        assert not report.aborted
+
+    def test_restart_budget_exhaustion_retires_slot(self):
+        # Every incarnation of every slot dies instantly; with one
+        # restart per slot the fleet retires and the queue aborts.
+        behaviors = {i: dict(die_on=set(range(100)))
+                     for i in range(100)}
+        queue, report = run_supervised(
+            4, 2, behaviors,
+            config=SupervisorConfig(max_worker_restarts=1,
+                                    restart_backoff=0.0))
+        assert report.aborted
+        assert queue.aborted
+        assert report.restarts == 2, "one restart per slot"
+        assert len(report.failures) == 4, "two incarnations per slot"
+
+    def test_clean_exit_is_not_restarted(self):
+        queue, report = run_supervised(3, 2, {})
+        assert report.restarts == 0
+        assert report.failures == []
+
+    def test_backoff_is_deterministic_exponential(self):
+        config = SupervisorConfig(max_worker_restarts=3,
+                                  restart_backoff=0.01,
+                                  backoff_cap=0.02)
+        behaviors = {i: dict(die_on=set(range(100)))
+                     for i in range(100)}
+        _, report = run_supervised(2, 1, behaviors, config=config)
+        # 0.01 * 2**0, 0.01 * 2**1, then capped at 0.02.
+        assert abs(report.backoff_seconds - (0.01 + 0.02 + 0.02)) < 1e-9
+
+    def test_every_incarnation_is_collected(self):
+        queue, report = run_supervised(
+            6, 2, {0: dict(die_on={0})})
+        assert len(report.executors) == 3, "2 initial + 1 restart"
+        assert set(report.worker_slots.values()) == {0, 1}
+
+
+class TestStall:
+    def test_stalled_worker_leases_stolen_and_replaced(self):
+        config = SupervisorConfig(stall_timeout=0.05,
+                                  poll_interval=0.01,
+                                  restart_backoff=0.0)
+        queue, report = run_supervised(
+            6, 2, {0: dict(stall_on={0})}, config=config)
+        assert queue.settled, "the stalled round must be re-run"
+        assert len(queue.completed) == 6
+        assert report.stalls == 1
+        assert report.restarts == 1, "a stalled slot gets a replacement"
+
+    def test_stall_detection_off_by_default(self):
+        config = SupervisorConfig()
+        assert config.stall_timeout == 0.0
