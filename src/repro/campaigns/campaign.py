@@ -29,6 +29,7 @@ from repro.core.runner import PQSRunner, RunnerConfig
 from repro.errors import ReductionError
 from repro.guidance import NULL_GUIDANCE, PlanCoverage, PlanGuidance
 from repro.minidb.bugs import BUG_CATALOG, BugRegistry, bugs_for_dialect
+from repro.observe.observatory import NULL_OBSERVATORY, Observatory
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -111,6 +112,12 @@ class CampaignConfig:
     #: not part of the journal fingerprint: turning telemetry on must
     #: not invalidate a resumable hunt.
     telemetry: Optional["Telemetry"] = None
+    #: Observability hub (repro.observe.Observatory): event log plus
+    #: live status views.  Like telemetry — and unlike guidance — it is
+    #: strictly read-side: never journal-fingerprinted, never feeds
+    #: back into generation, so turning it on cannot perturb the
+    #: statement stream or invalidate a resumable hunt.
+    observe: Optional["Observatory"] = None
     #: Query-plan-coverage guidance (repro.guidance).  Unlike telemetry
     #: this *is* journal-fingerprinted when on: feedback changes what
     #: the campaign generates, so a guided journal cannot silently
@@ -229,6 +236,7 @@ class Campaign:
     def run(self) -> CampaignResult:
         runner = self.build_runner()
         guidance = runner.guidance
+        observe = self.config.observe or NULL_OBSERVATORY
         quarantined: list[QuarantineRecord] = []
         recovery = RecoveryStats()
         if self.config.journal:
@@ -240,8 +248,10 @@ class Campaign:
                                 recovery=recovery)
         if guidance.enabled:
             result.plan_coverage = guidance.coverage
+            observe.attach_coverage(guidance.coverage)
             if self.config.plan_coverage:
                 guidance.coverage.dump(self.config.plan_coverage)
+        observe.mark_finished()
         reports_per_bug: dict[str, int] = {}
         seen_bugs: set[str] = set()
         for report in stats.reports:
@@ -296,10 +306,12 @@ class Campaign:
             journal.start(fingerprint, fresh=state.empty)
             record_recovery(state.recovery, telemetry,
                             recovered=len(state.rounds))
+            observe = self.config.observe or NULL_OBSERVATORY
             queue = RoundQueue(
                 range(self.config.databases), self.config.seed,
                 quarantine_threshold=self.config.quarantine_threshold)
             queue.preload(state.rounds, state.quarantined)
+            observe.attach_queue(queue)
             if runner.guidance.enabled:
                 # Guidance replays each journaled round so its seen-set,
                 # pool, and scheduling stream match the original
@@ -314,7 +326,8 @@ class Campaign:
             telemetry.counter(metric_names.ROUNDS).inc(len(state.rounds))
             executor = RoundExecutor(
                 0, runner, queue, self.config.seed,
-                journal=journal, telemetry=telemetry)
+                journal=journal, telemetry=telemetry,
+                events=observe.events)
             executor.run_loop()
         quarantined = queue.quarantined_in_order()
         stats = stats_from_records(queue.records_in_order(), quarantined)

@@ -29,6 +29,7 @@ from repro.campaigns.journal import CampaignJournal, RoundRecord, round_seed
 from repro.campaigns.chaos import NULL_CHAOS
 from repro.campaigns.scheduler import RoundQueue
 from repro.errors import HarnessError
+from repro.observe.events import NULL_EVENTS
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -37,6 +38,16 @@ class RoundExecutor:
     """Drains the round queue with one runner; safe to run on any
     thread (it shares nothing mutable but the queue, the journal, and
     its heartbeat slot, each internally synchronized or single-writer).
+
+    With an event log attached the executor narrates its loop —
+    ``round_leased`` / ``round_failed`` / ``round_completed`` /
+    ``round_quarantined`` / ``bug_found`` / ``plan_novel`` /
+    ``chaos_corruption`` — and binds ``worker``/``round``/``round_seed``
+    tracer context around each round so trace spans join the journal and
+    the event log on the same keys.  Outcome events (completed, bug,
+    plan, quarantine) are emitted only when the queue *accepts* the
+    settlement: a stolen lease's late duplicate produces no events, the
+    same way its journal line is deduplicated on load.
     """
 
     def __init__(self, worker_id: int, runner, queue: RoundQueue,
@@ -44,7 +55,8 @@ class RoundExecutor:
                  journal: Optional[CampaignJournal] = None,
                  chaos=None,
                  telemetry: Optional[Telemetry] = None,
-                 heartbeats: Optional[dict] = None):
+                 heartbeats: Optional[dict] = None,
+                 events=None):
         self.worker_id = worker_id
         self.runner = runner
         self.queue = queue
@@ -53,6 +65,7 @@ class RoundExecutor:
         self.chaos = chaos or NULL_CHAOS
         self.telemetry = telemetry or NULL_TELEMETRY
         self.heartbeats = heartbeats if heartbeats is not None else {}
+        self.events = events if events is not None else NULL_EVENTS
         self._m_requeued = self.telemetry.counter(
             metric_names.SUPERVISOR_REQUEUED)
         self._m_quarantined = self.telemetry.counter(
@@ -68,6 +81,10 @@ class RoundExecutor:
             if index is None:
                 return
             self._beat()
+            seed = round_seed(self.campaign_seed, index)
+            self.events.emit("round_leased", round=index,
+                             worker=self.worker_id, round_seed=seed,
+                             attempt=self.queue.attempts(index))
             # Chaos may kill the worker here — after the lease, before
             # the round — precisely the window where a lost lease must
             # be requeued by the supervisor, not lost.
@@ -75,14 +92,21 @@ class RoundExecutor:
             try:
                 self.chaos.on_round_start(index,
                                           self.queue.attempts(index))
-                record = self.run_round(index)
+                with self.telemetry.tracer.context(
+                        worker=self.worker_id, round=index,
+                        round_seed=seed):
+                    record = self.run_round(index)
             except HarnessError as error:
                 self._settle_failure(index, error)
                 continue
             if self.journal is not None:
                 self.journal.append_round(record)
-                self.chaos.on_journal_write(self.journal.path)
-            self.queue.complete(index, record, self.worker_id)
+                if self.chaos.on_journal_write(self.journal.path):
+                    self.events.emit("chaos_corruption", round=index,
+                                     worker=self.worker_id,
+                                     path=self.journal.path)
+            if self.queue.complete(index, record, self.worker_id):
+                self._emit_outcome(record)
             self.rounds_completed += 1
             self._beat()
 
@@ -101,15 +125,44 @@ class RoundExecutor:
             plans=self.runner.guidance.take_round_plans())
 
     # -- internals ----------------------------------------------------------
+    def _emit_outcome(self, record: RoundRecord) -> None:
+        """Events for an *accepted* completion (exactly once per round)."""
+        self.events.emit(
+            "round_completed", round=record.index,
+            worker=self.worker_id, round_seed=record.seed,
+            statements=record.statements, queries=record.queries,
+            pivots=record.pivots,
+            expected_errors=record.expected_errors,
+            timeouts=record.timeouts, reports=len(record.reports))
+        for ordinal, report in enumerate(record.reports):
+            self.events.emit(
+                "bug_found", round=record.index,
+                worker=self.worker_id, round_seed=record.seed,
+                ordinal=ordinal, oracle=report.oracle.value,
+                message=report.message)
+        if record.plans:
+            self.events.emit(
+                "plan_novel", round=record.index,
+                worker=self.worker_id, round_seed=record.seed,
+                fingerprints=sorted(fp for fp, _ in record.plans))
+
     def _settle_failure(self, index: int, error: HarnessError) -> None:
         summary = f"{type(error).__name__}: {error}"
+        seed = round_seed(self.campaign_seed, index)
         quarantine = self.queue.fail(index, summary)
         if quarantine is None:
             self._m_requeued.inc()
+            self.events.emit("round_failed", round=index,
+                             worker=self.worker_id, round_seed=seed,
+                             attempt=self.queue.attempts(index),
+                             error=summary)
             return
         self._m_quarantined.inc()
         if self.journal is not None:
             self.journal.append_quarantine(quarantine)
+        self.events.emit("round_quarantined", round=index,
+                         worker=self.worker_id, round_seed=seed,
+                         error=summary)
 
     def _beat(self) -> None:
         self.heartbeats[self.worker_id] = time.monotonic()

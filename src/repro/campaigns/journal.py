@@ -221,13 +221,42 @@ class CampaignJournal:
         :class:`~repro.errors.PQSError` when the header is unreadable or
         fingerprints a differently-configured campaign.
         """
+        return self._load(fingerprint)[1]
+
+    def read_header(self) -> dict:
+        """The header fields of an existing journal, fingerprint-free.
+
+        Offline analytics (``pqs report``) reads a journal it did not
+        write — it learns the campaign's dialect, seed, and enabled
+        defects *from* the header rather than validating against them.
+        Raises :class:`~repro.errors.PQSError` on a missing file or an
+        unreadable/corrupt header.
+        """
+        if not os.path.exists(self.path):
+            raise PQSError(f"journal {self.path}: no such file")
+        with open(self.path, encoding="utf-8") as handle:
+            first = handle.readline().rstrip("\n")
+        if not first:
+            raise PQSError(f"journal {self.path}: empty file")
+        return self._check_header(first, None)
+
+    def load_any(self) -> tuple[dict, JournalState]:
+        """Fingerprint-free full load: ``(header, state)``."""
+        return self._load(None)
+
+    def _load(self, fingerprint: Optional[dict],
+              ) -> tuple[dict, JournalState]:
         state = JournalState()
         if not os.path.exists(self.path):
-            return state
+            if fingerprint is None:
+                raise PQSError(f"journal {self.path}: no such file")
+            return {}, state
         with open(self.path, encoding="utf-8") as handle:
             lines = handle.read().splitlines()
         if not lines:
-            return state
+            if fingerprint is None:
+                raise PQSError(f"journal {self.path}: empty file")
+            return {}, state
         header = self._check_header(lines[0], fingerprint)
         require_crc = header.get("version", 1) >= 2
         for line in lines[1:]:
@@ -250,9 +279,10 @@ class CampaignJournal:
                     state.recovery.duplicate_rounds += 1
                     continue
                 state.quarantined[record.index] = record
-        return state
+        return header, state
 
-    def _check_header(self, line: str, fingerprint: dict) -> dict:
+    def _check_header(self, line: str,
+                      fingerprint: Optional[dict]) -> dict:
         try:
             header = json.loads(line)
         except json.JSONDecodeError:
@@ -264,6 +294,10 @@ class CampaignJournal:
             raise PQSError(f"journal {self.path}: corrupt header")
         recorded = {k: v for k, v in header.items()
                     if k not in ("kind", "crc")}
+        if fingerprint is None:
+            # Fingerprint-free read (offline analytics): any valid
+            # header is accepted as-is.
+            return recorded
         expected = dict(fingerprint)
         if recorded.get("version") == 1 and expected.get("version") == \
                 JOURNAL_VERSION:

@@ -52,6 +52,7 @@ from repro.campaigns.supervisor import (
 )
 from repro.core.reports import BugReport, RunStatistics
 from repro.guidance import PlanCoverage
+from repro.observe.observatory import NULL_OBSERVATORY
 from repro.telemetry import MetricsRegistry, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -99,6 +100,12 @@ class ParallelCampaignConfig:
     #: Fault-injection schedule (repro.campaigns.chaos.ChaosPolicy);
     #: None runs undisturbed.
     chaos: Optional[object] = None
+    #: Observability hub (repro.observe.Observatory).  Read-side only:
+    #: the fleet attaches its queue, heartbeat map, and supervision
+    #: report so the status service sees exact live counts (per-worker
+    #: registries are private until the join, so the shared registry
+    #: cannot serve live progress in parallel mode — the queue can).
+    observe: Optional[object] = None
 
 
 @dataclass
@@ -170,8 +177,10 @@ class ParallelCampaign:
         cfg = self.config
         shared = cfg.telemetry
         chaos = cfg.chaos or NULL_CHAOS
+        observe = cfg.observe or NULL_OBSERVATORY
         queue = RoundQueue(range(self.total_rounds), cfg.seed,
                            quarantine_threshold=cfg.quarantine_threshold)
+        observe.attach_queue(queue)
         spawned_telemetry: list[Optional[Telemetry]] = []
 
         journal: Optional[CampaignJournal] = None
@@ -207,7 +216,8 @@ class ParallelCampaign:
                 return RoundExecutor(
                     worker_id, runner, queue, cfg.seed,
                     journal=journal, chaos=chaos,
-                    telemetry=child_telemetry, heartbeats=heartbeats)
+                    telemetry=child_telemetry, heartbeats=heartbeats,
+                    events=observe.events)
 
             supervisor = Supervisor(
                 queue, cfg.threads, worker_factory,
@@ -216,7 +226,9 @@ class ParallelCampaign:
                     restart_backoff=cfg.restart_backoff,
                     backoff_cap=cfg.backoff_cap,
                     stall_timeout=cfg.stall_timeout),
-                telemetry=shared)
+                telemetry=shared, events=observe.events)
+            observe.attach_heartbeats(supervisor.heartbeats)
+            observe.attach_supervision(supervisor.report)
             supervision = supervisor.run()
         finally:
             if journal is not None:
@@ -233,6 +245,9 @@ class ParallelCampaign:
         if shared is not None:
             for snapshot in merged.worker_snapshots:
                 shared.registry.merge_snapshot(snapshot)
+        if merged.plan_coverage is not None:
+            observe.attach_coverage(merged.plan_coverage)
+        observe.mark_finished()
         return merged
 
     # -- merging (parent thread, round-index order) --------------------------

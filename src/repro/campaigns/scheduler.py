@@ -184,6 +184,22 @@ class RoundQueue:
         with self._cond:
             return self._total - len(self.completed) - len(self.quarantined)
 
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def counts(self) -> dict[str, int]:
+        """One consistent snapshot of the queue's bookkeeping — the
+        status service reads this instead of racing four properties."""
+        with self._cond:
+            completed = len(self.completed)
+            quarantined = len(self.quarantined)
+            leased = len(self._leases)
+            return {"total": self._total, "completed": completed,
+                    "quarantined": quarantined, "leased": leased,
+                    "pending": (self._total - completed - quarantined
+                                - leased)}
+
     def records_in_order(self) -> list[RoundRecord]:
         """Completed records sorted by round index — merge in this
         order and the result is independent of worker scheduling."""

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.campaigns.scheduler import RoundQueue
+from repro.observe.events import NULL_EVENTS
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -95,12 +96,14 @@ class Supervisor:
     def __init__(self, queue: RoundQueue, slots: int,
                  worker_factory: Callable[[int, dict], object],
                  config: Optional[SupervisorConfig] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 events=None):
         self.queue = queue
         self.config = config or SupervisorConfig()
         #: worker_factory(worker_id, heartbeats) -> RoundExecutor.
         self.worker_factory = worker_factory
         self.telemetry = telemetry or NULL_TELEMETRY
+        self.events = events if events is not None else NULL_EVENTS
         self.heartbeats: dict[int, float] = {}
         self._slots = [_Slot(i) for i in range(slots)]
         self._next_worker_id = slots
@@ -175,11 +178,15 @@ class Supervisor:
         self.report.stalls += 1
         self._m_stalls.inc()
         self._m_requeued.inc(len(stolen))
+        self.events.emit("worker_stalled", worker=slot.worker_id,
+                         slot=slot.index, stolen_rounds=stolen)
         self._restart_or_retire(slot)
 
     def _restart_or_retire(self, slot: _Slot) -> None:
         if slot.restarts >= self.config.max_worker_restarts:
             slot.retired = True
+            self.events.emit("worker_retired", worker=slot.worker_id,
+                             slot=slot.index, restarts=slot.restarts)
             return
         backoff = min(self.config.backoff_cap,
                       self.config.restart_backoff * 2 ** slot.restarts)
@@ -193,6 +200,9 @@ class Supervisor:
         with self._lock:
             worker_id = self._next_worker_id
             self._next_worker_id += 1
+        self.events.emit("worker_restart", worker=worker_id,
+                         slot=slot.index, attempt=slot.restarts,
+                         backoff_seconds=round(backoff, 4))
         self._spawn(slot, worker_id)
 
     # -- lifecycle ----------------------------------------------------------
@@ -203,6 +213,8 @@ class Supervisor:
         slot.worker_id = worker_id
         slot.dead_handled = False
         self.heartbeats[worker_id] = time.monotonic()
+        self.events.emit("worker_start", worker=worker_id,
+                         slot=slot.index)
         thread = threading.Thread(
             target=self._worker_main, args=(slot, executor),
             name=f"pqs-worker-{slot.index}.{worker_id}", daemon=True)
@@ -223,6 +235,10 @@ class Supervisor:
                 exception=exc)
             with self._lock:
                 self.report.failures.append(failure)
+            self.events.emit("worker_death", worker=executor.worker_id,
+                             slot=slot.index,
+                             error=type(exc).__name__,
+                             message=str(exc))
 
     def _everyone_retired(self) -> bool:
         # A retired slot counts even if its stuck zombie thread is

@@ -8,6 +8,8 @@ Subcommands:
   shipped with Python;
 * ``pqs bugs``   — list the injected-defect catalog and the paper bugs
   each entry models;
+* ``pqs report`` — offline triage analytics over a hunt's artifacts
+  (journal + event log + metrics snapshot → campaign digest);
 * ``pqs shell``  — a minimal interactive MiniDB shell, handy for
   replaying reduced test cases by hand.
 """
@@ -100,7 +102,44 @@ def build_parser() -> argparse.ArgumentParser:
                            "corruption) into a parallel hunt — "
                            "exercises the supervision layer; results "
                            "must match an undisturbed run")
+    hunt.add_argument("--serve", default=None, metavar="[HOST:]PORT",
+                      help="serve a live status dashboard over HTTP "
+                           "while the hunt runs: / (HTML), /status, "
+                           "/metrics (Prometheus), /bugs, /coverage, "
+                           "/events; binds 127.0.0.1 unless HOST is "
+                           "given, port 0 picks a free port")
+    hunt.add_argument("--events", default=None, metavar="PATH",
+                      help="write the unified campaign event log "
+                           "(typed JSONL: round lifecycle, worker "
+                           "lifecycle, chaos, bugs, plan novelty) "
+                           "as the hunt runs; per-round events need "
+                           "the round-queue path (--journal or "
+                           "--threads)")
     hunt.set_defaults(handler=cmd_hunt)
+
+    report = sub.add_parser(
+        "report", help="offline triage analytics: digest a hunt's "
+                       "journal (+ optional event log and metrics "
+                       "snapshot) into a campaign report")
+    report.add_argument("journal", help="campaign journal (JSONL)")
+    report.add_argument("--events", default=None, metavar="PATH",
+                        help="unified event log from hunt --events")
+    report.add_argument("--metrics", default=None, metavar="PATH",
+                        help="JSON metrics snapshot from hunt --metrics")
+    report.add_argument("--json", action="store_true",
+                        help="print the full report as JSON instead of "
+                             "text")
+    report.add_argument("--reduce", action="store_true",
+                        help="delta-debug each finding's test case "
+                             "before fingerprinting (slower, tighter "
+                             "dedup)")
+    report.add_argument("--history", default="results/history.jsonl",
+                        metavar="PATH",
+                        help="append a one-line summary here "
+                             "(default: results/history.jsonl)")
+    report.add_argument("--no-history", action="store_true",
+                        help="skip the history append")
+    report.set_defaults(handler=cmd_report)
 
     sqlite_cmd = sub.add_parser("sqlite", help="PQS against the real "
                                                "SQLite build")
@@ -155,22 +194,44 @@ def cmd_hunt(args) -> int:
               "supervised parallel fleet)")
         return 2
     telemetry, sink = _build_telemetry(args)
+    observatory, server = _build_observatory(args, telemetry)
     reporter = None
     if args.progress > 0:
         from repro.telemetry import ProgressReporter
 
         total_rounds = args.databases * max(args.threads, 1)
+        # The queue's exact settled counts beat registry counters
+        # whenever a queue exists (always in parallel mode, where
+        # workers count in private registries; and under work stealing,
+        # where a duplicate re-run double-counts).  The observatory's
+        # counts() falls through to (0, 0) without a queue, so only
+        # hook it up when one will be attached.
+        counts = None
+        if observatory.enabled and (args.journal or args.threads > 1):
+            counts = observatory.counts
         reporter = ProgressReporter(telemetry.registry, total_rounds,
-                                    interval=args.progress).start()
+                                    interval=args.progress,
+                                    counts=counts).start()
+    if getattr(args, "events", None) and not (args.journal
+                                              or args.threads > 1):
+        # The bulk serial path has no per-round boundary (sequential
+        # RNG by design); only the round-queue path emits round events.
+        print("[pqs] note: --events without --journal/--threads logs "
+              "campaign lifecycle only (per-round events need the "
+              "round-queue path)", file=sys.stderr)
+    observatory.events.emit("campaign_start",
+                            databases=args.databases * max(args.threads, 1),
+                            threads=args.threads)
     try:
         if args.threads > 1:
-            return _hunt_parallel(args, bug_ids, telemetry)
+            return _hunt_parallel(args, bug_ids, telemetry, observatory)
         config = CampaignConfig(
             dialect=args.dialect, seed=args.seed,
             databases=args.databases, bug_ids=bug_ids,
             reduce=not args.no_reduce,
             journal=args.journal, resume=args.resume,
             telemetry=telemetry,
+            observe=observatory if observatory.enabled else None,
             guidance=args.guidance,
             plan_coverage=args.plan_coverage,
             quarantine_threshold=args.quarantine_threshold)
@@ -181,6 +242,10 @@ def cmd_hunt(args) -> int:
     finally:
         if reporter is not None:
             reporter.stop()
+        observatory.events.emit("campaign_end")
+        if server is not None:
+            server.stop()
+        observatory.events.close()
         if sink is not None:
             sink.close()
     _write_metrics(args, telemetry, result.stats)
@@ -199,7 +264,7 @@ def cmd_hunt(args) -> int:
     return 0
 
 
-def _hunt_parallel(args, bug_ids, telemetry) -> int:
+def _hunt_parallel(args, bug_ids, telemetry, observatory) -> int:
     from repro.campaigns.parallel import (
         ParallelCampaign,
         ParallelCampaignConfig,
@@ -216,6 +281,7 @@ def _hunt_parallel(args, bug_ids, telemetry) -> int:
         reduce=not args.no_reduce, journal=args.journal,
         resume=args.resume,
         telemetry=(telemetry if telemetry.enabled else None),
+        observe=observatory if observatory.enabled else None,
         guidance=args.guidance, plan_coverage=args.plan_coverage,
         max_worker_restarts=args.max_worker_restarts,
         stall_timeout=args.stall_timeout,
@@ -273,7 +339,9 @@ def _build_telemetry(args):
 
     wants = (getattr(args, "metrics", None)
              or getattr(args, "trace", None)
-             or getattr(args, "progress", 0) > 0)
+             or getattr(args, "progress", 0) > 0
+             # --serve exposes /metrics, so serving implies counting.
+             or getattr(args, "serve", None))
     if not wants:
         return NULL_TELEMETRY, None
     sink = None
@@ -282,6 +350,95 @@ def _build_telemetry(args):
         sink = JsonlSink(args.trace)
         tracer = Tracer(sink)
     return Telemetry(registry=MetricsRegistry(), tracer=tracer), sink
+
+
+def _build_observatory(args, telemetry):
+    """An Observatory (+ started StatusServer) when ``--serve`` or
+    ``--events`` asks for one; the null observatory otherwise.
+
+    Returns ``(observatory, server)``; the server (when any) is already
+    listening — its URL goes to *stderr* so stdout stays parseable.
+    """
+    from repro.observe import NULL_OBSERVATORY
+
+    serve = getattr(args, "serve", None)
+    events_path = getattr(args, "events", None)
+    if not serve and not events_path:
+        return NULL_OBSERVATORY, None
+    from repro.observe import (
+        EventLog,
+        Observatory,
+        StatusServer,
+        campaign_id,
+        parse_address,
+    )
+    from repro.telemetry import JsonlSink
+
+    events_sink = JsonlSink(events_path) if events_path else None
+    campaign = campaign_id(args.dialect, args.seed)
+    events = EventLog(campaign, sink=events_sink)
+    observatory = Observatory(
+        campaign=campaign, dialect=args.dialect, seed=args.seed,
+        total_rounds=args.databases * max(args.threads, 1),
+        events=events,
+        registry=(telemetry.registry if telemetry.registry.enabled
+                  else None))
+    server = None
+    if serve:
+        host, port = parse_address(serve)
+        server = StatusServer(observatory, host, port).start()
+        print(f"[pqs] status server listening on {server.url}",
+              file=sys.stderr)
+    return observatory, server
+
+
+def cmd_report(args) -> int:
+    import json
+
+    from repro.observe import append_history, build_report, render_report
+
+    reduce_fn = _report_reducer(args) if args.reduce else None
+    try:
+        report = build_report(args.journal, events_path=args.events,
+                              metrics_path=args.metrics,
+                              reduce_fn=reduce_fn)
+    except PQSError as error:
+        print(f"error: {error}")
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_report(report))
+    if not args.no_history and args.history:
+        line = append_history(args.history, report)
+        print(f"\nappended to {args.history}: "
+              f"{json.dumps(line, sort_keys=True)}")
+    return 0
+
+
+def _report_reducer(args):
+    """A TestCase→TestCase reducer for ``pqs report --reduce``, built
+    from the journal header's own dialect and defect set."""
+    from repro.campaigns.journal import CampaignJournal
+    from repro.campaigns.replay import DifferentialReplayer
+    from repro.core.reducer import TestCaseReducer
+    from repro.errors import ReductionError
+    from repro.minidb.bugs import BugRegistry, bugs_for_dialect
+
+    header = CampaignJournal(args.journal).read_header()
+    dialect = header.get("dialect", "sqlite")
+    bug_ids = header.get("bug_ids") or [
+        b.bug_id for b in bugs_for_dialect(dialect)]
+    replayer = DifferentialReplayer(dialect, BugRegistry(set(bug_ids)))
+    reducer = TestCaseReducer(replayer.manifests)
+
+    def reduce_case(case):
+        try:
+            return reducer.reduce(case)
+        except ReductionError:
+            return case
+
+    return reduce_case
 
 
 def _write_metrics(args, telemetry, stats) -> None:

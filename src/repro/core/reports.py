@@ -8,6 +8,7 @@ Reports and test cases serialize to plain JSON (``to_json`` /
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -122,6 +123,16 @@ class BugReport:
             attributed_bugs=list(data.get("attributed_bugs", [])),
             triage=data.get("triage", "verified"),
             reduced=data.get("reduced", False))
+
+    def fingerprint(self) -> str:
+        """Stable content hash for triage dedup: two findings with the
+        same oracle and (reduced) statement sequence are one bug however
+        many rounds rediscovered it.  Seed and message are excluded —
+        they vary per discovery, not per defect."""
+        body = "\x1f".join([self.oracle.value, self.dialect,
+                            *self.test_case.statements])
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        return digest[:12]
 
 
 @dataclass

@@ -1,0 +1,296 @@
+"""Campaign triage analytics: digest the artifacts into one report.
+
+``pqs report`` joins the three artifacts a hunt leaves behind — the
+checksummed journal (authoritative results), the unified event log
+(narrative), and the metrics snapshot (distributions) — into a single
+campaign digest:
+
+* **bugs**, deduplicated by reduced-testcase content fingerprint
+  (:meth:`~repro.core.reports.BugReport.fingerprint` — the same defect
+  rediscovered by ten rounds is one line with ten sightings), grouped
+  by detecting oracle and, for error-oracle findings, by the erroring
+  statement's kind;
+* a **phase-latency table** from the metrics snapshot's
+  ``pqs_phase_seconds`` histograms;
+* **worker and quarantine health** from the event log and journal;
+* **plan-coverage growth** — distinct fingerprints after each round,
+  reconstructed from the journal's per-round novelty lists.
+
+Everything is computed offline from files: the journal is loaded
+fingerprint-free (:meth:`~repro.campaigns.journal.CampaignJournal
+.load_any`), so a report can be cut for any journal without knowing how
+the campaign was configured.  :func:`append_history` adds one summary
+line per report to ``results/history.jsonl`` — the long-memory file
+that lets hunt N be compared against hunts 1..N-1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import replace
+from typing import Optional
+
+from repro.campaigns.journal import CampaignJournal
+from repro.observe.events import campaign_id, load_events
+from repro.telemetry import names as metric_names
+from repro.telemetry.registry import MetricsRegistry
+
+#: Event kinds folded into the health section, in display order.
+_HEALTH_KINDS = ("worker_start", "worker_death", "worker_restart",
+                 "worker_stalled", "worker_retired", "round_failed",
+                 "chaos_transient", "chaos_corruption")
+
+
+def statement_kind(sql: str) -> str:
+    """The leading keyword of a statement — the error-grouping axis."""
+    stripped = sql.strip()
+    return stripped.split(None, 1)[0].upper() if stripped else "?"
+
+
+def build_report(journal_path: str,
+                 events_path: Optional[str] = None,
+                 metrics_path: Optional[str] = None,
+                 reduce_fn=None) -> dict:
+    """The full campaign digest, as a JSON-safe dict.
+
+    ``reduce_fn`` (TestCase → TestCase), when given, shrinks each
+    finding's test case before fingerprinting — two raw findings that
+    reduce to the same statements then collapse into one bug.
+    """
+    header, state = CampaignJournal(journal_path).load_any()
+    dialect = header.get("dialect", "?")
+    seed = header.get("seed", 0)
+    report: dict = {
+        "campaign": campaign_id(dialect, seed),
+        "dialect": dialect,
+        "seed": seed,
+        "journal": journal_path,
+    }
+    records = [state.rounds[i] for i in sorted(state.rounds)]
+    quarantined = [state.quarantined[i]
+                   for i in sorted(state.quarantined)]
+    report["rounds"] = {
+        "configured": header.get("databases", 0),
+        "completed": len(records),
+        "quarantined": len(quarantined),
+        "corrupt_journal_lines": state.recovery.corrupt_lines,
+        "duplicate_journal_rounds": state.recovery.duplicate_rounds,
+    }
+    report["totals"] = _totals(records)
+    report["bugs"] = _dedupe_bugs(records, reduce_fn)
+    report["by_oracle"] = _count_by(report["bugs"], "oracle")
+    report["by_error_kind"] = _count_by(
+        [b for b in report["bugs"] if b["oracle"] == "error"],
+        "statement_kind")
+    report["quarantine"] = [
+        {"round": q.index, "seed": q.seed, "attempts": q.attempts,
+         "error": q.error} for q in quarantined]
+    report["coverage_growth"] = _coverage_growth(records)
+    if events_path and os.path.exists(events_path):
+        report["health"] = _health_from_events(load_events(events_path))
+    if metrics_path and os.path.exists(metrics_path):
+        report["phases"] = _phase_table(metrics_path)
+    return report
+
+
+def _totals(records) -> dict:
+    totals = {"statements": 0, "queries": 0, "pivots": 0,
+              "expected_errors": 0, "timeouts": 0, "seconds": 0.0,
+              "raw_findings": 0}
+    for record in records:
+        totals["statements"] += record.statements
+        totals["queries"] += record.queries
+        totals["pivots"] += record.pivots
+        totals["expected_errors"] += record.expected_errors
+        totals["timeouts"] += record.timeouts
+        totals["seconds"] += record.seconds
+        totals["raw_findings"] += len(record.reports)
+    totals["seconds"] = round(totals["seconds"], 3)
+    return totals
+
+
+def _dedupe_bugs(records, reduce_fn=None) -> list[dict]:
+    """Distinct findings by content fingerprint, first sighting first."""
+    bugs: dict[str, dict] = {}
+    for record in records:
+        for raw in record.reports:
+            report = raw
+            if reduce_fn is not None:
+                report = replace(raw, test_case=reduce_fn(raw.test_case))
+            key = report.fingerprint()
+            entry = bugs.get(key)
+            if entry is None:
+                final = report.test_case.statements[-1] \
+                    if report.test_case.statements else ""
+                bugs[key] = {
+                    "fingerprint": key,
+                    "oracle": report.oracle.value,
+                    "statement_kind": statement_kind(final),
+                    "loc": report.test_case.loc,
+                    "message": report.message,
+                    "first_round": record.index,
+                    "first_seed": report.seed,
+                    "sightings": 1,
+                    "rounds": [record.index],
+                }
+            else:
+                entry["sightings"] += 1
+                if record.index not in entry["rounds"]:
+                    entry["rounds"].append(record.index)
+    return sorted(bugs.values(),
+                  key=lambda b: (b["first_round"], b["fingerprint"]))
+
+
+def _count_by(entries, field: str) -> dict:
+    counts: dict[str, int] = {}
+    for entry in entries:
+        counts[entry[field]] = counts.get(entry[field], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def _coverage_growth(records, points: int = 10) -> list[dict]:
+    """Distinct plan fingerprints after each round, decimated to at
+    most *points* samples (plus the final total)."""
+    seen: set[str] = set()
+    growth: list[tuple[int, int]] = []
+    for record in records:
+        for fingerprint, _example in record.plans:
+            seen.add(fingerprint)
+        growth.append((record.index, len(seen)))
+    if not growth or not seen:
+        return []
+    stride = max(len(growth) // points, 1)
+    sampled = growth[::stride]
+    if sampled[-1] != growth[-1]:
+        sampled.append(growth[-1])
+    return [{"round": index, "distinct_plans": count}
+            for index, count in sampled]
+
+
+def _health_from_events(events) -> dict:
+    counts = {kind: 0 for kind in _HEALTH_KINDS}
+    for event in events:
+        kind = event.get("kind")
+        if kind in counts:
+            counts[kind] += 1
+    return {kind: count for kind, count in counts.items() if count}
+
+
+def _phase_table(metrics_path: str) -> list[dict]:
+    with open(metrics_path, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    # ``hunt --metrics`` wraps the registry dump in a document with a
+    # ``snapshot`` key; accept both shapes.
+    if isinstance(snapshot.get("snapshot"), dict):
+        snapshot = snapshot["snapshot"]
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    table = []
+    for instrument in registry.instruments():
+        if instrument.name != metric_names.PHASE_SECONDS \
+                or instrument.kind != "histogram":
+            continue
+        if instrument.count == 0:
+            continue
+        table.append({
+            "phase": instrument.labels.get("phase", "?"),
+            "count": instrument.count,
+            "mean_ms": round(instrument.mean * 1000, 3),
+            "p50_ms": round(instrument.percentile(50) * 1000, 3),
+            "p99_ms": round(instrument.percentile(99) * 1000, 3),
+        })
+    order = {phase: i for i, phase in enumerate(metric_names.PHASES)}
+    table.sort(key=lambda row: order.get(row["phase"], 99))
+    return table
+
+
+# -- rendering ---------------------------------------------------------------
+def render_report(report: dict) -> str:
+    """Human-readable text rendering of :func:`build_report`."""
+    lines = [f"campaign {report['campaign']} "
+             f"(dialect={report['dialect']}, seed={report['seed']})"]
+    rounds = report["rounds"]
+    lines.append(
+        f"rounds: {rounds['completed']}/{rounds['configured']} completed"
+        f", {rounds['quarantined']} quarantined")
+    if rounds["corrupt_journal_lines"] or rounds["duplicate_journal_rounds"]:
+        lines.append(
+            f"journal recovery: {rounds['corrupt_journal_lines']} corrupt"
+            f" line(s), {rounds['duplicate_journal_rounds']} duplicate(s)")
+    totals = report["totals"]
+    lines.append(
+        f"totals: {totals['statements']} stmts, {totals['queries']} "
+        f"queries, {totals['raw_findings']} raw finding(s) in "
+        f"{totals['seconds']}s busy time")
+    lines.append("")
+    bugs = report["bugs"]
+    lines.append(f"distinct bugs: {len(bugs)}"
+                 + (f"  (by oracle: {_fmt_counts(report['by_oracle'])})"
+                    if bugs else ""))
+    for bug in bugs:
+        lines.append(
+            f"  {bug['fingerprint']}  {bug['oracle']:<9} "
+            f"{bug['statement_kind']:<8} loc={bug['loc']:<3} "
+            f"sightings={bug['sightings']}  first round "
+            f"{bug['first_round']} (seed {bug['first_seed']})")
+    if report["by_error_kind"]:
+        lines.append("error-oracle bugs by statement kind: "
+                     + _fmt_counts(report["by_error_kind"]))
+    if report["quarantine"]:
+        lines.append("")
+        lines.append(f"quarantined rounds: {len(report['quarantine'])}")
+        for entry in report["quarantine"]:
+            lines.append(f"  round {entry['round']} after "
+                         f"{entry['attempts']} attempt(s): "
+                         f"{entry['error']}")
+    health = report.get("health")
+    if health:
+        lines.append("")
+        lines.append("fleet health: " + _fmt_counts(health))
+    phases = report.get("phases")
+    if phases:
+        lines.append("")
+        lines.append(f"{'phase':<14}{'count':>8}{'mean ms':>10}"
+                     f"{'p50 ms':>10}{'p99 ms':>10}")
+        for row in phases:
+            lines.append(f"{row['phase']:<14}{row['count']:>8}"
+                         f"{row['mean_ms']:>10}{row['p50_ms']:>10}"
+                         f"{row['p99_ms']:>10}")
+    growth = report.get("coverage_growth")
+    if growth:
+        lines.append("")
+        lines.append("plan coverage growth: "
+                     + " -> ".join(f"r{g['round']}:{g['distinct_plans']}"
+                                   for g in growth))
+    return "\n".join(lines)
+
+
+def _fmt_counts(counts: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in counts.items())
+
+
+def history_line(report: dict) -> dict:
+    """The one-line summary appended to ``results/history.jsonl``."""
+    return {
+        "campaign": report["campaign"],
+        "dialect": report["dialect"],
+        "seed": report["seed"],
+        "rounds_completed": report["rounds"]["completed"],
+        "rounds_quarantined": report["rounds"]["quarantined"],
+        "statements": report["totals"]["statements"],
+        "queries": report["totals"]["queries"],
+        "raw_findings": report["totals"]["raw_findings"],
+        "distinct_bugs": len(report["bugs"]),
+        "by_oracle": report["by_oracle"],
+    }
+
+
+def append_history(path: str, report: dict) -> dict:
+    """Append this campaign's summary line to the history file."""
+    line = history_line(report)
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    return line

@@ -83,3 +83,39 @@ ROUNDTRIP_SECONDS = "pqs_subprocess_roundtrip_seconds"
 
 #: Bucket layout for count-valued histograms (replay lengths).
 COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
+
+#: ``# HELP`` text per metric family, emitted by
+#: :meth:`~repro.telemetry.registry.MetricsRegistry.to_prometheus` —
+#: the exposition-format conformance audit showed scrapes without HELP
+#: lines render as bare names in every Prometheus UI.
+HELP = {
+    ROUNDS: "Completed database rounds",
+    STATEMENTS: "Statements sent during state generation",
+    QUERIES: "Synthesized queries checked by the containment oracle",
+    PIVOTS: "Pivot rows selected",
+    EXPECTED_ERRORS: "Errors the error oracle classified as expected",
+    TIMEOUTS: "Watchdog expirations",
+    REPORTS: "Findings, labeled by detecting oracle",
+    PHASE_SECONDS: "Per-phase latency of the PQS loop",
+    ROUND_SECONDS: "Whole-round wall clock",
+    GUIDANCE_PLANS_DISTINCT: "Distinct plan fingerprints seen so far",
+    GUIDANCE_NOVEL_ROUNDS: "Rounds that produced at least one novel plan",
+    GUIDANCE_PLAN_LOOKUPS: "Successful query_plan introspections",
+    SUPERVISOR_RESTARTS: "Campaign workers restarted after a death",
+    SUPERVISOR_STALLS:
+        "Workers whose heartbeat went stale and had leases stolen",
+    SUPERVISOR_BACKOFF_SECONDS:
+        "Deterministic backoff slept before worker restarts",
+    SUPERVISOR_REQUEUED:
+        "Rounds returned to the work queue after a failure or steal",
+    SUPERVISOR_QUARANTINED:
+        "Rounds quarantined after exhausting the retry threshold",
+    JOURNAL_CORRUPT_LINES: "Corrupt journal lines skipped on load",
+    JOURNAL_DUPLICATE_ROUNDS:
+        "Duplicate round indexes deduplicated on journal load",
+    JOURNAL_RECOVERED_ROUNDS: "Rounds recovered from a journal on resume",
+    WORKER_RESTARTS: "Subprocess worker (re)starts after the initial spawn",
+    WATCHDOG_KILLS: "Hung subprocess workers killed by the watchdog",
+    REPLAY_STATEMENTS: "Statements replayed per state restoration",
+    ROUNDTRIP_SECONDS: "Parent-observed execute() round-trip latency",
+}

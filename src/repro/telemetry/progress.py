@@ -18,21 +18,38 @@ from __future__ import annotations
 import sys
 import threading
 import time
-from typing import Optional, TextIO
+from typing import Callable, Optional, TextIO
 
 from repro.telemetry import names
 
 
 class ProgressReporter:
-    """Background thread printing campaign progress from the registry."""
+    """Background thread printing campaign progress from the registry.
+
+    A round is *done* when it completed **or** was quarantined — a
+    poison round never completes, so counting completions alone stalls
+    the percentage and the ETA on a quarantined tail forever.  The
+    completed count is additionally clamped to the campaign total:
+    under work stealing a stalled worker's round can run twice (the
+    duplicate is dropped at the queue, but the runner's counter saw
+    both), and a progress line must never read 103%.
+
+    ``counts`` optionally overrides the registry read: a zero-argument
+    callable returning ``(completed, quarantined)`` — the observatory
+    supplies the work queue's exact settled counts this way, which also
+    fixes parallel hunts (whose workers count rounds in private
+    registries the shared one only sees after the join).
+    """
 
     def __init__(self, registry, total_rounds: int,
                  interval: float = 2.0,
-                 stream: Optional[TextIO] = None):
+                 stream: Optional[TextIO] = None,
+                 counts: Optional[Callable[[], tuple[int, int]]] = None):
         self.registry = registry
         self.total_rounds = max(total_rounds, 0)
         self.interval = max(interval, 0.05)
         self.stream = stream if stream is not None else sys.stderr
+        self.counts = counts
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._start_time = time.monotonic()
@@ -61,34 +78,51 @@ class ProgressReporter:
         return False
 
     # -- rendering ----------------------------------------------------------
+    def _settled(self) -> tuple[int, int]:
+        """(completed, quarantined), clamped so their sum never exceeds
+        the campaign total (duplicate re-runs under work stealing)."""
+        if self.counts is not None:
+            completed, quarantined = self.counts()
+        else:
+            completed = int(self.registry.value(names.ROUNDS))
+            quarantined = int(self.registry.value(
+                names.SUPERVISOR_QUARANTINED))
+        if self.total_rounds:
+            quarantined = min(quarantined, self.total_rounds)
+            completed = min(completed, self.total_rounds - quarantined)
+        return completed, quarantined
+
     def render_line(self) -> str:
         """The current progress line (public so tests need no thread)."""
         elapsed = max(time.monotonic() - self._start_time, 1e-9)
-        rounds = int(self.registry.value(names.ROUNDS))
+        completed, quarantined = self._settled()
+        done = completed + quarantined
         reports = int(self.registry.value(names.REPORTS))
         statements = int(self.registry.value(names.STATEMENTS))
         queries = int(self.registry.value(names.QUERIES))
         qps = queries / elapsed
-        parts = [f"round {rounds}/{self.total_rounds}"
-                 if self.total_rounds else f"round {rounds}"]
+        parts = [f"round {done}/{self.total_rounds}"
+                 if self.total_rounds else f"round {done}"]
         if self.total_rounds:
-            pct = 100.0 * rounds / self.total_rounds
+            pct = min(100.0 * done / self.total_rounds, 100.0)
             parts[0] += f" ({pct:.0f}%)"
         parts.append(f"reports {reports}")
+        if quarantined:
+            parts.append(f"quarantined {quarantined}")
         parts.append(f"{statements} stmts, {queries} queries")
         parts.append(f"{qps:.1f} q/s")
-        eta = self._eta(rounds, elapsed)
+        eta = self._eta(done, elapsed)
         if eta is not None:
             parts.append(f"ETA {_fmt_duration(eta)}")
         return "[pqs] " + " | ".join(parts)
 
-    def _eta(self, rounds: int, elapsed: float) -> Optional[float]:
-        if not self.total_rounds or rounds <= 0:
+    def _eta(self, done: int, elapsed: float) -> Optional[float]:
+        if not self.total_rounds or done <= 0:
             return None
-        remaining = self.total_rounds - rounds
+        remaining = self.total_rounds - done
         if remaining <= 0:
             return 0.0
-        return remaining * (elapsed / rounds)
+        return remaining * (elapsed / done)
 
     # -- plumbing -----------------------------------------------------------
     def _run(self) -> None:

@@ -51,10 +51,24 @@ def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
 
+def _escape_label_value(value) -> str:
+    """Prometheus exposition escaping for a quoted label value:
+    backslash, double quote, and line feed."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """``# HELP`` escaping: backslash and line feed only (quotes are
+    legal in help text)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: dict) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"'
+                     for k, v in sorted(labels.items()))
     return "{" + inner + "}"
 
 
@@ -331,13 +345,26 @@ class MetricsRegistry:
         return registry
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (one scrape page)."""
+        """The Prometheus text exposition format (one scrape page).
+
+        Conformance points (audited against the exposition-format
+        spec): ``# HELP`` before ``# TYPE`` per family, label values
+        escaped (backslash, quote, newline), histograms with cumulative
+        ``le`` buckets ending in ``+Inf`` plus ``_sum``/``_count``
+        series, non-finite values rendered ``+Inf``/``-Inf``/``NaN``,
+        and a trailing newline.
+        """
+        from repro.telemetry import names as metric_names
+
         lines: list[str] = []
         by_name: dict[str, list] = {}
         for instrument in self.instruments():
             by_name.setdefault(instrument.name, []).append(instrument)
         for name in sorted(by_name):
             family = by_name[name]
+            help_text = metric_names.HELP.get(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {family[0].kind}")
             for instrument in family:
                 rendered = _render_labels(instrument.labels)
@@ -360,14 +387,21 @@ class MetricsRegistry:
                              f"{state['count']}")
                 lines.append(f"{name}_sum{rendered} {_fmt(state['sum'])}")
                 lines.append(f"{name}_count{rendered} {state['count']}")
-        return "\n".join(lines) + "\n"
+        return "\n".join(lines) + "\n" if lines else ""
 
 
 def _fmt(value) -> str:
-    if isinstance(value, float) and value == int(value) \
-            and abs(value) < 1e15:
-        return str(int(value))
-    return repr(value) if isinstance(value, float) else str(value)
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == float("inf"):
+            return "+Inf"
+        if value == float("-inf"):
+            return "-Inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    return str(value)
 
 
 # -- disabled mode ----------------------------------------------------------

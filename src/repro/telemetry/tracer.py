@@ -16,6 +16,14 @@ Event schema (one JSON object per line in a :class:`JsonlSink` file)::
 emit child-before-parent, the conventional trace layout.  ``t`` is
 seconds since the tracer started.
 
+**Context attributes** (:meth:`Tracer.context`) are thread-local
+key/values merged into every event the thread emits while the context
+is open.  The campaign executor binds ``worker``/``round``/
+``round_seed`` around each round, so a shared multi-worker tracer's
+spans join against journal lines and the campaign event log on exactly
+the keys those artifacts carry — explicit per-event attrs win over
+context on collision.
+
 The disabled path is :class:`NullTracer`: ``span()`` returns one shared
 no-op context manager, so an instrumented-but-off hot loop costs two
 empty method calls per span.
@@ -94,6 +102,27 @@ class Span:
         return False
 
 
+class _TraceContext:
+    """Context manager scoping thread-local attributes on a tracer."""
+
+    __slots__ = ("_tracer", "_attrs", "_saved")
+
+    def __init__(self, tracer: "Tracer", attrs: dict):
+        self._tracer = tracer
+        self._attrs = attrs
+        self._saved: dict = {}
+
+    def __enter__(self) -> "_TraceContext":
+        local = self._tracer._local
+        self._saved = getattr(local, "attrs", {})
+        local.attrs = {**self._saved, **self._attrs}
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._local.attrs = self._saved
+        return False
+
+
 class Tracer:
     """Emits span events to a sink; cheap enough to leave on."""
 
@@ -107,6 +136,8 @@ class Tracer:
         self._origin = time.monotonic()
         #: Wall-clock anchor for the same instant.
         self._wall_anchor = time.time() - self._origin
+        #: Thread-local context attributes (see :meth:`context`).
+        self._local = threading.local()
 
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
@@ -116,11 +147,23 @@ class Tracer:
         now = time.monotonic()
         self._emit(name, now, 0.0, attrs, kind="event")
 
+    def context(self, **attrs) -> _TraceContext:
+        """Bind *attrs* to every event this thread emits inside the
+        ``with`` block (nests; inner bindings shadow outer ones)."""
+        return _TraceContext(self, attrs)
+
+    def current_context(self) -> dict:
+        """This thread's active context attributes (empty when none)."""
+        return dict(getattr(self._local, "attrs", {}))
+
     def _emit(self, name: str, start: float, duration: float,
               attrs: dict, kind: str = "span") -> None:
         with self._lock:
             seq = self._seq
             self._seq += 1
+        context = getattr(self._local, "attrs", None)
+        if context:
+            attrs = {**context, **attrs}
         event = {"kind": kind, "name": name, "seq": seq,
                  "t": round(start - self._origin, 6),
                  "wall": round(self._wall_anchor + start, 6),
@@ -149,6 +192,21 @@ class _NullSpan:
 _NULL_SPAN = _NullSpan()
 
 
+class _NullContext:
+    """Shared do-nothing trace context."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
 class NullTracer:
     """The default tracer: emits nothing, costs (almost) nothing."""
 
@@ -160,3 +218,9 @@ class NullTracer:
 
     def event(self, name: str, **attrs) -> None:
         pass
+
+    def context(self, **attrs) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def current_context(self) -> dict:
+        return {}

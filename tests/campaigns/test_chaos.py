@@ -134,3 +134,68 @@ class TestCorruptionRecovery:
             chaos.events.corruptions
         assert comparable(resumed.stats) == \
             comparable(undisturbed.stats)
+
+
+class TestObservedChaos:
+    def test_fully_observed_chaos_run_is_bit_identical(self, tmp_path):
+        """The acceptance bar for --serve: a chaos campaign with the
+        event log, observatory, and live HTTP status server all
+        attached produces results bit-identical to an undisturbed,
+        unobserved run — observation must not perturb the hunt."""
+        from repro.observe import EventLog, Observatory, StatusServer
+
+        undisturbed = run()
+        chaos = ChaosPolicy(seed=11, kill_probability=0.5, max_kills=3,
+                            transient_percent=30, transient_failures=1,
+                            corrupt_probability=0.5, max_corruptions=2)
+        events = EventLog("sqlite-s5")
+        observatory = Observatory(
+            campaign="sqlite-s5", dialect="sqlite", seed=BASE["seed"],
+            total_rounds=BASE["threads"] * BASE["databases_per_thread"],
+            events=events)
+        with StatusServer(observatory, port=0):
+            observed = run(journal=str(tmp_path / "obs.jsonl"),
+                           chaos=chaos, max_worker_restarts=3,
+                           observe=observatory)
+        assert chaos.events.kills > 0
+        assert comparable(observed.stats) == \
+            comparable(undisturbed.stats)
+        assert [r.seed for r in observed.reports] == \
+            [r.seed for r in undisturbed.reports]
+        assert len(events) > 0, "the narrative was recorded"
+
+    def test_observed_single_thread_journal_is_byte_identical(
+            self, tmp_path):
+        """Strongest form, schedule-noise free: one worker, same seed —
+        the journal bytes with full observability on must equal the
+        journal bytes without."""
+        from repro.observe import EventLog, Observatory, StatusServer
+
+        plain = tmp_path / "plain.jsonl"
+        observed = tmp_path / "observed.jsonl"
+        run(journal=str(plain), threads=1, databases_per_thread=12)
+        events = EventLog("sqlite-s5")
+        observatory = Observatory(
+            campaign="sqlite-s5", dialect="sqlite", seed=BASE["seed"],
+            total_rounds=12, events=events)
+        with StatusServer(observatory, port=0):
+            run(journal=str(observed), threads=1,
+                databases_per_thread=12, observe=observatory)
+        strip = lambda p: [line for line in
+                           p.read_bytes().splitlines()]
+        plain_lines, observed_lines = strip(plain), strip(observed)
+        assert len(plain_lines) == len(observed_lines)
+        # Round lines carry wall-clock seconds; compare with the
+        # timing field zeroed, everything else byte-for-byte.
+        import json as _json
+
+        def normalized(lines):
+            out = []
+            for line in lines:
+                data = _json.loads(line)
+                data.pop("seconds", None)
+                data.pop("crc", None)
+                out.append(_json.dumps(data, sort_keys=True))
+            return out
+
+        assert normalized(plain_lines) == normalized(observed_lines)

@@ -1,0 +1,197 @@
+"""The triage analytics layer: journal → campaign digest → history."""
+
+import json
+
+import pytest
+
+from repro.campaigns.journal import (
+    JOURNAL_VERSION,
+    CampaignJournal,
+    QuarantineRecord,
+    RoundRecord,
+)
+from repro.core.reports import BugReport, Oracle, TestCase
+from repro.observe import (
+    append_history,
+    build_report,
+    history_line,
+    render_report,
+)
+from repro.observe.report import statement_kind
+
+
+def bug(statements, oracle=Oracle.ERROR, message="boom", seed=1):
+    return BugReport(oracle=oracle, dialect="sqlite",
+                     test_case=TestCase(statements=list(statements)),
+                     message=message, seed=seed)
+
+
+def write_journal(path, rounds, quarantined=(), seed=9, databases=None):
+    fingerprint = {"version": JOURNAL_VERSION, "dialect": "sqlite",
+                   "seed": seed,
+                   "databases": databases if databases is not None
+                   else len(rounds) + len(quarantined),
+                   "bug_ids": []}
+    with CampaignJournal(str(path)) as journal:
+        journal.start(fingerprint, fresh=True)
+        for record in rounds:
+            journal.append_round(record)
+        for record in quarantined:
+            journal.append_quarantine(record)
+    return str(path)
+
+
+class TestStatementKind:
+    def test_leading_keyword(self):
+        assert statement_kind("  create index i on t(c0)") == "CREATE"
+        assert statement_kind("VACUUM") == "VACUUM"
+        assert statement_kind("") == "?"
+
+
+class TestBuildReport:
+    def test_digest_from_journal(self, tmp_path):
+        rounds = [
+            RoundRecord(index=0, seed=11, statements=10, queries=5,
+                        pivots=5, seconds=0.5,
+                        reports=[bug(["CREATE TABLE t(a)", "VACUUM"])]),
+            RoundRecord(index=1, seed=12, statements=8, queries=4,
+                        pivots=4, seconds=0.25,
+                        reports=[bug(["CREATE TABLE t(a)", "VACUUM"]),
+                                 bug(["SELECT 1"],
+                                     oracle=Oracle.CONTAINMENT,
+                                     message="missing pivot")]),
+        ]
+        quarantined = [QuarantineRecord(index=2, seed=13, attempts=3,
+                                        error="harness died")]
+        path = write_journal(tmp_path / "j.jsonl", rounds, quarantined)
+        report = build_report(path)
+
+        assert report["campaign"] == "sqlite-s9"
+        assert report["rounds"] == {
+            "configured": 3, "completed": 2, "quarantined": 1,
+            "corrupt_journal_lines": 0, "duplicate_journal_rounds": 0}
+        assert report["totals"]["statements"] == 18
+        assert report["totals"]["raw_findings"] == 3
+
+        # Two identical error findings collapse to one bug.
+        assert len(report["bugs"]) == 2
+        error_bug = report["bugs"][0]
+        assert error_bug["sightings"] == 2
+        assert error_bug["rounds"] == [0, 1]
+        assert error_bug["first_round"] == 0
+        assert error_bug["statement_kind"] == "VACUUM"
+        assert report["by_oracle"] == {"contains": 1, "error": 1}
+        assert report["by_error_kind"] == {"VACUUM": 1}
+        assert report["quarantine"] == [
+            {"round": 2, "seed": 13, "attempts": 3,
+             "error": "harness died"}]
+
+    def test_reduce_fn_merges_findings(self, tmp_path):
+        # Distinct raw statements that reduce to the same core become
+        # one fingerprint.
+        rounds = [
+            RoundRecord(index=0, seed=1,
+                        reports=[bug(["CREATE TABLE t(a)", "INSERT x",
+                                      "VACUUM"])]),
+            RoundRecord(index=1, seed=2,
+                        reports=[bug(["CREATE TABLE t(a)", "INSERT y",
+                                      "VACUUM"])]),
+        ]
+        path = write_journal(tmp_path / "j.jsonl", rounds)
+        raw = build_report(path)
+        assert len(raw["bugs"]) == 2
+
+        def reduce_fn(test_case):
+            kept = [s for s in test_case.statements
+                    if not s.startswith("INSERT")]
+            return TestCase(statements=kept)
+
+        reduced = build_report(path, reduce_fn=reduce_fn)
+        assert len(reduced["bugs"]) == 1
+        assert reduced["bugs"][0]["sightings"] == 2
+        assert reduced["totals"]["raw_findings"] == 2
+
+    def test_coverage_growth_from_plans(self, tmp_path):
+        rounds = [RoundRecord(index=i, seed=i,
+                              plans=[(f"fp{i % 3}", "SELECT 1")])
+                  for i in range(30)]
+        path = write_journal(tmp_path / "j.jsonl", rounds)
+        growth = build_report(path)["coverage_growth"]
+        assert growth[-1] == {"round": 29, "distinct_plans": 3}
+        assert len(growth) <= 12
+        counts = [g["distinct_plans"] for g in growth]
+        assert counts == sorted(counts), "growth is monotone"
+
+    def test_events_fold_into_health(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl",
+                             [RoundRecord(index=0, seed=1)])
+        events = tmp_path / "events.jsonl"
+        lines = [{"kind": "worker_start", "worker": 0},
+                 {"kind": "worker_start", "worker": 1},
+                 {"kind": "worker_death", "worker": 1},
+                 {"kind": "round_leased", "round": 0}]
+        events.write_text(
+            "".join(json.dumps(e) + "\n" for e in lines))
+        report = build_report(path, events_path=str(events))
+        assert report["health"] == {"worker_start": 2, "worker_death": 1}
+
+    def test_metrics_fold_into_phase_table(self, tmp_path):
+        from repro.telemetry import MetricsRegistry, names
+
+        registry = MetricsRegistry()
+        registry.histogram(names.PHASE_SECONDS,
+                           phase="stategen").observe(0.002)
+        registry.histogram(names.PHASE_SECONDS,
+                           phase="containment").observe(0.004)
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps(
+            {"snapshot": registry.snapshot(), "derived": {}}))
+        path = write_journal(tmp_path / "j.jsonl",
+                             [RoundRecord(index=0, seed=1)])
+        phases = build_report(path, metrics_path=str(metrics))["phases"]
+        assert [row["phase"] for row in phases] == \
+            ["stategen", "containment"]
+        assert all(row["count"] == 1 for row in phases)
+
+    def test_missing_journal_raises(self, tmp_path):
+        from repro.errors import PQSError
+
+        with pytest.raises(PQSError):
+            build_report(str(tmp_path / "nope.jsonl"))
+
+
+class TestRendering:
+    def test_render_smoke(self, tmp_path):
+        rounds = [RoundRecord(index=0, seed=1, statements=5, queries=2,
+                              reports=[bug(["VACUUM"])])]
+        path = write_journal(
+            tmp_path / "j.jsonl", rounds,
+            [QuarantineRecord(index=1, seed=2, attempts=1, error="x")])
+        text = render_report(build_report(path))
+        assert "campaign sqlite-s9" in text
+        assert "distinct bugs: 1" in text
+        assert "quarantined rounds: 1" in text
+
+
+class TestHistory:
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl",
+                             [RoundRecord(index=0, seed=1,
+                                          reports=[bug(["VACUUM"])])])
+        report = build_report(path)
+        history = tmp_path / "results" / "history.jsonl"
+        first = append_history(str(history), report)
+        append_history(str(history), report)
+        lines = [json.loads(line) for line in
+                 history.read_text().splitlines()]
+        assert len(lines) == 2
+        assert lines[0] == first
+        assert first["distinct_bugs"] == 1
+        assert first["campaign"] == "sqlite-s9"
+
+    def test_history_line_is_flat_summary(self, tmp_path):
+        path = write_journal(tmp_path / "j.jsonl",
+                             [RoundRecord(index=0, seed=1)])
+        line = history_line(build_report(path))
+        assert line["rounds_completed"] == 1
+        assert line["distinct_bugs"] == 0

@@ -47,6 +47,46 @@ class TestRenderLine:
         assert "reports 3" in reporter.render_line()
 
 
+class TestSettledRounds:
+    def test_quarantined_rounds_count_toward_done(self):
+        # A poison round never completes; without counting quarantine
+        # the line would stall at 80% with ETA forever.
+        registry = registry_with(rounds=8)
+        registry.counter(names.SUPERVISOR_QUARANTINED).inc(2)
+        reporter = ProgressReporter(registry, total_rounds=10,
+                                    stream=io.StringIO())
+        line = reporter.render_line()
+        assert "round 10/10 (100%)" in line
+        assert "quarantined 2" in line
+        assert "ETA 0s" in line
+
+    def test_duplicate_reruns_never_exceed_total(self):
+        # Work stealing can run a round twice; the counter sees both.
+        registry = registry_with(rounds=12)
+        reporter = ProgressReporter(registry, total_rounds=10,
+                                    stream=io.StringIO())
+        line = reporter.render_line()
+        assert "round 10/10 (100%)" in line
+        assert "103%" not in line and "120%" not in line
+
+    def test_counts_callable_overrides_registry(self):
+        # Parallel hunts: workers count in private registries, so the
+        # shared one reads zero — the observatory's queue counts win.
+        registry = registry_with(rounds=0, queries=30)
+        reporter = ProgressReporter(registry, total_rounds=10,
+                                    stream=io.StringIO(),
+                                    counts=lambda: (4, 1))
+        line = reporter.render_line()
+        assert "round 5/10 (50%)" in line
+        assert "quarantined 1" in line
+
+    def test_counts_callable_also_clamped(self):
+        reporter = ProgressReporter(registry_with(), total_rounds=10,
+                                    stream=io.StringIO(),
+                                    counts=lambda: (11, 2))
+        assert "round 10/10 (100%)" in reporter.render_line()
+
+
 class TestReporterThread:
     def test_periodic_lines_then_final(self):
         stream = io.StringIO()

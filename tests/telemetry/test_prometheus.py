@@ -1,0 +1,116 @@
+"""Prometheus text exposition conformance for ``to_prometheus()``.
+
+Audited against the exposition-format spec (version 0.0.4): HELP
+before TYPE per family, escaped label values and help text, cumulative
+histogram buckets ending in ``+Inf``, ``_sum``/``_count`` series,
+non-finite renderings, and the trailing newline scrapers require.
+"""
+
+from repro.telemetry import MetricsRegistry, names
+
+
+def lines_of(registry):
+    text = registry.to_prometheus()
+    assert text == "" or text.endswith("\n")
+    return text.splitlines()
+
+
+class TestFamilies:
+    def test_help_precedes_type(self):
+        registry = MetricsRegistry()
+        registry.counter(names.ROUNDS).inc()
+        lines = lines_of(registry)
+        assert lines[0] == f"# HELP {names.ROUNDS} {names.HELP[names.ROUNDS]}"
+        assert lines[1] == f"# TYPE {names.ROUNDS} counter"
+        assert lines[2] == f"{names.ROUNDS} 1"
+
+    def test_unknown_metric_gets_type_but_no_help(self):
+        registry = MetricsRegistry()
+        registry.gauge("pqs_custom_thing").set(3)
+        lines = lines_of(registry)
+        assert lines[0] == "# TYPE pqs_custom_thing gauge"
+        assert not any(line.startswith("# HELP") for line in lines)
+
+    def test_one_type_line_per_family(self):
+        registry = MetricsRegistry()
+        registry.counter(names.REPORTS, oracle="error").inc()
+        registry.counter(names.REPORTS, oracle="contains").inc(2)
+        lines = lines_of(registry)
+        type_lines = [l for l in lines if l.startswith("# TYPE")]
+        assert type_lines == [f"# TYPE {names.REPORTS} counter"]
+        assert f'{names.REPORTS}{{oracle="contains"}} 2' in lines
+        assert f'{names.REPORTS}{{oracle="error"}} 1' in lines
+
+    def test_families_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.counter("pqs_zzz").inc()
+        registry.counter("pqs_aaa").inc()
+        lines = lines_of(registry)
+        assert lines.index("# TYPE pqs_aaa counter") < \
+            lines.index("# TYPE pqs_zzz counter")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+
+class TestEscaping:
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("pqs_esc", detail='say "hi"\nback\\slash').inc()
+        body = registry.to_prometheus()
+        assert ('pqs_esc{detail="say \\"hi\\"\\nback\\\\slash"} 1'
+                in body)
+
+    def test_label_order_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("pqs_lbl", b="2", a="1").inc()
+        assert 'pqs_lbl{a="1",b="2"} 1' in registry.to_prometheus()
+
+
+class TestHistograms:
+    def test_buckets_cumulative_with_inf_sum_count(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("pqs_h", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        lines = lines_of(registry)
+        assert 'pqs_h_bucket{le="0.1"} 1' in lines
+        assert 'pqs_h_bucket{le="1"} 3' in lines
+        assert 'pqs_h_bucket{le="+Inf"} 4' in lines
+        assert "pqs_h_sum 6.05" in lines
+        assert "pqs_h_count 4" in lines
+        # +Inf bucket must equal the count series — scrapers divide.
+        inf = [l for l in lines if 'le="+Inf"' in l][0]
+        assert inf.rsplit(" ", 1)[1] == "4"
+
+    def test_histogram_labels_merge_with_le(self):
+        registry = MetricsRegistry()
+        registry.histogram(names.PHASE_SECONDS,
+                           phase="pivot_select").observe(0.002)
+        body = registry.to_prometheus()
+        assert f'{names.PHASE_SECONDS}_bucket{{le="+Inf",' \
+            f'phase="pivot_select"}} 1' in body
+        assert f'{names.PHASE_SECONDS}_count{{phase="pivot_select"}} 1' \
+            in body
+
+
+class TestValueRendering:
+    def test_non_finite_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("pqs_inf").set(float("inf"))
+        registry.gauge("pqs_ninf").set(float("-inf"))
+        registry.gauge("pqs_nan").set(float("nan"))
+        lines = lines_of(registry)
+        assert "pqs_inf +Inf" in lines
+        assert "pqs_ninf -Inf" in lines
+        assert "pqs_nan NaN" in lines
+
+    def test_integral_floats_render_without_dot(self):
+        registry = MetricsRegistry()
+        registry.gauge("pqs_g").set(4.0)
+        assert "pqs_g 4" in lines_of(registry)
+
+    def test_fractional_floats_keep_precision(self):
+        registry = MetricsRegistry()
+        registry.gauge("pqs_g").set(0.1)
+        assert "pqs_g 0.1" in lines_of(registry)

@@ -1,6 +1,7 @@
 """The span tracer and the JSONL sink."""
 
 import json
+import threading
 
 from repro.telemetry import (
     JsonlSink,
@@ -127,3 +128,60 @@ class TestDisabledMode:
             pass
         assert telemetry.histogram("pqs_phase_seconds",
                                    phase="pivot_select").count == 1
+
+
+class TestTraceContext:
+    def test_context_attrs_land_on_spans(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.context(worker=2, round=7, round_seed=99):
+            with tracer.span("stategen"):
+                pass
+        with tracer.span("outside"):
+            pass
+        inside, outside = sink.events
+        assert inside["attrs"] == {"worker": 2, "round": 7,
+                                   "round_seed": 99}
+        assert "attrs" not in outside, "context ends with the block"
+
+    def test_explicit_attrs_shadow_context(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.context(round=1, worker=0):
+            tracer.event("mark", round=5)
+        assert sink.events[0]["attrs"] == {"round": 5, "worker": 0}
+
+    def test_contexts_nest_and_restore(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        with tracer.context(worker=0):
+            with tracer.context(round=3, worker=1):
+                assert tracer.current_context() == {"worker": 1,
+                                                    "round": 3}
+            assert tracer.current_context() == {"worker": 0}
+        assert tracer.current_context() == {}
+
+    def test_context_is_thread_local(self):
+        sink = ListSink()
+        tracer = Tracer(sink)
+        seen = {}
+
+        def other_thread():
+            seen["context"] = tracer.current_context()
+            tracer.event("other")
+
+        with tracer.context(worker=7):
+            thread = threading.Thread(target=other_thread)
+            thread.start()
+            thread.join()
+        assert seen["context"] == {}
+        other = [e for e in sink.events if e["name"] == "other"][0]
+        assert "attrs" not in other, \
+            "another thread's events must not inherit this context"
+
+    def test_null_tracer_context_is_noop(self):
+        tracer = NullTracer()
+        with tracer.context(worker=1):
+            with tracer.span("a"):
+                pass
+        assert tracer.current_context() == {}

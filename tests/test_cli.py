@@ -189,3 +189,100 @@ class TestSQLiteCommand:
                                "--seed", "5")
         assert code == 0
         assert "no findings" in output
+
+
+class TestHuntObservability:
+    def test_events_flag_writes_unified_log(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "4",
+            "--seed", "2", "--no-reduce", "--journal",
+            str(tmp_path / "j.jsonl"), "--events", str(path))
+        assert code == 0
+        events = [json.loads(line)
+                  for line in path.read_text().splitlines()]
+        kinds = [e["kind"] for e in events]
+        assert kinds[0] == "campaign_start"
+        assert kinds[-1] == "campaign_end"
+        assert kinds.count("round_completed") == 4
+        assert all(e["campaign"] == "sqlite-s2" for e in events)
+
+    def test_serve_announces_on_stderr_and_runs_clean(self, capsys,
+                                                      tmp_path):
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "3",
+            "--seed", "2", "--no-reduce", "--serve", "0")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "status server listening on http://127.0.0.1:" in err
+
+    def test_serve_bad_address_fails_fast(self):
+        from repro.errors import PQSError
+
+        with pytest.raises(PQSError):
+            run_cli("hunt", "--dialect", "sqlite", "--databases", "2",
+                    "--seed", "2", "--no-reduce", "--serve", "nope")
+
+    def test_events_without_round_path_notes_on_stderr(self, capsys,
+                                                       tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "3",
+            "--seed", "2", "--no-reduce", "--events", str(path))
+        assert code == 0
+        assert "campaign lifecycle only" in capsys.readouterr().err
+        kinds = [json.loads(line)["kind"]
+                 for line in path.read_text().splitlines()]
+        assert kinds == ["campaign_start", "campaign_end"]
+
+
+class TestReport:
+    def hunt_with_journal(self, tmp_path, **_):
+        journal = tmp_path / "j.jsonl"
+        code, _ = run_cli(
+            "hunt", "--dialect", "sqlite", "--databases", "6",
+            "--seed", "3", "--no-reduce", "--journal", str(journal),
+            "--events", str(tmp_path / "events.jsonl"),
+            "--metrics", str(tmp_path / "metrics.json"))
+        assert code == 0
+        return journal
+
+    def test_report_renders_digest_and_appends_history(self, tmp_path):
+        import json
+
+        journal = self.hunt_with_journal(tmp_path)
+        history = tmp_path / "history.jsonl"
+        code, output = run_cli(
+            "report", str(journal),
+            "--events", str(tmp_path / "events.jsonl"),
+            "--metrics", str(tmp_path / "metrics.json"),
+            "--history", str(history))
+        assert code == 0
+        assert "campaign sqlite-s3" in output
+        assert "rounds: 6/6 completed" in output
+        assert "distinct bugs:" in output
+        assert "phase" in output, "metrics fold into the phase table"
+        lines = history.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["campaign"] == "sqlite-s3"
+
+    def test_report_json_mode(self, tmp_path):
+        import json
+
+        journal = self.hunt_with_journal(tmp_path)
+        code, output = run_cli("report", str(journal), "--json",
+                               "--no-history")
+        assert code == 0
+        report = json.loads(output)
+        assert report["campaign"] == "sqlite-s3"
+        assert report["rounds"]["completed"] == 6
+
+    def test_report_missing_journal_errors(self, tmp_path):
+        code, output = run_cli("report", str(tmp_path / "nope.jsonl"),
+                               "--no-history")
+        assert code == 2
+        assert "error:" in output
