@@ -79,7 +79,7 @@ class MergedCampaign:
         return row
 
     def table3_row(self) -> dict[str, int]:
-        row = {"contains": 0, "error": 0, "segfault": 0}
+        row = {"contains": 0, "error": 0, "segfault": 0, "multiplan": 0}
         for report in self.true_bugs():
             row[report.oracle.value] += 1
         return row

@@ -130,13 +130,27 @@ class FaultyConnection:
     def query_plan(self, sql: str):
         """Plan introspection: faults target statements, not EXPLAIN,
         and the schedule does not advance."""
-        plan_fn = getattr(self.inner, "query_plan", None)
-        if plan_fn is None:
+        return self._forward("query_plan", "query_plan introspection",
+                             sql)
+
+    def with_plan(self, sql: str, hints):
+        """Forced-plan execution: introspection like ``query_plan`` —
+        no fault firing, no schedule advance."""
+        return self._forward("with_plan", "forced-plan execution",
+                             sql, hints)
+
+    def index_candidates(self, tables: list):
+        """Index enumeration: introspection, no schedule advance."""
+        return self._forward("index_candidates", "index enumeration",
+                             tables)
+
+    def _forward(self, hook: str, what: str, *args):
+        fn = getattr(self.inner, hook, None)
+        if fn is None:
             from repro.errors import UnsupportedError
 
-            raise UnsupportedError(
-                "wrapped target offers no query_plan introspection")
-        return plan_fn(sql)
+            raise UnsupportedError(f"wrapped target offers no {what}")
+        return fn(*args)
 
     def close(self) -> None:
         self.inner.close()

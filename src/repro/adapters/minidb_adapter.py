@@ -9,6 +9,7 @@ from repro.guidance.fingerprint import PlanStep, steps_from_minidb
 from repro.minidb.bugs import BugRegistry
 from repro.minidb.engine import Engine
 from repro.minidb.parser import parse_statement
+from repro.multiplan.hints import PlannerHints
 from repro.values import Value
 
 
@@ -32,6 +33,52 @@ class MiniDBConnection:
         result = self.engine.execute_statement(
             parse_statement(f"EXPLAIN QUERY PLAN {sql}"))
         return steps_from_minidb(result.python_rows())
+
+    def with_plan(self, sql: str, hints: PlannerHints,
+                  ) -> tuple[list[tuple[Value, ...]], list[PlanStep]]:
+        """Execute *sql* once under the forced plan *hints* describe.
+
+        Like :meth:`query_plan`, a forced execution is *not* part of the
+        tested statement stream: it does not count toward
+        ``statements_executed``, and every piece of forcing state —
+        ``engine.hints`` and any hint-synthesized ANALYZE flags — is
+        restored before returning, so the unforced stream stays
+        bit-identical whether or not forced runs happened in between.
+        """
+        hints.validate()
+        engine = self.engine
+        if hints.force_index is not None:
+            # CatalogError("no such index: ...") for unknown names.
+            engine.catalog.index(hints.force_index)
+        saved_analyzed = {name: table.analyzed
+                          for name, table in engine.catalog.tables.items()}
+        try:
+            if hints.analyze is not None:
+                for name, table in engine.catalog.tables.items():
+                    if hints.analyze and not saved_analyzed[name]:
+                        engine.hint_analyzed = True
+                    table.analyzed = hints.analyze
+            engine.hints = hints
+            steps = steps_from_minidb(engine.execute_statement(
+                parse_statement(f"EXPLAIN QUERY PLAN {sql}")).python_rows())
+            rows = engine.execute_statement(parse_statement(sql)).rows
+            return rows, steps
+        finally:
+            engine.hints = None
+            engine.hint_analyzed = False
+            for name, table in engine.catalog.tables.items():
+                if name in saved_analyzed:
+                    table.analyzed = saved_analyzed[name]
+
+    def index_candidates(self, tables: list[str]) -> list[str]:
+        """Explicit index names on *tables* (implicit constraint-backing
+        autoindexes excluded), sorted for deterministic enumeration."""
+        names: set[str] = set()
+        for table in tables:
+            for index in self.engine.catalog.indexes_on(table):
+                if not index.implicit:
+                    names.add(index.name)
+        return sorted(names)
 
     def close(self) -> None:  # MiniDB holds no external resources
         self.engine = None  # type: ignore[assignment]

@@ -13,6 +13,8 @@ import sqlite3
 
 from repro.errors import DBError, IntegrityError
 from repro.guidance.fingerprint import PlanStep, steps_from_sqlite_eqp
+from repro.multiplan.hints import PlannerHints
+from repro.sqlast.indexed_by import force_index, force_no_index
 from repro.values import Value
 
 
@@ -54,6 +56,91 @@ class SQLite3Connection:
             raise DBError(str(exc)) from exc
         # EQP rows are (id, parent, notused, detail); detail is last.
         return steps_from_sqlite_eqp(str(row[-1]) for row in rows)
+
+    def with_plan(self, sql: str, hints: PlannerHints,
+                  ) -> tuple[list[tuple[Value, ...]], list[PlanStep]]:
+        """Execute *sql* under the forced plan *hints* describe.
+
+        Mapping onto sqlite's native knobs:
+
+        * ``force_full_scan`` → ``NOT INDEXED`` on every table ref;
+        * ``force_index``     → ``INDEXED BY`` on the owning table;
+        * ``analyze=True``    → a transient ``ANALYZE`` inside a
+          SAVEPOINT, rolled back after the query so the connection's
+          statistics state is untouched (``analyze=False`` is a no-op:
+          sqlite has no way to hide existing stats);
+        * ``no_like_opt``     → documented no-op (sqlite's only LIKE
+          knob, ``PRAGMA case_sensitive_like``, changes LIKE *semantics*
+          rather than just the plan, so toggling it would make plans
+          legitimately diverge).
+
+        Like :meth:`query_plan`, a forced run is introspection, not part
+        of the tested statement stream.
+        """
+        hints.validate()
+        forced_sql = sql
+        if hints.force_full_scan:
+            forced_sql = force_no_index(sql)
+        elif hints.force_index is not None:
+            owner = self._index_owner(hints.force_index)
+            if owner is None:
+                raise DBError(f"no such index: {hints.force_index}")
+            forced_sql = force_index(sql, owner, hints.force_index)
+        # A generated schema can be one sqlite itself refuses to reparse
+        # (e.g. an expression index that slipped a non-deterministic
+        # function past CREATE): every statement here, ANALYZE and the
+        # sqlite_master probes included, must surface as a typed DBError
+        # so the oracle can count the plan as a forced failure.
+        in_savepoint = False
+        try:
+            if hints.analyze:
+                try:
+                    self._conn.execute("SAVEPOINT pqs_multiplan")
+                    in_savepoint = True
+                    self._conn.execute("ANALYZE")
+                except sqlite3.Error as exc:
+                    raise DBError(str(exc)) from exc
+            try:
+                steps = self.query_plan(forced_sql)
+                cursor = self._conn.execute(forced_sql)
+                rows = cursor.fetchall()
+            except sqlite3.Error as exc:
+                raise DBError(str(exc)) from exc
+            return ([tuple(_lift(v) for v in row) for row in rows],
+                    steps)
+        finally:
+            if in_savepoint:
+                try:
+                    self._conn.execute("ROLLBACK TO pqs_multiplan")
+                    self._conn.execute("RELEASE pqs_multiplan")
+                except sqlite3.Error as exc:
+                    raise DBError(str(exc)) from exc
+
+    def _index_owner(self, index: str) -> str | None:
+        try:
+            cursor = self._conn.execute(
+                "SELECT tbl_name FROM sqlite_master WHERE type = 'index' "
+                "AND name = ? COLLATE NOCASE", (index,))
+            row = cursor.fetchone()
+        except sqlite3.Error as exc:
+            raise DBError(str(exc)) from exc
+        return str(row[0]) if row is not None else None
+
+    def index_candidates(self, tables: list[str]) -> list[str]:
+        """Explicit index names on *tables* (``sqlite_autoindex_*``
+        excluded), sorted for deterministic enumeration."""
+        wanted = {t.lower() for t in tables}
+        try:
+            cursor = self._conn.execute(
+                "SELECT name, tbl_name FROM sqlite_master "
+                "WHERE type = 'index'")
+            found = cursor.fetchall()
+        except sqlite3.Error as exc:
+            raise DBError(str(exc)) from exc
+        return sorted(
+            str(name) for name, tbl in found
+            if str(tbl).lower() in wanted
+            and not str(name).startswith("sqlite_autoindex_"))
 
     def close(self) -> None:
         self._conn.close()

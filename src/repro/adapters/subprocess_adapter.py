@@ -183,20 +183,42 @@ class SubprocessConnection:
         replay log (EXPLAIN mutates nothing) and does not advance the
         fault-schedule offset.
         """
+        return self._introspect({"op": "query_plan", "sql": sql},
+                                "plan introspection", sql)
+
+    def with_plan(self, sql: str, hints) -> Any:
+        """Forward a forced-plan execution to the worker's target.
+
+        Follows the ``query_plan`` rules: the forced run is
+        introspection, so it is *not* appended to the replay log and
+        does not advance the fault-schedule offset — a restart replays
+        exactly the statements the unforced stream executed.
+        """
+        return self._introspect({"op": "with_plan", "sql": sql,
+                                 "hints": hints},
+                                "forced-plan execution", sql)
+
+    def index_candidates(self, tables: list) -> Any:
+        """Forward index enumeration to the worker's target (same
+        non-logging rules as ``query_plan``/``with_plan``)."""
+        return self._introspect({"op": "index_candidates",
+                                 "tables": list(tables)},
+                                "index enumeration", repr(tables))
+
+    def _introspect(self, message: dict, what: str, detail: str) -> Any:
+        """Shared plumbing for non-logged introspection ops."""
         if self._proc is None:
             self._restore()
         try:
-            reply = self._request({"op": "query_plan", "sql": sql},
-                                  self.config.statement_timeout)
+            reply = self._request(message, self.config.statement_timeout)
         except _WorkerDied as died:
             raise DBCrash(died.message) from None
         except _DeadlineExceeded:
             self._kill()
             self._m_watchdog.inc()
             raise DBTimeout(
-                f"plan introspection exceeded "
-                f"{self.config.statement_timeout:.3g}s watchdog deadline: "
-                f"{sql[:120]}") from None
+                f"{what} exceeded {self.config.statement_timeout:.3g}s "
+                f"watchdog deadline: {detail[:120]}") from None
         return self._interpret(reply)
 
     def close(self) -> None:

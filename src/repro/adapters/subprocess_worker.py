@@ -13,6 +13,9 @@ Runs one target connection and serves the pipe protocol:
 * ``replay``  — re-run a previously-successful statement during state
   restoration, bypassing fault injection when the target offers
   ``execute_replay``;
+* ``query_plan`` / ``with_plan`` / ``index_candidates`` — optional
+  introspection hooks, forwarded when the target offers them and
+  answered with an ``UnsupportedError`` reply otherwise;
 * ``close``   — close the target and exit 0.
 
 Any non-DBError exception from the target is a tool bug: it is reported
@@ -63,10 +66,11 @@ def main() -> int:
             except Exception:
                 pass
             return 0
-        if op not in ("execute", "replay", "query_plan"):
+        if op not in ("execute", "replay", "query_plan", "with_plan",
+                      "index_candidates"):
             write_frame(stdout, {"fatal": f"unknown op: {op!r}"})
             return 1
-        sql = message["sql"]
+        sql = message.get("sql", "")
         try:
             if op == "query_plan":
                 plan_fn = getattr(connection, "query_plan", None)
@@ -76,6 +80,22 @@ def main() -> int:
                         "target offers no query_plan introspection")})
                     continue
                 rows = plan_fn(sql)
+            elif op == "with_plan":
+                forced_fn = getattr(connection, "with_plan", None)
+                if forced_fn is None:
+                    write_frame(stdout, {"error": (
+                        "UnsupportedError",
+                        "target offers no forced-plan execution")})
+                    continue
+                rows = forced_fn(sql, message["hints"])
+            elif op == "index_candidates":
+                index_fn = getattr(connection, "index_candidates", None)
+                if index_fn is None:
+                    write_frame(stdout, {"error": (
+                        "UnsupportedError",
+                        "target offers no index enumeration")})
+                    continue
+                rows = index_fn(message["tables"])
             elif op == "replay" and hasattr(connection, "execute_replay"):
                 rows = connection.execute_replay(sql)
             else:

@@ -29,13 +29,15 @@ from repro.core.runner import PQSRunner, RunnerConfig
 from repro.errors import ReductionError
 from repro.guidance import NULL_GUIDANCE, PlanCoverage, PlanGuidance
 from repro.minidb.bugs import BUG_CATALOG, BugRegistry, bugs_for_dialect
+from repro.multiplan.hints import BASELINE, PlannerHints
+from repro.multiplan.replay import MultiPlanReplayer
 from repro.observe.observatory import NULL_OBSERVATORY, Observatory
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
 
 #: BugReport oracle value -> catalog oracle tag.
 _ORACLE_TAG = {"contains": "contains", "error": "error",
-               "segfault": "crash"}
+               "segfault": "crash", "multiplan": "multiplan"}
 
 
 def primary_attribution(report: BugReport) -> str:
@@ -69,6 +71,7 @@ def stats_from_records(records, quarantined=()) -> RunStatistics:
         stats.expected_errors += record.expected_errors
         stats.timeouts += record.timeouts
         stats.seconds += record.seconds
+        stats.absorb_multiplan(getattr(record, "multiplan", {}))
         stats.reports.extend(record.reports)
     stats.quarantined_rounds = len(quarantined)
     return stats
@@ -135,11 +138,18 @@ class CampaignConfig:
     #: poison round — e.g. HarnessError on every try — is journaled and
     #: surfaced instead of aborting the hunt).
     quarantine_threshold: int = 3
+    #: Multi-plan differential oracle (repro.multiplan).  Like guidance
+    #: it is journal-fingerprinted when on — not because it perturbs the
+    #: statement stream (it cannot: forced runs use the non-logged
+    #: ``with_plan`` hook), but because its findings are journaled, so a
+    #: multiplan journal must not silently continue a plain hunt.
+    multiplan: bool = False
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
         self.runner.dialect = self.dialect
         self.runner.seed = self.seed
+        self.runner.multiplan = self.multiplan
 
 
 @dataclass
@@ -189,7 +199,7 @@ class CampaignResult:
     def table3_row(self) -> dict[str, int]:
         """This dialect's row of the paper's Table 3 (true bugs per
         detecting oracle)."""
-        row = {"contains": 0, "error": 0, "segfault": 0}
+        row = {"contains": 0, "error": 0, "segfault": 0, "multiplan": 0}
         for report in self.true_bugs():
             row[report.oracle.value] += 1
         return row
@@ -205,6 +215,8 @@ class Campaign:
             bug_ids = [b.bug_id for b in bugs_for_dialect(config.dialect)]
         self.bugs = BugRegistry(set(bug_ids))
         self.replayer = DifferentialReplayer(config.dialect, self.bugs)
+        self.multiplan_replayer = MultiPlanReplayer(config.dialect,
+                                                    self.bugs)
 
     def _connection(self) -> MiniDBConnection:
         return MiniDBConnection(self.config.dialect,
@@ -283,6 +295,12 @@ class Campaign:
             # silently continue an unguided hunt.  The key is added only
             # when on, keeping journals from before this field resumable.
             fingerprint["guidance"] = True
+        if self.config.multiplan:
+            # Same only-when-on rule: multiplan journals carry multiplan
+            # findings and outcome records, so they must not be resumed
+            # by (or resume) a plain hunt; off leaves journal bytes
+            # identical to a pre-multiplan build.
+            fingerprint["multiplan"] = True
         return fingerprint
 
     def _run_journaled(self, runner: PQSRunner):
@@ -335,6 +353,8 @@ class Campaign:
 
     # -- per-report processing ---------------------------------------------
     def _process(self, report: BugReport) -> Optional[BugReport]:
+        if report.oracle is Oracle.MULTIPLAN:
+            return self._process_multiplan(report)
         if not self.replayer.manifests(report.test_case):
             return None
         if self.config.reduce:
@@ -365,6 +385,49 @@ class Campaign:
             report.oracle = Oracle.CRASH
         # Order the primary attribution first so every consumer of
         # attributed_bugs[0] charges the same defect.
+        primary = primary_attribution(report)
+        report.attributed_bugs = [primary] + [
+            b for b in report.attributed_bugs if b != primary]
+        return report
+
+    def _process_multiplan(self, report: BugReport,
+                           ) -> Optional[BugReport]:
+        """Reduce and attribute a multi-plan finding.
+
+        The reducer's failure predicate is *plan divergence under the
+        hints that exposed the finding* (recovered from the report's
+        ``plan_results``), not buggy-vs-clean disagreement: a multiplan
+        defect is by construction invisible to single-plan replay, so
+        minimization must preserve the forced executions and the
+        cross-plan check."""
+        hints_list = [PlannerHints.from_dict(entry.get("hints", {}))
+                      for entry in (report.plan_results or [])]
+        if not hints_list:
+            # A journal predating plan_results: retry with the two
+            # cheapest universally-feasible plans.
+            hints_list = [BASELINE, PlannerHints(force_full_scan=True)]
+        replayer = self.multiplan_replayer
+
+        def still_diverges(test_case) -> bool:
+            return replayer.diverges(test_case, hints_list)
+
+        if not still_diverges(report.test_case):
+            return None
+        if self.config.reduce:
+            reducer = TestCaseReducer(still_diverges)
+            try:
+                report.test_case = reducer.reduce(report.test_case)
+                report.reduced = True
+            except ReductionError:
+                return None
+            from repro.core.shrink import QueryShrinker
+
+            shrinker = QueryShrinker(still_diverges)
+            report.test_case = shrinker.shrink(report.test_case)
+        report.attributed_bugs = replayer.attribute(report.test_case,
+                                                    hints_list)
+        if not report.attributed_bugs:
+            return None
         primary = primary_attribution(report)
         report.attributed_bugs = [primary] + [
             b for b in report.attributed_bugs if b != primary]

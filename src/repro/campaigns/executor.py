@@ -122,7 +122,8 @@ class RoundExecutor:
             expected_errors=round_.expected_errors,
             timeouts=round_.timeouts, seconds=round_.seconds,
             reports=round_.reports,
-            plans=self.runner.guidance.take_round_plans())
+            plans=self.runner.guidance.take_round_plans(),
+            multiplan=round_.multiplan)
 
     # -- internals ----------------------------------------------------------
     def _emit_outcome(self, record: RoundRecord) -> None:

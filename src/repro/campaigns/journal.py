@@ -90,6 +90,13 @@ class RoundRecord:
     #: in the journal so ``--resume`` reconstructs the guidance seen-set
     #: and scheduler pool without re-running completed rounds.
     plans: list[tuple[str, str]] = field(default_factory=list)
+    #: Multi-plan oracle outcome for the round (queries / divergences /
+    #: forced_failures / plans-per-query distribution); empty unless
+    #: ``--multiplan`` is on.  Carried in the journal so a ``--resume``
+    #: continuation reports the same multiplan statistics an
+    #: uninterrupted run would — and omitted from the JSON form when
+    #: empty so multiplan-off journals stay byte-identical.
+    multiplan: dict = field(default_factory=dict)
 
     def to_json(self) -> dict:
         data = {"kind": "round", "index": self.index, "seed": self.seed,
@@ -100,6 +107,8 @@ class RoundRecord:
                 "reports": [r.to_json() for r in self.reports]}
         if self.plans:
             data["plans"] = [[fp, example] for fp, example in self.plans]
+        if self.multiplan:
+            data["multiplan"] = dict(self.multiplan)
         return data
 
     @staticmethod
@@ -115,7 +124,8 @@ class RoundRecord:
             reports=[BugReport.from_json(r)
                      for r in data.get("reports", [])],
             plans=[(fp, example)
-                   for fp, example in data.get("plans", [])])
+                   for fp, example in data.get("plans", [])],
+            multiplan=dict(data.get("multiplan", {})))
 
 
 @dataclass

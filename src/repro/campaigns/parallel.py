@@ -90,6 +90,9 @@ class ParallelCampaignConfig:
     guidance: bool = False
     #: Write the merged plan-coverage set (PlanCoverage JSON) here.
     plan_coverage: Optional[str] = None
+    #: Multi-plan differential oracle (repro.multiplan); each worker's
+    #: runner gets its own oracle instance (no shared mutable state).
+    multiplan: bool = False
     #: Supervision knobs (see repro.campaigns.supervisor).
     max_worker_restarts: int = 2
     restart_backoff: float = 0.05
@@ -171,7 +174,8 @@ class ParallelCampaign:
             journal=cfg.journal, resume=cfg.resume,
             telemetry=cfg.telemetry, guidance=cfg.guidance,
             track_plans=cfg.guidance or bool(cfg.plan_coverage),
-            quarantine_threshold=cfg.quarantine_threshold)
+            quarantine_threshold=cfg.quarantine_threshold,
+            multiplan=cfg.multiplan)
 
     def run(self) -> ParallelCampaignResult:
         cfg = self.config

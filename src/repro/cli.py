@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="query-plan-guided generation: fingerprint "
                            "each query's plan and bias state generation "
                            "toward states that produced novel plans")
+    hunt.add_argument("--multiplan", action="store_true",
+                      help="cross-check every query across distinct "
+                           "forced execution plans (full scan, forced "
+                           "indexes, pre/post-ANALYZE) and report plans "
+                           "that disagree on the row multiset")
     hunt.add_argument("--plan-coverage", default=None, metavar="PATH",
                       help="write the distinct-plan coverage set (JSON) "
                            "when the hunt finishes; without --guidance "
@@ -152,6 +157,10 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="SECONDS",
                             help="per-statement watchdog deadline with "
                                  "--isolate (default: 10)")
+    sqlite_cmd.add_argument("--multiplan", action="store_true",
+                            help="cross-check every query across "
+                                 "distinct forced plans (INDEXED BY / "
+                                 "NOT INDEXED / ANALYZE rewrites)")
     sqlite_cmd.set_defaults(handler=cmd_sqlite)
 
     bugs = sub.add_parser("bugs", help="list the injected-defect catalog")
@@ -234,7 +243,8 @@ def cmd_hunt(args) -> int:
             observe=observatory if observatory.enabled else None,
             guidance=args.guidance,
             plan_coverage=args.plan_coverage,
-            quarantine_threshold=args.quarantine_threshold)
+            quarantine_threshold=args.quarantine_threshold,
+            multiplan=args.multiplan)
         result = Campaign(config).run()
     except PQSError as error:
         print(f"error: {error}")
@@ -286,6 +296,7 @@ def _hunt_parallel(args, bug_ids, telemetry, observatory) -> int:
         max_worker_restarts=args.max_worker_restarts,
         stall_timeout=args.stall_timeout,
         quarantine_threshold=args.quarantine_threshold,
+        multiplan=args.multiplan,
         chaos=chaos)
     result = ParallelCampaign(config).run()
     _write_metrics(args, telemetry, result.stats)
@@ -474,6 +485,12 @@ def _print_hunt_stats(stats, telemetry=None, coverage=None,
     if stats.quarantined_rounds:
         line += f" quarantined={stats.quarantined_rounds}"
     print(line)
+    if stats.multiplan_queries or stats.multiplan_forced_failures:
+        print(f"multiplan: {stats.multiplan_queries} queries "
+              f"cross-checked over {stats.multiplan_plans} plan "
+              f"executions, {stats.multiplan_divergences} "
+              f"divergence(s), {stats.multiplan_forced_failures} "
+              f"forced-plan failure(s)")
     if recovery is not None and not recovery.clean:
         print(f"journal recovery: {recovery.corrupt_lines} corrupt "
               f"line(s) skipped, {recovery.duplicate_rounds} duplicate "
@@ -531,11 +548,18 @@ def cmd_sqlite(args) -> int:
 
     runner = PQSRunner(factory,
                        RunnerConfig(dialect="sqlite", seed=args.seed,
+                                    multiplan=args.multiplan,
                                     documented_quirks=SQLITE3_DOCUMENTED_QUIRKS))
     stats = runner.run(args.databases)
     print(f"databases={stats.databases} statements={stats.statements} "
           f"queries={stats.queries} timeouts={stats.timeouts} "
           f"findings={len(stats.reports)}")
+    if stats.multiplan_queries or stats.multiplan_forced_failures:
+        print(f"multiplan: {stats.multiplan_queries} queries "
+              f"cross-checked over {stats.multiplan_plans} plan "
+              f"executions, {stats.multiplan_divergences} "
+              f"divergence(s), {stats.multiplan_forced_failures} "
+              f"forced-plan failure(s)")
     for report in stats.reports:
         print(f"\n[{report.oracle.value}] {report.message}")
         print(report.test_case.render())

@@ -42,7 +42,18 @@ def check_containment(connection: DBMSConnection, query: SynthesizedQuery,
         rows = connection.execute(intersect_sql)
         return len(rows) > 0
     rows = connection.execute(query.sql)
-    collations = _target_collations(query, connection.dialect)
+    return rows_contain_pivot(rows, query, semantics, connection.dialect)
+
+
+def rows_contain_pivot(rows: list, query: SynthesizedQuery,
+                       semantics: Semantics, dialect: str) -> bool:
+    """Client-side pivot check over already-fetched *rows*.
+
+    The multi-plan oracle (:mod:`repro.multiplan`) uses this to
+    arbitrate a plan divergence: each forced plan's result set is tested
+    against the interpreter-computed pivot row without re-executing the
+    query."""
+    collations = _target_collations(query, dialect)
     return any(_row_matches(row, query.expected, semantics, collations)
                for row in rows)
 

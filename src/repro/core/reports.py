@@ -43,6 +43,9 @@ class Oracle(enum.Enum):
     CONTAINMENT = "contains"
     ERROR = "error"
     CRASH = "segfault"
+    #: Multi-plan differential execution (repro.multiplan): two forced
+    #: plans of the same query returned different row multisets.
+    MULTIPLAN = "multiplan"
 
 
 @dataclass
@@ -106,23 +109,36 @@ class BugReport:
     #: duplicate.
     triage: str = "verified"
     reduced: bool = False
+    #: Multi-plan findings only: one entry per distinct executed plan —
+    #: ``{"hints": <PlannerHints.as_dict()>, "fingerprint": str,
+    #: "rows": int, "digest": str, "deviant": bool}``.  ``None`` for
+    #: every other oracle, and omitted from the JSON form when unset so
+    #: pre-multiplan journals stay byte-identical.
+    plan_results: Optional[list[dict]] = None
 
     def to_json(self) -> dict:
-        return {"oracle": self.oracle.value, "dialect": self.dialect,
-                "test_case": self.test_case.to_json(),
-                "message": self.message, "seed": self.seed,
-                "attributed_bugs": list(self.attributed_bugs),
-                "triage": self.triage, "reduced": self.reduced}
+        out = {"oracle": self.oracle.value, "dialect": self.dialect,
+               "test_case": self.test_case.to_json(),
+               "message": self.message, "seed": self.seed,
+               "attributed_bugs": list(self.attributed_bugs),
+               "triage": self.triage, "reduced": self.reduced}
+        if self.plan_results is not None:
+            out["plan_results"] = [dict(entry)
+                                   for entry in self.plan_results]
+        return out
 
     @staticmethod
     def from_json(data: dict) -> "BugReport":
+        plans = data.get("plan_results")
         return BugReport(
             oracle=Oracle(data["oracle"]), dialect=data["dialect"],
             test_case=TestCase.from_json(data["test_case"]),
             message=data.get("message", ""), seed=data.get("seed", 0),
             attributed_bugs=list(data.get("attributed_bugs", [])),
             triage=data.get("triage", "verified"),
-            reduced=data.get("reduced", False))
+            reduced=data.get("reduced", False),
+            plan_results=(None if plans is None
+                          else [dict(entry) for entry in plans]))
 
     def fingerprint(self) -> str:
         """Stable content hash for triage dedup: two findings with the
@@ -153,6 +169,11 @@ class RunStatistics:
     #: Rounds retired to quarantine after exhausting their retry
     #: threshold (supervised journaled campaigns only).
     quarantined_rounds: int = 0
+    #: Multi-plan oracle activity (zero unless ``--multiplan`` is on).
+    multiplan_queries: int = 0
+    multiplan_plans: int = 0
+    multiplan_divergences: int = 0
+    multiplan_forced_failures: int = 0
     reports: list[BugReport] = field(default_factory=list)
 
     @property
@@ -163,6 +184,19 @@ class RunStatistics:
     def statements_per_second(self) -> float:
         return self.statements / self.seconds if self.seconds > 0 else 0.0
 
+    def absorb_multiplan(self, outcome: dict) -> None:
+        """Fold one round's multi-plan outcome dict (the shape
+        :meth:`repro.multiplan.oracle.MultiPlanOracle.take_round_outcome`
+        produces and journals carry) into these counters."""
+        if not outcome:
+            return
+        self.multiplan_queries += outcome.get("queries", 0)
+        self.multiplan_divergences += outcome.get("divergences", 0)
+        self.multiplan_forced_failures += outcome.get(
+            "forced_failures", 0)
+        for plans, count in outcome.get("plans", {}).items():
+            self.multiplan_plans += int(plans) * count
+
     def merge(self, other: "RunStatistics") -> None:
         self.databases += other.databases
         self.statements += other.statements
@@ -172,4 +206,8 @@ class RunStatistics:
         self.timeouts += other.timeouts
         self.seconds += other.seconds
         self.quarantined_rounds += other.quarantined_rounds
+        self.multiplan_queries += other.multiplan_queries
+        self.multiplan_plans += other.multiplan_plans
+        self.multiplan_divergences += other.multiplan_divergences
+        self.multiplan_forced_failures += other.multiplan_forced_failures
         self.reports.extend(other.reports)

@@ -28,6 +28,7 @@ from repro.dialects import get_dialect
 from repro.errors import DBCrash, DBError, DBTimeout
 from repro.guidance.scheduler import NULL_GUIDANCE
 from repro.interp import make_interpreter
+from repro.multiplan.oracle import MultiPlanOracle, NULL_MULTIPLAN
 from repro.interp.base import EvalError
 from repro.rng import RandomSource
 from repro.stategen.actions import ActionGenerator
@@ -73,6 +74,11 @@ class RunnerConfig:
     #: Stop a database round after this many findings (keeps campaign
     #: test cases small).
     max_reports_per_database: int = 3
+    #: Cross-check every synthesized query across all distinct feasible
+    #: plans (repro.multiplan).  Forced executions go through the
+    #: adapters' non-logged ``with_plan`` hook, so the tested statement
+    #: stream is bit-identical with this on or off.
+    multiplan: bool = False
 
 
 @dataclass
@@ -89,6 +95,10 @@ class DatabaseRound:
     #: monotonic reads per round — so throughput is computable even with
     #: telemetry off, and journals carry timing across --resume).
     seconds: float = 0.0
+    #: Multi-plan oracle outcome for the round ({} unless enabled):
+    #: queries / divergences / forced_failures counters plus the
+    #: plans-per-query distribution.
+    multiplan: dict = field(default_factory=dict)
 
 
 class PQSRunner:
@@ -97,13 +107,19 @@ class PQSRunner:
     def __init__(self, connection_factory: Callable[[], DBMSConnection],
                  config: Optional[RunnerConfig] = None,
                  telemetry: Optional[Telemetry] = None,
-                 guidance=None):
+                 guidance=None, multiplan=None):
         self.connection_factory = connection_factory
         self.config = config or RunnerConfig()
         self.telemetry = telemetry or NULL_TELEMETRY
         #: Plan-coverage guidance (repro.guidance); NULL_GUIDANCE keeps
         #: the unguided path bit-identical to a build without it.
         self.guidance = guidance or NULL_GUIDANCE
+        #: Multi-plan differential oracle (repro.multiplan); built from
+        #: config.multiplan unless an instance is passed explicitly.
+        if multiplan is None:
+            multiplan = (MultiPlanOracle(telemetry=self.telemetry)
+                         if self.config.multiplan else NULL_MULTIPLAN)
+        self.multiplan = multiplan
         self.rng = RandomSource(self.config.seed)
         self.dialect = get_dialect(self.config.dialect)
         self.interpreter = make_interpreter(self.config.dialect)
@@ -136,6 +152,7 @@ class PQSRunner:
             stats.expected_errors += round_.expected_errors
             stats.timeouts += round_.timeouts
             stats.seconds += round_.seconds
+            stats.absorb_multiplan(round_.multiplan)
             stats.reports.extend(round_.reports)
         return stats
 
@@ -186,6 +203,7 @@ class PQSRunner:
         finally:
             connection.close()
         self.guidance.end_round()
+        round_.multiplan = self.multiplan.take_round_outcome()
         round_.seconds = time.monotonic() - started
         self._m_round_seconds.observe(round_.seconds)
         self._m_rounds.inc()
@@ -407,14 +425,31 @@ class PQSRunner:
                     "for it")
                 report.test_case.expected_row = list(query.expected)
                 round_.reports.append(report)
-            return
-        if not contained:
+        elif not contained:
             expected = [v for v in query.expected]
             report = self._report(
                 Oracle.CONTAINMENT, log + [query.sql],
                 "pivot row not contained in result set")
             report.test_case.expected_row = expected
             round_.reports.append(report)
+        self._check_multiplan(connection, query, log, round_)
+
+    def _check_multiplan(self, connection: DBMSConnection, query,
+                         log: list[str], round_: DatabaseRound) -> None:
+        """Cross-check *query* across forced plans (no-op when off)."""
+        if not self.multiplan.enabled:
+            return
+        if len(round_.reports) >= self.config.max_reports_per_database:
+            return
+        divergence = self.multiplan.check(connection, query,
+                                          self.interpreter.semantics)
+        if divergence is None:
+            return
+        report = self._report(Oracle.MULTIPLAN, log + [query.sql],
+                              divergence.message)
+        report.test_case.expected_row = list(query.expected)
+        report.plan_results = divergence.plan_results()
+        round_.reports.append(report)
 
     def _negative_mode_sound(self, pivot: PivotRow, chosen) -> bool:
         """Negative containment is sound only for a single-table pivot

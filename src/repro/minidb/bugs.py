@@ -95,6 +95,32 @@ BUG_CATALOG: dict[str, InjectedBug] = {bug.bug_id: bug for bug in [
         "UNIQUE index; REINDEX detects them and fails with 'UNIQUE "
         "constraint failed'.",
         "§4.4 error-oracle bugs (6 found via REINDEX)"),
+    # Optimizer defects visible only under forced plans: the unforced
+    # planner never takes the affected path, so the pivot-containment
+    # oracle cannot see them — only the multi-plan differential oracle
+    # (repro.multiplan), which diffs forced executions, can.
+    InjectedBug(
+        "sqlite-forced-index-fencepost", "sqlite", "multiplan", "storage",
+        "An INDEXED BY cursor stops one entry short of the index's end, "
+        "so the key-largest row vanishes from forced index scans while "
+        "planner-chosen scans return it.",
+        "Multi-plan execution oracle (PAPERS.md: Context-Sensitive "
+        "Instantiation and Multi-Plan Execution)"),
+    InjectedBug(
+        "sqlite-stale-stats-join", "sqlite", "multiplan", "planner",
+        "Planning with statistics that no ANALYZE gathered makes the "
+        "join reorderer treat cross products as already equi-joined, "
+        "dropping row pairs whose lead columns collide.",
+        "Multi-plan execution oracle (PAPERS.md: Context-Sensitive "
+        "Instantiation and Multi-Plan Execution)"),
+    InjectedBug(
+        "sqlite-like-prefix-range", "sqlite", "multiplan", "optimizer",
+        "On forced-index plans the LIKE optimization turns `c LIKE "
+        "'prefix%'` into a range whose upper bound increments the "
+        "prefix's first character instead of its last, matching a "
+        "superset of rows.",
+        "Multi-plan execution oracle (PAPERS.md: Context-Sensitive "
+        "Instantiation and Multi-Plan Execution)"),
     InjectedBug(
         "sqlite-alter-add-crash", "sqlite", "crash", "catalog",
         "ALTER TABLE ADD COLUMN on a WITHOUT ROWID table that has an "

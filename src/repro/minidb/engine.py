@@ -99,6 +99,15 @@ class Engine:
         self.interp = Interpreter(self.semantics)
         self.statements_executed = 0
         self._snapshot = None
+        #: Multi-plan forcing (repro.multiplan.hints.PlannerHints): set
+        #: transiently by MiniDBConnection.with_plan around one query.
+        #: None means "plan normally" — the permanent state of every
+        #: engine outside a forced execution.
+        self.hints = None
+        #: True while hints.analyze=True synthesized statistics that no
+        #: ANALYZE statement gathered — the trigger for the stale-stats
+        #: join defect.
+        self.hint_analyzed = False
         self._apply_option_defaults()
 
     def _apply_option_defaults(self) -> None:
@@ -262,7 +271,8 @@ class Engine:
         child tables' rows projected onto the parent's columns.
         """
         if path.kind == "index-scan" and path.index is not None:
-            return self._index_scan(table, path.index)
+            return self._index_scan(table, path.index,
+                                    forced=path.forced)
         rows = list(table.rows.items())
         if self.dialect == "postgres" and \
                 self.catalog.has_table(table.name):
@@ -273,8 +283,8 @@ class Engine:
                     rows.append((-rowid, projected))
         return rows
 
-    def _index_scan(self, table: Table,
-                    index: Index) -> list[tuple[int, dict]]:
+    def _index_scan(self, table: Table, index: Index,
+                    forced: bool = False) -> list[tuple[int, dict]]:
         import functools
 
         entries = sorted(
@@ -290,6 +300,13 @@ class Engine:
             if row is None:
                 raise IntegrityError(self._malformed_message())
             out.append((rowid, row))
+        if forced and out and \
+                self.bugs.on("sqlite-forced-index-fencepost"):
+            # Defect: the INDEXED BY cursor stops one entry early — the
+            # key-largest row silently vanishes, but only on a *forced*
+            # index scan, so the planner's own choices (and hence the
+            # pivot-containment oracle's unforced stream) never see it.
+            out.pop()
         return out
 
     def _malformed_message(self) -> str:

@@ -87,10 +87,12 @@ class SelectExecutor:
         scope_tables = self._scope_tables(select)
         scope = Scope(scope_tables, self.dialect)
         bound = self._bind_select(select, scope)
+        hints = self.engine.hints
         where = None
         rewrite_tags: list[str] = []
         if bound.where is not None:
-            where = rewrite(bound.where, self.dialect, self.bugs, scope)
+            where = rewrite(bound.where, self.dialect, self.bugs, scope,
+                            hints)
             rewrite_tags = self._rewrite_tags(bound.where, where)
         for visible, table in scope_tables[:len(bound.tables)]:
             indexes = self.catalog.indexes_on(table.name)
@@ -99,7 +101,7 @@ class SelectExecutor:
                     self.catalog.children_of(table.name):
                 indexes = []
             path = choose_path(table, where, indexes, bound.distinct,
-                               self.bugs)
+                               self.bugs, hints)
             steps.append(self._plan_step(visible, path))
         for join, (visible, table) in zip(
                 select.joins, scope_tables[len(bound.tables):]):
@@ -178,7 +180,8 @@ class SelectExecutor:
 
         where = None
         if bound.where is not None:
-            where = rewrite(bound.where, self.dialect, self.bugs, scope)
+            where = rewrite(bound.where, self.dialect, self.bugs, scope,
+                            self.engine.hints)
 
         skip_scan_index = None
         source_rows: list[SourceRow] = []
@@ -250,6 +253,10 @@ class SelectExecutor:
         skip_scan_index = None
         plain = scope_tables[:len(select.tables)]
         combined: list[SourceRow] = [SourceRow(env={})]
+        stale_join = len(plain) >= 2 \
+            and self.bugs.on("sqlite-stale-stats-join") \
+            and self.engine.hint_analyzed
+        prev: Optional[tuple[str, Table]] = None
         for visible, table in plain:
             indexes = self.catalog.indexes_on(table.name)
             if self.dialect == "postgres" and \
@@ -259,11 +266,25 @@ class SelectExecutor:
                 # an inheritance scan must walk the heap of every table.
                 indexes = []
             path = choose_path(table, where, indexes, select.distinct,
-                               self.bugs)
+                               self.bugs, self.engine.hints)
             if path.kind == "skip-scan":
                 skip_scan_index = path.index
             scanned = self._scan(visible, table, path)
-            combined = [self._merge(a, b) for a in combined for b in scanned]
+            if stale_join and prev is not None:
+                # Defect (sqlite-stale-stats-join): statistics that no
+                # ANALYZE gathered make the join reorderer believe the
+                # tables were already equi-joined, so the cross product
+                # drops pairs whose lead columns collide.  Fires only
+                # under hint-synthesized stats (engine.hint_analyzed).
+                combined = [
+                    self._merge(a, b)
+                    for a in combined for b in scanned
+                    if not self._stale_join_collision(a, prev, b,
+                                                      (visible, table))]
+            else:
+                combined = [self._merge(a, b)
+                            for a in combined for b in scanned]
+            prev = (visible, table)
         for join, (visible, table) in zip(
                 select.joins, scope_tables[len(select.tables):]):
             scanned = self._scan(visible, table,
@@ -279,6 +300,22 @@ class SelectExecutor:
             env = {f"{visible}.{col}": row[col] for col in row}
             out.append(SourceRow(env=env, tables={visible: rowid}))
         return out
+
+    def _stale_join_collision(self, a: SourceRow,
+                              prev_vt: tuple[str, Table], b: SourceRow,
+                              cur_vt: tuple[str, Table]) -> bool:
+        prev_visible, prev_table = prev_vt
+        cur_visible, cur_table = cur_vt
+        if not prev_table.columns or not cur_table.columns:
+            return False
+        av = a.env.get(f"{prev_visible}.{prev_table.columns[0].name}")
+        bv = b.env.get(f"{cur_visible}.{cur_table.columns[0].name}")
+        if av is None or bv is None or av.is_null or bv.is_null:
+            return False
+        try:
+            return self.semantics.values_equal(av, bv) is True
+        except EvalError:
+            return False
 
     @staticmethod
     def _merge(a: SourceRow, b: SourceRow) -> SourceRow:

@@ -21,9 +21,9 @@ evaluator applies the same conversion rules the oracle interpreter does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
-from repro.errors import CatalogError
+from repro.errors import CatalogError, DBError
 from repro.minidb.bugs import BugRegistry
 from repro.minidb.catalog import MYSQL_INT_RANGES, Index, Table
 from repro.sqlast.nodes import (
@@ -40,6 +40,9 @@ from repro.sqlast.nodes import (
 )
 from repro.sqlast.transform import transform
 from repro.values import NULL, SQLType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.multiplan.hints import PlannerHints
 
 
 class Scope:
@@ -85,8 +88,16 @@ def bind(expr: Expr, scope: Scope) -> Expr:
 # ---------------------------------------------------------------------------
 
 def rewrite(expr: Expr, dialect: str, bugs: BugRegistry,
-            scope: Optional[Scope] = None) -> Expr:
-    """Apply the optimizer's expression rewrites (defects included)."""
+            scope: Optional[Scope] = None,
+            hints: Optional["PlannerHints"] = None) -> Expr:
+    """Apply the optimizer's expression rewrites (defects included).
+
+    ``hints`` (multi-plan forcing) gates the LIKE-optimization family:
+    ``no_like_opt`` suppresses it entirely, and the injected
+    ``sqlite-like-prefix-range`` defect fires only on a forced-index
+    plan — so the unforced statement stream is bit-identical whether or
+    not the multiplan subsystem exists.
+    """
 
     def visit(node: Expr) -> Optional[Expr]:
         if dialect == "mysql":
@@ -94,7 +105,7 @@ def rewrite(expr: Expr, dialect: str, bugs: BugRegistry,
             if out is not None:
                 return out
         if dialect == "sqlite":
-            out = _sqlite_rewrites(node, bugs)
+            out = _sqlite_rewrites(node, bugs, hints)
             if out is not None:
                 return out
         return None
@@ -149,8 +160,33 @@ def _fold_out_of_range_nullsafe(node: BinaryNode,
     return None
 
 
-def _sqlite_rewrites(node: Expr, bugs: BugRegistry) -> Optional[Expr]:
-    if bugs.on("sqlite-like-affinity-opt"):
+def _sqlite_rewrites(node: Expr, bugs: BugRegistry,
+                     hints: Optional["PlannerHints"] = None,
+                     ) -> Optional[Expr]:
+    no_like_opt = hints is not None and hints.no_like_opt
+    if bugs.on("sqlite-like-prefix-range") and not no_like_opt \
+            and hints is not None and hints.force_index:
+        # Defect: on a forced-index plan, `col LIKE 'prefix%'` is
+        # rewritten into an index-friendly range whose upper bound
+        # increments the *first* character of the prefix instead of the
+        # last — 'ab%' becomes ['ab','bb') rather than ['ab','ac'), a
+        # strict superset, so extra rows appear only under INDEXED BY.
+        if (isinstance(node, BinaryNode) and node.op is BinaryOp.LIKE
+                and isinstance(node.left, ColumnNode)
+                and isinstance(node.right, LiteralNode)
+                and node.right.value.t is SQLType.TEXT):
+            bounds = _buggy_prefix_bounds(str(node.right.value.v))
+            if bounds is not None:
+                from repro.values import Value
+
+                lower, upper = bounds
+                return BinaryNode(
+                    BinaryOp.AND,
+                    BinaryNode(BinaryOp.GE, node.left,
+                               LiteralNode(Value(SQLType.TEXT, lower))),
+                    BinaryNode(BinaryOp.LT, node.left,
+                               LiteralNode(Value(SQLType.TEXT, upper))))
+    if bugs.on("sqlite-like-affinity-opt") and not no_like_opt:
         # Defect: `col LIKE 'literal'` with no wildcards is rewritten to
         # an equality after forcing the pattern through numeric
         # conversion — losing exact text matches stored in numeric-
@@ -172,6 +208,25 @@ def _has_like_wildcards(pattern: str) -> bool:
     return "%" in pattern or "_" in pattern
 
 
+def _buggy_prefix_bounds(pattern: str) -> Optional[tuple[str, str]]:
+    """``(lower, wrong_upper)`` for a pure prefix pattern, else None.
+
+    Applies only to ``prefix%`` — a non-empty literal prefix followed by
+    exactly one trailing ``%`` and no other wildcards.
+    """
+    if not pattern.endswith("%"):
+        return None
+    prefix = pattern[:-1]
+    if not prefix or _has_like_wildcards(prefix):
+        return None
+    first = prefix[0]
+    if ord(first) >= 0x10FFFF:
+        return None
+    # The correct rewrite increments the prefix's *last* character; the
+    # defect increments the first.
+    return prefix, chr(ord(first) + 1) + prefix[1:]
+
+
 # ---------------------------------------------------------------------------
 # Access-path selection
 # ---------------------------------------------------------------------------
@@ -188,11 +243,15 @@ class AccessPath:
     table: str
     index: Optional[Index] = None
     reason: str = ""
+    #: True when a multiplan hint (not the planner's own rules) chose
+    #: this path — the trigger for the forced-index injected defects.
+    forced: bool = False
 
 
 def choose_path(table: Table, where: Optional[Expr],
                 indexes: list[Index], distinct: bool,
-                bugs: BugRegistry) -> AccessPath:
+                bugs: BugRegistry,
+                hints: Optional["PlannerHints"] = None) -> AccessPath:
     """Pick the access path for *table* under predicate *where*.
 
     The sound rules are conservative: a partial index is usable only when
@@ -200,7 +259,31 @@ def choose_path(table: Table, where: Optional[Expr],
     conjunct; a full index is usable when the predicate references its
     leading expression.  The injected planner defects relax these rules
     exactly the way the modeled SQLite bugs did.
+
+    ``hints`` overrides the rules: ``force_full_scan`` pins every table
+    to a sequential scan, and ``force_index`` pins the index's *owning*
+    table to an index scan (other tables plan normally), mirroring
+    sqlite's ``NOT INDEXED`` / ``INDEXED BY``.  Like sqlite, a forced
+    partial index whose predicate the WHERE clause does not imply is an
+    error ("no query solution") rather than a silent wrong plan.
     """
+    if hints is not None:
+        if hints.force_full_scan:
+            return AccessPath("full-scan", table.name,
+                              reason="hint: NOT INDEXED", forced=True)
+        if hints.force_index:
+            wanted = hints.force_index.lower()
+            for index in indexes:
+                if index.name.lower() != wanted:
+                    continue
+                if index.is_partial and (
+                        where is None
+                        or not _partial_index_usable(where, index, bugs)):
+                    raise DBError("no query solution")
+                return AccessPath("index-scan", table.name, index,
+                                  reason="hint: INDEXED BY", forced=True)
+            # The named index lives on another table; plan this one
+            # normally.
     if bugs.on("sqlite-skip-scan-distinct") and distinct and table.analyzed:
         for index in indexes:
             if not index.is_partial:

@@ -87,6 +87,9 @@ def build_report(journal_path: str,
         {"round": q.index, "seed": q.seed, "attempts": q.attempts,
          "error": q.error} for q in quarantined]
     report["coverage_growth"] = _coverage_growth(records)
+    multiplan = _multiplan_section(records)
+    if multiplan:
+        report["multiplan"] = multiplan
     if events_path and os.path.exists(events_path):
         report["health"] = _health_from_events(load_events(events_path))
     if metrics_path and os.path.exists(metrics_path):
@@ -166,6 +169,44 @@ def _coverage_growth(records, points: int = 10) -> list[dict]:
         sampled.append(growth[-1])
     return [{"round": index, "distinct_plans": count}
             for index, count in sampled]
+
+
+def _multiplan_section(records) -> Optional[dict]:
+    """Multi-plan triage: findings grouped by the diverging
+    plan-fingerprint pair (deviant plan vs. a plan that agreed with the
+    arbiter), plus the plans-per-query distribution accumulated from
+    the journal's per-round multiplan outcomes."""
+    pairs: dict[str, int] = {}
+    findings = 0
+    plans: dict[str, int] = {}
+    for record in records:
+        outcome = getattr(record, "multiplan", {}) or {}
+        for count, n in (outcome.get("plans") or {}).items():
+            plans[str(count)] = plans.get(str(count), 0) + int(n)
+        for report in record.reports:
+            if report.oracle.value != "multiplan":
+                continue
+            findings += 1
+            results = report.plan_results or []
+            deviant = sorted({entry.get("fingerprint", "?")
+                              for entry in results
+                              if entry.get("deviant")})
+            agreed = sorted({entry.get("fingerprint", "?")
+                             for entry in results
+                             if not entry.get("deviant")})
+            for bad in (deviant or ["?"]):
+                for good in (agreed or ["?"]):
+                    key = f"{bad}<->{good}"
+                    pairs[key] = pairs.get(key, 0) + 1
+    if not findings and not plans:
+        return None
+    return {
+        "findings": findings,
+        "by_plan_pair": dict(sorted(pairs.items(),
+                                    key=lambda kv: (-kv[1], kv[0]))),
+        "plans_per_query": {key: plans[key]
+                            for key in sorted(plans, key=int)},
+    }
 
 
 def _health_from_events(events) -> dict:
@@ -256,6 +297,16 @@ def render_report(report: dict) -> str:
             lines.append(f"{row['phase']:<14}{row['count']:>8}"
                          f"{row['mean_ms']:>10}{row['p50_ms']:>10}"
                          f"{row['p99_ms']:>10}")
+    multiplan = report.get("multiplan")
+    if multiplan:
+        lines.append("")
+        lines.append(f"multiplan findings: {multiplan['findings']}")
+        for pair, count in multiplan["by_plan_pair"].items():
+            lines.append(f"  plan pair {pair}: {count} finding(s)")
+        if multiplan["plans_per_query"]:
+            lines.append("plans per query: " + ", ".join(
+                f"{plans}->{queries}" for plans, queries
+                in multiplan["plans_per_query"].items()))
     growth = report.get("coverage_growth")
     if growth:
         lines.append("")

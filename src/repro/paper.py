@@ -184,6 +184,15 @@ ARTIFACTS: tuple[Artifact, ...] = (
         ("src/repro/guidance/scheduler.py", "benchmarks/bench_guidance.py",
          "tests/guidance/test_runner_guidance.py"),
         "follow-up work (Ba & Rigger, query-plan guidance) as extension"),
+    Artifact(
+        "§7 multi-plan", "execute each query under every distinct plan",
+        ("src/repro/multiplan/oracle.py", "benchmarks/bench_multiplan.py",
+         "tests/minidb/test_multiplan_bugs.py"),
+        "differential-plan extension (DESIGN.md §12): forced plans must "
+        "agree on the row multiset; reaches the injected "
+        "sqlite-forced-index-fencepost, sqlite-stale-stats-join, and "
+        "sqlite-like-prefix-range planner defects the containment "
+        "oracle cannot see"),
 )
 
 

@@ -1,0 +1,180 @@
+"""sqlite ``INDEXED BY`` / ``NOT INDEXED`` clause injection.
+
+sqlite forces plans per *table reference*: ``FROM t INDEXED BY i`` pins
+``t`` to index ``i``, ``FROM t NOT INDEXED`` pins it to a sequential
+scan.  The multi-plan oracle synthesizes its queries, so the forcing
+clause has to be spliced into already-rendered SQL text.  This module
+does that with a small token scanner rather than a full parser: it
+walks the statement, recognizes table references in FROM/JOIN position
+at every nesting depth (subqueries in FROM included), skips string
+literals and quoted identifiers, and inserts the clause after the
+reference's alias.
+
+Only SELECT text produced by :mod:`repro.sqlast.render` (plus the
+hand-written shapes the tests use) needs to round-trip — this is not a
+general SQL rewriter — but quoted/renamed tables, ``AS`` and bare
+aliases, joins, and nested FROM clauses are all handled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Keywords that may directly follow a table reference and therefore can
+#: never be a bare alias.
+_NOT_AN_ALIAS = frozenset({
+    "AS", "ON", "USING", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT",
+    "OFFSET", "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS",
+    "NATURAL", "UNION", "INTERSECT", "EXCEPT", "INDEXED", "NOT",
+})
+
+#: Keywords that terminate a FROM list (a later comma no longer
+#: introduces a table reference).
+_FROM_TERMINATORS = frozenset({
+    "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET", "UNION",
+    "INTERSECT", "EXCEPT", "ON", "USING", "SELECT",
+})
+
+
+def _tokenize(sql: str) -> list[tuple[str, int, int]]:
+    """``(kind, start, end)`` tokens; kind is word|qword|string|punct."""
+    out: list[tuple[str, int, int]] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            while j < n:
+                if sql[j] == "'":
+                    if j + 1 < n and sql[j + 1] == "'":
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append(("string", i, min(j + 1, n)))
+            i = min(j + 1, n)
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n:
+                if sql[j] == '"':
+                    if j + 1 < n and sql[j + 1] == '"':
+                        j += 2
+                        continue
+                    break
+                j += 1
+            out.append(("qword", i, min(j + 1, n)))
+            i = min(j + 1, n)
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            out.append(("word", i, j))
+            i = j
+            continue
+        out.append(("punct", i, i + 1))
+        i += 1
+    return out
+
+
+def _unquote(sql: str, kind: str, start: int, end: int) -> str:
+    text = sql[start:end]
+    if kind == "qword" and len(text) >= 2:
+        return text[1:-1].replace('""', '"')
+    return text
+
+
+def _insertion_points(sql: str,
+                      table: Optional[str]) -> list[int]:
+    """Offsets (into *sql*) after each matching table reference's alias.
+
+    ``table=None`` matches every table reference (``NOT INDEXED``);
+    otherwise only references whose unquoted name matches
+    case-insensitively.
+    """
+    tokens = _tokenize(sql)
+    points: list[int] = []
+    #: Per paren depth: are we inside a FROM list?
+    in_from: dict[int, bool] = {}
+    depth = 0
+    expect_table = False
+    i = 0
+    while i < len(tokens):
+        kind, start, end = tokens[i]
+        text = sql[start:end]
+        upper = text.upper() if kind == "word" else ""
+        if kind == "punct":
+            if text == "(":
+                depth += 1
+                expect_table = False
+            elif text == ")":
+                in_from.pop(depth, None)
+                depth -= 1
+            elif text == "," and in_from.get(depth):
+                expect_table = True
+            i += 1
+            continue
+        if kind == "word" and upper == "FROM":
+            in_from[depth] = True
+            expect_table = True
+            i += 1
+            continue
+        if kind == "word" and upper == "JOIN":
+            expect_table = True
+            i += 1
+            continue
+        if kind == "word" and upper in _FROM_TERMINATORS:
+            if upper != "SELECT":
+                in_from[depth] = False
+            expect_table = False
+            i += 1
+            continue
+        if expect_table and kind in ("word", "qword") \
+                and upper not in _NOT_AN_ALIAS:
+            name = _unquote(sql, kind, start, end)
+            insert_at = end
+            j = i + 1
+            # AS alias / bare alias: the clause goes after the alias.
+            if j < len(tokens) and tokens[j][0] == "word" and \
+                    sql[tokens[j][1]:tokens[j][2]].upper() == "AS":
+                j += 1
+                if j < len(tokens) and tokens[j][0] in ("word", "qword"):
+                    insert_at = tokens[j][2]
+                    j += 1
+            elif j < len(tokens) and tokens[j][0] in ("word", "qword"):
+                jk, js, je = tokens[j]
+                if jk == "qword" or \
+                        sql[js:je].upper() not in _NOT_AN_ALIAS:
+                    insert_at = je
+                    j += 1
+            if table is None or name.lower() == table.lower():
+                points.append(insert_at)
+            expect_table = False
+            i = j
+            continue
+        expect_table = False
+        i += 1
+    return points
+
+
+def _splice(sql: str, points: list[int], clause: str) -> str:
+    out = sql
+    for offset in sorted(points, reverse=True):
+        out = out[:offset] + clause + out[offset:]
+    return out
+
+
+def force_index(sql: str, table: str, index: str) -> str:
+    """Add ``INDEXED BY index`` to every reference to *table* in *sql*."""
+    points = _insertion_points(sql, table)
+    return _splice(sql, points, f" INDEXED BY {index}")
+
+
+def force_no_index(sql: str) -> str:
+    """Add ``NOT INDEXED`` to every table reference in *sql*."""
+    points = _insertion_points(sql, None)
+    return _splice(sql, points, " NOT INDEXED")

@@ -46,6 +46,17 @@ GUIDANCE_NOVEL_ROUNDS = "pqs_guidance_novel_rounds_total"
 #: Successful query_plan introspections (counter).
 GUIDANCE_PLAN_LOOKUPS = "pqs_guidance_plan_lookups_total"
 
+# -- multi-plan differential oracle (repro.multiplan) -----------------------
+#: Queries the multi-plan oracle cross-checked (counter).
+MULTIPLAN_QUERIES = "pqs_multiplan_queries_total"
+#: Distinct feasible plans executed per query (histogram; unit is plans,
+#: so it uses count-shaped buckets).
+MULTIPLAN_PLANS_PER_QUERY = "pqs_multiplan_plans_per_query"
+#: Queries where two plans returned different row multisets (counter).
+MULTIPLAN_DIVERGENCES = "pqs_multiplan_divergences_total"
+#: Forced-plan executions the target rejected (counter).
+MULTIPLAN_FORCED_FAILURES = "pqs_multiplan_forced_failures_total"
+
 # -- supervised campaign fleet (repro.campaigns.{scheduler,supervisor}) -----
 #: Campaign workers restarted by the supervisor after a death (counter).
 SUPERVISOR_RESTARTS = "pqs_supervisor_worker_restarts_total"
@@ -101,6 +112,12 @@ HELP = {
     GUIDANCE_PLANS_DISTINCT: "Distinct plan fingerprints seen so far",
     GUIDANCE_NOVEL_ROUNDS: "Rounds that produced at least one novel plan",
     GUIDANCE_PLAN_LOOKUPS: "Successful query_plan introspections",
+    MULTIPLAN_QUERIES: "Queries cross-checked by the multi-plan oracle",
+    MULTIPLAN_PLANS_PER_QUERY: "Distinct feasible plans executed per query",
+    MULTIPLAN_DIVERGENCES:
+        "Queries where two plans returned different row multisets",
+    MULTIPLAN_FORCED_FAILURES:
+        "Forced-plan executions the target rejected",
     SUPERVISOR_RESTARTS: "Campaign workers restarted after a death",
     SUPERVISOR_STALLS:
         "Workers whose heartbeat went stale and had leases stolen",

@@ -1,0 +1,121 @@
+"""The three injected planner defects only the multi-plan oracle can
+reach (DESIGN.md §12).
+
+Each defect corrupts results *consistently* on forced plans while the
+planner's own free choices stay correct, so:
+
+* the unforced statement stream is bit-identical between the buggy and
+  the clean engine — the pivot-containment oracle can never see the
+  defect (its query executions all take the planner's chosen plan);
+* the multi-plan oracle, which forces each distinct feasible plan and
+  cross-checks the row multisets, reports a divergence.
+
+These are the ground-truth fixtures behind ``bench_multiplan.py``.
+"""
+
+import pytest
+
+from repro.adapters.minidb_adapter import MiniDBConnection
+from repro.core.containment import check_containment
+from repro.core.querygen import SynthesizedQuery
+from repro.interp import make_interpreter
+from repro.minidb.bugs import BUG_CATALOG, BugRegistry
+from repro.multiplan import MultiPlanOracle, PlannerHints
+from repro.sqlast.nodes import ColumnNode
+from repro.values import Value
+
+SEMANTICS = make_interpreter("sqlite").semantics
+
+#: Per defect: the state, the query (with the pivot row the containment
+#: oracle checks), and the forcing hints whose execution goes wrong.
+SCENARIOS = {
+    "sqlite-forced-index-fencepost": {
+        "statements": [
+            "CREATE TABLE t0 (c0 TEXT)",
+            "CREATE INDEX i0 ON t0 (c0)",
+            "INSERT INTO t0 VALUES ('a'), ('b'), ('c')",
+        ],
+        "query": SynthesizedQuery(
+            sql="SELECT c0 FROM t0",
+            targets=[ColumnNode("t0", "c0")],
+            expected=[Value.text("a")], table_names=["t0"]),
+        "bad_hints": PlannerHints(force_index="i0"),
+    },
+    "sqlite-stale-stats-join": {
+        "statements": [
+            "CREATE TABLE t0 (c0 INTEGER)",
+            "CREATE TABLE t1 (c1 INTEGER)",
+            "INSERT INTO t0 VALUES (1), (2)",
+            "INSERT INTO t1 VALUES (1), (3)",
+        ],
+        "query": SynthesizedQuery(
+            sql="SELECT t0.c0, t1.c1 FROM t0, t1",
+            targets=[ColumnNode("t0", "c0"), ColumnNode("t1", "c1")],
+            expected=[Value.integer(1), Value.integer(3)],
+            table_names=["t0", "t1"]),
+        "bad_hints": PlannerHints(force_full_scan=True, analyze=True),
+    },
+    "sqlite-like-prefix-range": {
+        "statements": [
+            "CREATE TABLE t0 (c0 TEXT)",
+            "CREATE INDEX i0 ON t0 (c0)",
+            "INSERT INTO t0 VALUES ('ab'), ('abc'), ('b'), ('ba')",
+        ],
+        "query": SynthesizedQuery(
+            sql="SELECT c0 FROM t0 WHERE c0 LIKE 'ab%'",
+            targets=[ColumnNode("t0", "c0")],
+            expected=[Value.text("ab")], table_names=["t0"]),
+        "bad_hints": PlannerHints(force_index="i0"),
+    },
+}
+
+
+def build(bug_id, scenario) -> MiniDBConnection:
+    bugs = BugRegistry({bug_id} if bug_id else set())
+    conn = MiniDBConnection("sqlite", bugs=bugs)
+    for sql in scenario["statements"]:
+        conn.execute(sql)
+    return conn
+
+
+@pytest.mark.parametrize("bug_id", sorted(SCENARIOS))
+class TestDefectReach:
+    def test_cataloged_for_the_multiplan_oracle(self, bug_id):
+        bug = BUG_CATALOG[bug_id]
+        assert bug.oracle == "multiplan"
+        assert bug.dialect == "sqlite"
+
+    def test_inert_on_the_unforced_stream(self, bug_id):
+        """Buggy and clean engines agree row-for-row when the planner
+        chooses freely — the defect cannot leak into PQS's stream."""
+        scenario = SCENARIOS[bug_id]
+        buggy = build(bug_id, scenario)
+        clean = build(None, scenario)
+        sql = scenario["query"].sql
+        assert buggy.execute(sql) == clean.execute(sql)
+
+    def test_containment_oracle_is_blind(self, bug_id):
+        """The pivot row is in the (unforced) result on the buggy
+        engine, so containment passes and reports nothing."""
+        scenario = SCENARIOS[bug_id]
+        buggy = build(bug_id, scenario)
+        assert check_containment(buggy, scenario["query"], SEMANTICS)
+        assert check_containment(buggy, scenario["query"], SEMANTICS,
+                                 use_intersect=True)
+
+    def test_multiplan_oracle_reports_the_divergence(self, bug_id):
+        scenario = SCENARIOS[bug_id]
+        oracle = MultiPlanOracle()
+        divergence = oracle.check(build(bug_id, scenario),
+                                  scenario["query"], SEMANTICS)
+        assert divergence is not None, bug_id
+        deviant_hints = [run.hints for run in divergence.runs
+                         if run.deviant]
+        assert scenario["bad_hints"] in deviant_hints
+
+    def test_clean_engine_forced_plans_agree(self, bug_id):
+        """Plan forcing is behavior-preserving on a correct planner."""
+        scenario = SCENARIOS[bug_id]
+        oracle = MultiPlanOracle()
+        assert oracle.check(build(None, scenario), scenario["query"],
+                            SEMANTICS) is None

@@ -1,0 +1,130 @@
+"""``INDEXED BY`` / ``NOT INDEXED`` clause splicing into rendered SQL.
+
+The sqlite3 adapter forces plans by rewriting statement text; these
+tests pin the rewriter across the FROM shapes the generator produces —
+joins, subqueries in FROM, quoted and renamed tables — and prove the
+rewritten text is still SQL a real SQLite accepts.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.sqlast.indexed_by import force_index, force_no_index
+
+
+class TestForceNoIndex:
+    def test_single_table(self):
+        assert force_no_index("SELECT * FROM t0") == \
+            "SELECT * FROM t0 NOT INDEXED"
+
+    def test_where_clause_untouched(self):
+        assert force_no_index("SELECT c0 FROM t0 WHERE c0 > 1") == \
+            "SELECT c0 FROM t0 NOT INDEXED WHERE c0 > 1"
+
+    def test_comma_join_hits_every_reference(self):
+        assert force_no_index("SELECT * FROM t0, t1 WHERE t0.a = t1.b") \
+            == ("SELECT * FROM t0 NOT INDEXED, t1 NOT INDEXED "
+                "WHERE t0.a = t1.b")
+
+    def test_explicit_join(self):
+        sql = "SELECT * FROM t0 JOIN t1 ON t0.a = t1.b"
+        assert force_no_index(sql) == \
+            ("SELECT * FROM t0 NOT INDEXED JOIN t1 NOT INDEXED "
+             "ON t0.a = t1.b")
+
+    def test_left_join_keywords_not_mistaken_for_tables(self):
+        sql = "SELECT * FROM t0 LEFT OUTER JOIN t1 ON t0.a = t1.b"
+        out = force_no_index(sql)
+        assert "t0 NOT INDEXED LEFT OUTER JOIN t1 NOT INDEXED" in out
+
+    def test_alias_clause_goes_after_alias(self):
+        assert force_no_index("SELECT * FROM t0 AS x WHERE x.a = 1") == \
+            "SELECT * FROM t0 AS x NOT INDEXED WHERE x.a = 1"
+        assert force_no_index("SELECT * FROM t0 x WHERE x.a = 1") == \
+            "SELECT * FROM t0 x NOT INDEXED WHERE x.a = 1"
+
+    def test_subquery_in_from(self):
+        sql = "SELECT * FROM (SELECT * FROM t0) AS s, t1"
+        out = force_no_index(sql)
+        # Both the inner reference and the outer plain table are forced;
+        # the derived-table alias itself takes no INDEXED clause.
+        assert out == ("SELECT * FROM (SELECT * FROM t0 NOT INDEXED) "
+                       "AS s, t1 NOT INDEXED")
+
+    def test_string_literal_from_is_not_a_clause(self):
+        sql = "SELECT ' FROM t0 ' FROM t0"
+        assert force_no_index(sql) == \
+            "SELECT ' FROM t0 ' FROM t0 NOT INDEXED"
+
+
+class TestForceIndex:
+    def test_only_the_named_table(self):
+        sql = "SELECT * FROM t0, t1 WHERE t0.a = t1.b"
+        assert force_index(sql, "t1", "i1") == \
+            "SELECT * FROM t0, t1 INDEXED BY i1 WHERE t0.a = t1.b"
+
+    def test_match_is_case_insensitive(self):
+        assert force_index("SELECT * FROM T0", "t0", "i0") == \
+            "SELECT * FROM T0 INDEXED BY i0"
+
+    def test_quoted_table_reference(self):
+        assert force_index('SELECT * FROM "t0"', "t0", "i0") == \
+            'SELECT * FROM "t0" INDEXED BY i0'
+
+    def test_renamed_table_keeps_clause_after_alias(self):
+        sql = "SELECT x.a FROM t0 AS x JOIN t1 ON x.a = t1.b"
+        assert force_index(sql, "t0", "i0") == \
+            ("SELECT x.a FROM t0 AS x INDEXED BY i0 "
+             "JOIN t1 ON x.a = t1.b")
+
+    def test_subquery_reference_forced_at_depth(self):
+        sql = "SELECT * FROM (SELECT a FROM t0 WHERE a > 1) s"
+        assert force_index(sql, "t0", "i0") == \
+            "SELECT * FROM (SELECT a FROM t0 INDEXED BY i0 WHERE a > 1) s"
+
+    def test_unrelated_table_untouched(self):
+        sql = "SELECT * FROM t0"
+        assert force_index(sql, "t9", "i9") == sql
+
+
+class TestAgainstRealSQLite:
+    """The spliced text must be SQL sqlite itself accepts and honors."""
+
+    @pytest.fixture
+    def db(self):
+        conn = sqlite3.connect(":memory:")
+        conn.executescript(
+            "CREATE TABLE t0 (a INT, b TEXT);"
+            "CREATE INDEX i0 ON t0(a);"
+            "CREATE TABLE t1 (c INT);"
+            "INSERT INTO t0 VALUES (1, 'x'), (2, 'y');"
+            "INSERT INTO t1 VALUES (1), (3);")
+        yield conn
+        conn.close()
+
+    def test_not_indexed_executes_and_plans_a_scan(self, db):
+        forced = force_no_index("SELECT a FROM t0 WHERE a = 1")
+        assert db.execute(forced).fetchall() == [(1,)]
+        plan = db.execute("EXPLAIN QUERY PLAN " + forced).fetchall()
+        assert all("i0" not in row[-1] for row in plan)
+
+    def test_indexed_by_executes_and_plans_the_index(self, db):
+        forced = force_index("SELECT a FROM t0 WHERE a = 1", "t0", "i0")
+        assert db.execute(forced).fetchall() == [(1,)]
+        plan = db.execute("EXPLAIN QUERY PLAN " + forced).fetchall()
+        assert any("i0" in row[-1] for row in plan)
+
+    def test_join_and_subquery_shapes_execute(self, db):
+        shapes = [
+            "SELECT * FROM t0 JOIN t1 ON t0.a = t1.c",
+            "SELECT * FROM t0 AS x, t1 WHERE x.a = t1.c",
+            "SELECT * FROM (SELECT a FROM t0) s, t1",
+            'SELECT * FROM "t0" WHERE "t0".a > 0',
+        ]
+        for sql in shapes:
+            baseline = sorted(db.execute(sql).fetchall())
+            assert sorted(db.execute(
+                force_no_index(sql)).fetchall()) == baseline
+            assert sorted(db.execute(
+                force_index(sql, "t0", "i0")).fetchall()) == baseline

@@ -31,7 +31,7 @@ class TestBugs:
         code, output = run_cli("bugs")
         assert code == 0
         assert "sqlite-partial-index-is-not" in output
-        assert "23 defect(s)" in output
+        assert "26 defect(s)" in output
 
     def test_dialect_filter(self):
         code, output = run_cli("bugs", "--dialect", "mysql")

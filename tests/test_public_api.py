@@ -33,12 +33,14 @@ class TestPublicSurface:
         from repro.dialects import get_dialect  # noqa: F401
         from repro.interp import make_interpreter  # noqa: F401
         from repro.minidb import Engine  # noqa: F401
+        from repro.multiplan import MultiPlanOracle  # noqa: F401
         from repro.stategen import ActionGenerator  # noqa: F401
 
     def test_bug_catalog_shape(self):
         for bug in repro.BUG_CATALOG.values():
             assert bug.dialect in ("sqlite", "mysql", "postgres")
-            assert bug.oracle in ("contains", "error", "crash")
+            assert bug.oracle in ("contains", "error", "crash",
+                                  "multiplan")
             assert bug.triage in ("fixed", "verified", "docs",
                                   "intended", "duplicate")
             assert bug.description and bug.paper_ref
