@@ -32,6 +32,7 @@ from repro.minidb.bugs import BUG_CATALOG, BugRegistry, bugs_for_dialect
 from repro.multiplan.hints import BASELINE, PlannerHints
 from repro.multiplan.replay import MultiPlanReplayer
 from repro.observe.observatory import NULL_OBSERVATORY, Observatory
+from repro.plantime.archive import TimingArchive
 from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -72,6 +73,7 @@ def stats_from_records(records, quarantined=()) -> RunStatistics:
         stats.timeouts += record.timeouts
         stats.seconds += record.seconds
         stats.absorb_multiplan(getattr(record, "multiplan", {}))
+        stats.absorb_plantime(getattr(record, "plantime", {}))
         stats.reports.extend(record.reports)
     stats.quarantined_rounds = len(quarantined)
     return stats
@@ -144,12 +146,27 @@ class CampaignConfig:
     #: ``with_plan`` hook), but because its findings are journaled, so a
     #: multiplan journal must not silently continue a plain hunt.
     multiplan: bool = False
+    #: Optimizer observatory (repro.plantime): time each distinct forced
+    #: plan and flag planner regressions.  Requires ``multiplan``.
+    #: Journal-fingerprinted when on — timing outcomes are journaled, so
+    #: a timing journal must not silently continue (or be continued by)
+    #: an untimed hunt.
+    plan_timing: bool = False
+    #: Timed re-executions per plan (min-of-k).
+    timing_repeats: int = 3
+    #: Planner-regression flagging ratio.
+    regression_ratio: float = 1.5
+    #: Write the final merged TimingArchive (JSONL) here.
+    timing_archive: Optional[str] = None
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
         self.runner.dialect = self.dialect
         self.runner.seed = self.seed
         self.runner.multiplan = self.multiplan
+        self.runner.plan_timing = self.plan_timing
+        self.runner.plan_timing_repeats = self.timing_repeats
+        self.runner.plan_regression_ratio = self.regression_ratio
 
 
 @dataclass
@@ -164,6 +181,9 @@ class CampaignResult:
     #: happen).
     reports: list[BugReport] = field(default_factory=list)
     unattributed: list[BugReport] = field(default_factory=list)
+    #: Merged per-plan timing archive when the campaign timed plans
+    #: (``plan_timing``); None otherwise.
+    timing_archive: Optional["TimingArchive"] = None
     #: Poison rounds retired after exhausting the retry threshold
     #: (journaled campaigns only).
     quarantined: list[QuarantineRecord] = field(default_factory=list)
@@ -263,6 +283,14 @@ class Campaign:
             observe.attach_coverage(guidance.coverage)
             if self.config.plan_coverage:
                 guidance.coverage.dump(self.config.plan_coverage)
+        if self.config.plan_timing:
+            # Built from the per-round outcome dicts — the same records
+            # a journal carries — so live, resumed, and parallel-merged
+            # campaigns produce byte-identical archives.
+            result.timing_archive = TimingArchive.from_outcomes(
+                stats.plantime_outcomes)
+            if self.config.timing_archive:
+                result.timing_archive.dump(self.config.timing_archive)
         observe.mark_finished()
         reports_per_bug: dict[str, int] = {}
         seen_bugs: set[str] = set()
@@ -301,6 +329,11 @@ class Campaign:
             # by (or resume) a plain hunt; off leaves journal bytes
             # identical to a pre-multiplan build.
             fingerprint["multiplan"] = True
+        if self.config.plan_timing:
+            # Timing journals carry plantime outcomes the resumed
+            # archive is rebuilt from; an untimed continuation would
+            # silently produce a partial archive.
+            fingerprint["plan_timing"] = True
         return fingerprint
 
     def _run_journaled(self, runner: PQSRunner):

@@ -123,7 +123,8 @@ class RoundExecutor:
             timeouts=round_.timeouts, seconds=round_.seconds,
             reports=round_.reports,
             plans=self.runner.guidance.take_round_plans(),
-            multiplan=round_.multiplan)
+            multiplan=round_.multiplan,
+            plantime=round_.plantime)
 
     # -- internals ----------------------------------------------------------
     def _emit_outcome(self, record: RoundRecord) -> None:

@@ -53,6 +53,7 @@ from repro.campaigns.supervisor import (
 from repro.core.reports import BugReport, RunStatistics
 from repro.guidance import PlanCoverage
 from repro.observe.observatory import NULL_OBSERVATORY
+from repro.plantime.archive import TimingArchive
 from repro.telemetry import MetricsRegistry, Telemetry
 from repro.telemetry import names as metric_names
 
@@ -93,6 +94,14 @@ class ParallelCampaignConfig:
     #: Multi-plan differential oracle (repro.multiplan); each worker's
     #: runner gets its own oracle instance (no shared mutable state).
     multiplan: bool = False
+    #: Optimizer observatory (repro.plantime); each worker times its own
+    #: rounds, and the merged archive is rebuilt from the per-round
+    #: records in round-index order (schedule-independent min-merge).
+    plan_timing: bool = False
+    timing_repeats: int = 3
+    regression_ratio: float = 1.5
+    #: Write the merged TimingArchive (JSONL) here.
+    timing_archive: Optional[str] = None
     #: Supervision knobs (see repro.campaigns.supervisor).
     max_worker_restarts: int = 2
     restart_backoff: float = 0.05
@@ -132,6 +141,9 @@ class ParallelCampaignResult:
     #: in :attr:`per_thread_plans`.
     plan_coverage: Optional["PlanCoverage"] = None
     per_thread_plans: list[int] = field(default_factory=list)
+    #: Merged per-plan timing archive (None when plan timing was off),
+    #: min-merged from the per-round records in round-index order.
+    timing_archive: Optional["TimingArchive"] = None
     #: Poison rounds retired after exhausting the retry threshold.
     quarantined: list[QuarantineRecord] = field(default_factory=list)
     #: What journal recovery had to repair on ``--resume``.
@@ -175,7 +187,10 @@ class ParallelCampaign:
             telemetry=cfg.telemetry, guidance=cfg.guidance,
             track_plans=cfg.guidance or bool(cfg.plan_coverage),
             quarantine_threshold=cfg.quarantine_threshold,
-            multiplan=cfg.multiplan)
+            multiplan=cfg.multiplan,
+            plan_timing=cfg.plan_timing,
+            timing_repeats=cfg.timing_repeats,
+            regression_ratio=cfg.regression_ratio)
 
     def run(self) -> ParallelCampaignResult:
         cfg = self.config
@@ -294,6 +309,15 @@ class ParallelCampaign:
                 if slot is not None:
                     per_slot_coverage[slot].observe(fingerprint, example)
         merged.per_thread_rounds = rounds_per_slot
+        if self.config.plan_timing:
+            # stats.plantime_outcomes was filled from records_in_order,
+            # and the archive's min-merge is order-insensitive anyway,
+            # so the merged archive is schedule-independent and matches
+            # what a single-process run of the same rounds produces.
+            merged.timing_archive = TimingArchive.from_outcomes(
+                stats.plantime_outcomes)
+            if self.config.timing_archive:
+                merged.timing_archive.dump(self.config.timing_archive)
         if coverage is not None:
             merged.plan_coverage = coverage
             merged.per_thread_plans = [c.distinct

@@ -174,6 +174,12 @@ class RunStatistics:
     multiplan_plans: int = 0
     multiplan_divergences: int = 0
     multiplan_forced_failures: int = 0
+    #: Optimizer observatory (zero/empty unless ``--plan-timing``):
+    #: timed query count, flagged PlanRegression records, and the raw
+    #: per-round outcome dicts the TimingArchive is rebuilt from.
+    plantime_queries: int = 0
+    plan_regressions: list[dict] = field(default_factory=list)
+    plantime_outcomes: list[dict] = field(default_factory=list)
     reports: list[BugReport] = field(default_factory=list)
 
     @property
@@ -197,6 +203,19 @@ class RunStatistics:
         for plans, count in outcome.get("plans", {}).items():
             self.multiplan_plans += int(plans) * count
 
+    def absorb_plantime(self, outcome: dict) -> None:
+        """Fold one round's plan-timing outcome dict (the shape
+        :meth:`repro.plantime.collector.PlanTimer.take_round_outcome`
+        produces and journals carry) into these counters.  The outcome
+        itself is retained so archives can be rebuilt identically from
+        live rounds, journal replays, and parallel-worker merges."""
+        if not outcome:
+            return
+        self.plantime_queries += outcome.get("timed", 0)
+        self.plan_regressions.extend(
+            dict(r) for r in outcome.get("regressions", ()))
+        self.plantime_outcomes.append(outcome)
+
     def merge(self, other: "RunStatistics") -> None:
         self.databases += other.databases
         self.statements += other.statements
@@ -210,4 +229,7 @@ class RunStatistics:
         self.multiplan_plans += other.multiplan_plans
         self.multiplan_divergences += other.multiplan_divergences
         self.multiplan_forced_failures += other.multiplan_forced_failures
+        self.plantime_queries += other.plantime_queries
+        self.plan_regressions.extend(other.plan_regressions)
+        self.plantime_outcomes.extend(other.plantime_outcomes)
         self.reports.extend(other.reports)

@@ -40,7 +40,9 @@ from repro.observe.report import (
     append_history,
     build_report,
     history_line,
+    load_history,
     render_report,
+    render_trend,
 )
 from repro.observe.server import StatusServer, parse_address
 
@@ -60,8 +62,10 @@ __all__ = [
     "deterministic_view",
     "history_line",
     "load_events",
+    "load_history",
     "merge_events",
     "novel_fingerprints",
     "parse_address",
     "render_report",
+    "render_trend",
 ]

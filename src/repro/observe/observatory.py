@@ -92,6 +92,7 @@ class Observatory:
             remaining = max(total - done, 0)
             status["eta_seconds"] = round(remaining * elapsed / done, 3)
         status["workers"] = self._worker_health()
+        status["multiplan"] = self.multiplan()
         return status
 
     def _round_counts(self) -> dict:
@@ -187,6 +188,58 @@ class Observatory:
                 "worker_deaths": len(report.failures),
                 "aborted": report.aborted}
 
+    def multiplan(self) -> dict:
+        """Live multi-plan oracle activity: exact queue-record fold when
+        a queue is attached, shared-registry counters otherwise (plain
+        single-process hunts, where the runner updates them live)."""
+        queries = divergences = failures = 0
+        if self._queue is not None:
+            for record in self._queue.records_in_order():
+                outcome = getattr(record, "multiplan", {})
+                queries += outcome.get("queries", 0)
+                divergences += outcome.get("divergences", 0)
+                failures += outcome.get("forced_failures", 0)
+        elif self.registry is not None:
+            from repro.telemetry import names
+            queries = int(self.registry.value(names.MULTIPLAN_QUERIES))
+            divergences = int(
+                self.registry.value(names.MULTIPLAN_DIVERGENCES))
+            failures = int(
+                self.registry.value(names.MULTIPLAN_FORCED_FAILURES))
+        return {"active": queries > 0, "queries": queries,
+                "divergences": divergences,
+                "forced_failures": failures}
+
+    def plantime(self) -> dict:
+        """The ``/plantime`` document: optimizer-observatory activity —
+        timed query count and the worst planner regressions seen so far
+        (exact from journaled rounds when a queue is attached, counter
+        fallback otherwise)."""
+        timed = 0
+        regressions: list[dict] = []
+        if self._queue is not None:
+            for record in self._queue.records_in_order():
+                outcome = getattr(record, "plantime", {})
+                timed += outcome.get("timed", 0)
+                regressions.extend(outcome.get("regressions", ()))
+        elif self.registry is not None:
+            # Counters carry counts only; the per-regression records
+            # live in journal rounds, which this mode does not have.
+            from repro.telemetry import names
+            timed = int(self.registry.value(names.PLANTIME_QUERIES))
+            count = int(self.registry.value(names.PLANTIME_REGRESSIONS))
+            if timed == 0 and count == 0:
+                return {"tracked": False}
+            return {"tracked": True, "queries_timed": timed,
+                    "regressions": count, "worst": []}
+        if timed == 0 and not regressions:
+            return {"tracked": False}
+        worst = sorted(regressions,
+                       key=lambda r: (-r.get("slowdown", 0.0),
+                                      r.get("shape", "")))[:10]
+        return {"tracked": True, "queries_timed": timed,
+                "regressions": len(regressions), "worst": worst}
+
 
 class NullObservatory:
     """Shared disabled observatory — every attach/read is a no-op."""
@@ -227,6 +280,12 @@ class NullObservatory:
         return {}
 
     def supervision(self) -> dict:
+        return {}
+
+    def multiplan(self) -> dict:
+        return {}
+
+    def plantime(self) -> dict:
         return {}
 
 

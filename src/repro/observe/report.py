@@ -90,6 +90,9 @@ def build_report(journal_path: str,
     multiplan = _multiplan_section(records)
     if multiplan:
         report["multiplan"] = multiplan
+    plantime = _plantime_section(records)
+    if plantime:
+        report["plantime"] = plantime
     if events_path and os.path.exists(events_path):
         report["health"] = _health_from_events(load_events(events_path))
     if metrics_path and os.path.exists(metrics_path):
@@ -209,6 +212,39 @@ def _multiplan_section(records) -> Optional[dict]:
     }
 
 
+def _plantime_section(records) -> Optional[dict]:
+    """Planner quality: total timed queries plus the worst planner
+    regressions, deduplicated by query shape (the same shape flagged in
+    ten rounds is one line carrying its worst slowdown)."""
+    timed = 0
+    by_shape: dict[str, dict] = {}
+    for record in records:
+        outcome = getattr(record, "plantime", {}) or {}
+        timed += outcome.get("timed", 0)
+        for regression in outcome.get("regressions", ()):
+            shape = regression.get("shape", "?")
+            known = by_shape.get(shape)
+            if known is None:
+                by_shape[shape] = {
+                    "shape": shape,
+                    "sql": regression.get("sql", ""),
+                    "slowdown": regression.get("slowdown", 0.0),
+                    "sightings": 1,
+                }
+            else:
+                known["sightings"] += 1
+                if regression.get("slowdown", 0.0) > known["slowdown"]:
+                    known["slowdown"] = regression["slowdown"]
+                    known["sql"] = regression.get("sql", known["sql"])
+    if not timed and not by_shape:
+        return None
+    worst = sorted(by_shape.values(),
+                   key=lambda r: (-r["slowdown"], r["shape"]))[:10]
+    return {"queries_timed": timed,
+            "regressed_shapes": len(by_shape),
+            "worst": worst}
+
+
 def _health_from_events(events) -> dict:
     counts = {kind: 0 for kind in _HEALTH_KINDS}
     for event in events:
@@ -307,6 +343,17 @@ def render_report(report: dict) -> str:
             lines.append("plans per query: " + ", ".join(
                 f"{plans}->{queries}" for plans, queries
                 in multiplan["plans_per_query"].items()))
+    plantime = report.get("plantime")
+    if plantime:
+        lines.append("")
+        lines.append(
+            f"planner quality: {plantime['queries_timed']} queries "
+            f"timed, {plantime['regressed_shapes']} regressed shape(s)")
+        for entry in plantime["worst"]:
+            lines.append(
+                f"  {entry['shape']}  {entry['slowdown']:.2f}x slower "
+                f"than best forced plan "
+                f"(sightings={entry['sightings']})  {entry['sql']}")
     growth = report.get("coverage_growth")
     if growth:
         lines.append("")
@@ -322,18 +369,27 @@ def _fmt_counts(counts: dict) -> str:
 
 def history_line(report: dict) -> dict:
     """The one-line summary appended to ``results/history.jsonl``."""
-    return {
+    seconds = report["totals"]["seconds"]
+    queries = report["totals"]["queries"]
+    line = {
         "campaign": report["campaign"],
         "dialect": report["dialect"],
         "seed": report["seed"],
         "rounds_completed": report["rounds"]["completed"],
         "rounds_quarantined": report["rounds"]["quarantined"],
         "statements": report["totals"]["statements"],
-        "queries": report["totals"]["queries"],
+        "queries": queries,
         "raw_findings": report["totals"]["raw_findings"],
         "distinct_bugs": len(report["bugs"]),
         "by_oracle": report["by_oracle"],
+        "seconds": seconds,
+        "queries_per_second":
+            round(queries / seconds, 2) if seconds > 0 else 0.0,
     }
+    plantime = report.get("plantime")
+    if plantime:
+        line["plan_regressions"] = plantime["regressed_shapes"]
+    return line
 
 
 def append_history(path: str, report: dict) -> dict:
@@ -345,3 +401,49 @@ def append_history(path: str, report: dict) -> dict:
     with open(path, "a", encoding="utf-8") as handle:
         handle.write(json.dumps(line, sort_keys=True) + "\n")
     return line
+
+
+def load_history(path: str) -> list[dict]:
+    """All parseable history lines, oldest first.  Tolerant by design:
+    the history file is long-memory across tool versions, so malformed
+    lines are skipped and missing keys are the reader's problem."""
+    if not os.path.exists(path):
+        return []
+    lines: list[dict] = []
+    with open(path, encoding="utf-8") as handle:
+        for raw in handle:
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(parsed, dict):
+                lines.append(parsed)
+    return lines
+
+
+def render_trend(lines: list[dict], limit: int = 8) -> str:
+    """A short cross-campaign trend over the most recent history lines:
+    distinct bugs and throughput per campaign, oldest of the window
+    first.  Lines predating the throughput stamp render as ``?``."""
+    if not lines:
+        return ""
+    window = lines[-limit:]
+    out = [f"history trend ({len(window)} of {len(lines)} campaign(s)):"]
+    bugs_series = []
+    qps_series = []
+    for line in window:
+        bugs_series.append(str(line.get("distinct_bugs", "?")))
+        qps = line.get("queries_per_second")
+        qps_series.append("?" if qps is None else f"{qps:g}")
+        campaign = line.get("campaign", "?")
+        rounds = line.get("rounds_completed", "?")
+        bugs = line.get("distinct_bugs", "?")
+        qps_text = "?" if qps is None else f"{qps:g} q/s"
+        out.append(f"  {campaign}: {rounds} rounds, {bugs} distinct "
+                   f"bug(s), {qps_text}")
+    out.append("  distinct bugs: " + " -> ".join(bugs_series))
+    out.append("  queries/s:     " + " -> ".join(qps_series))
+    return "\n".join(out)

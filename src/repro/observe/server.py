@@ -16,6 +16,8 @@ endpoint   contents                                             format
            parallel workers merge theirs after the join)
 ``/bugs``  raw findings journaled so far                        JSON
 ``/coverage`` plan-coverage summary                             JSON
+``/plantime`` optimizer observatory: timed queries and worst    JSON
+           planner regressions (``--plan-timing``)
 ``/events`` bounded tail of the unified event log               JSON
            (``?limit=N``, default 100, max the ring capacity)
 ========== ==================================================== =========
@@ -90,6 +92,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._json({"bugs": observatory.bugs()})
             elif route == "/coverage":
                 self._json(observatory.coverage())
+            elif route == "/plantime":
+                self._json(observatory.plantime())
             elif route == "/events":
                 query = parse_qs(parsed.query)
                 try:

@@ -1,0 +1,46 @@
+"""``repro.plantime`` — the optimizer observatory.
+
+The multi-plan oracle (:mod:`repro.multiplan`) already executes every
+synthesized query under every distinct feasible plan to cross-check
+row multisets; this package adds the clock it was missing.  Following
+TAQO-style optimizer testing (score the planner's *chosen* plan against
+the best plan it could have chosen), four pieces:
+
+* :class:`PlanTimer` (:mod:`repro.plantime.collector`) — min-of-k
+  repeat sampling of each forced-plan execution, a per-query slowdown
+  score (unforced baseline vs. best forced alternative), and
+  :class:`PlanRegression` findings for queries whose planner-chosen
+  plan is slower than the best alternative by a configurable ratio.
+  Regressions are optimizer-*inefficiency* records, deliberately kept
+  apart from :class:`~repro.core.reports.Oracle` correctness bugs;
+* :func:`query_shape` (:mod:`repro.plantime.shape`) — the literal-free
+  query-shape fingerprint that keys timings so re-synthesized queries
+  with different literals aggregate into one model point;
+* :class:`TimingArchive` (:mod:`repro.plantime.archive`) — the
+  persistent JSONL archive keyed by (query shape, canonical plan
+  fingerprint), min-merged across rounds and workers exactly like
+  :class:`~repro.guidance.coverage.PlanCoverage`;
+* :func:`compare_archives` (:mod:`repro.plantime.optreport`) — the
+  ``pqs optreport`` differ: two archives in, new / fixed / worsened /
+  ongoing regressions out, with per-plan timing tables.
+
+Off by default everywhere: without ``--plan-timing`` the oracle uses
+:data:`NULL_PLAN_TIMER` and the statement stream, journal bytes, and
+plan enumeration are bit-identical to a build without this package.
+"""
+
+from repro.plantime.archive import TimingArchive, plan_key
+from repro.plantime.collector import (
+    NULL_PLAN_TIMER,
+    NullPlanTimer,
+    PlanRegression,
+    PlanTimer,
+)
+from repro.plantime.optreport import compare_archives, render_optreport
+from repro.plantime.shape import canonical_shape, query_shape
+
+__all__ = [
+    "NULL_PLAN_TIMER", "NullPlanTimer", "PlanRegression", "PlanTimer",
+    "TimingArchive", "canonical_shape", "compare_archives", "plan_key",
+    "query_shape", "render_optreport",
+]

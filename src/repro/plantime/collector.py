@@ -1,0 +1,204 @@
+"""The per-plan timing collector and planner-quality scorer.
+
+A :class:`PlanTimer` rides inside the multi-plan oracle: after the
+oracle has executed and accepted a distinct plan (dedup already done),
+the timer re-executes it ``repeats`` times through the same non-logged
+``with_plan`` hook and keeps the **minimum** elapsed time — min-of-k is
+the standard robust estimator for "how fast can this plan go" because
+scheduling noise only ever adds time.  Once all of a query's plans are
+collected the timer scores the planner: the unforced baseline plan's
+elapsed time divided by the best *forced* alternative's is the
+**slowdown** of the plan the planner actually chose.  A slowdown at or
+above the configured ratio becomes a :class:`PlanRegression` — an
+optimizer-inefficiency finding, deliberately *not* a
+:class:`~repro.core.reports.BugReport`: the rows were right, only the
+plan choice was poor, so these records live beside (never among) the
+``Oracle.MULTIPLAN`` correctness findings.
+
+Determinism contract: timing adds executions but consumes no RNG and
+goes only through ``with_plan`` (never logged, never advances fault
+schedules), so the synthesized statement stream is identical with the
+timer on or off.  The wall-clock values themselves are of course not
+reproducible — they are journaled per round, which is exactly how a
+``--resume`` continuation rebuilds the same archive without re-timing
+completed rounds.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import DBCrash, DBError
+from repro.plantime.shape import query_shape
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry import names as metric_names
+
+
+def _us(seconds: float) -> float:
+    """Microseconds, rounded to a JSON-friendly width."""
+    return round(seconds * 1e6, 2)
+
+
+@dataclass
+class PlanRegression:
+    """One query whose planner-chosen plan lost to a forced alternative.
+
+    A non-bug finding: serialized into journal rounds and archives, and
+    surfaced by ``pqs report`` / ``pqs optreport`` / ``/plantime`` — but
+    never reduced, attributed, or counted as a correctness report.
+    """
+
+    shape: str
+    sql: str
+    #: baseline elapsed / best forced elapsed (>= the flagging ratio).
+    slowdown: float
+    baseline_us: float
+    best_us: float
+    baseline_fingerprint: str = ""
+    best_fingerprint: str = ""
+    #: The winning plan's hints (``PlannerHints.as_dict()`` form).
+    best_hints: Optional[dict] = None
+
+    def to_json(self) -> dict:
+        out = {"shape": self.shape, "sql": self.sql,
+               "slowdown": self.slowdown,
+               "baseline_us": self.baseline_us, "best_us": self.best_us,
+               "baseline_fingerprint": self.baseline_fingerprint,
+               "best_fingerprint": self.best_fingerprint}
+        if self.best_hints:
+            out["best_hints"] = dict(self.best_hints)
+        return out
+
+    @staticmethod
+    def from_json(data: dict) -> "PlanRegression":
+        return PlanRegression(
+            shape=data.get("shape", ""), sql=data.get("sql", ""),
+            slowdown=float(data.get("slowdown", 0.0)),
+            baseline_us=float(data.get("baseline_us", 0.0)),
+            best_us=float(data.get("best_us", 0.0)),
+            baseline_fingerprint=data.get("baseline_fingerprint", ""),
+            best_fingerprint=data.get("best_fingerprint", ""),
+            best_hints=data.get("best_hints"))
+
+
+class NullPlanTimer:
+    """Off-is-free stand-in: no sampling, no state, no journal keys."""
+
+    __slots__ = ()
+    enabled = False
+
+    def sample(self, sql: str, hints, with_plan) -> None:
+        return None
+
+    def observe_query(self, sql: str, runs) -> None:
+        return None
+
+    def take_round_outcome(self) -> dict:
+        return {}
+
+
+NULL_PLAN_TIMER = NullPlanTimer()
+
+
+class PlanTimer:
+    """Min-of-k plan timing plus per-query planner-quality scoring."""
+
+    enabled = True
+
+    def __init__(self, repeats: int = 3, ratio: float = 1.5,
+                 telemetry: Optional[Telemetry] = None,
+                 clock: Optional[Callable[[], float]] = None):
+        self.repeats = max(1, int(repeats))
+        self.ratio = float(ratio)
+        self.clock = clock if clock is not None else time.perf_counter
+        t = telemetry or NULL_TELEMETRY
+        self._m_queries = t.counter(metric_names.PLANTIME_QUERIES)
+        self._m_plan_seconds = t.histogram(
+            metric_names.PLANTIME_PLAN_SECONDS)
+        self._m_slowdown = t.histogram(
+            metric_names.PLANTIME_SLOWDOWN,
+            buckets=metric_names.RATIO_BUCKETS)
+        self._m_regressions = t.counter(
+            metric_names.PLANTIME_REGRESSIONS)
+        self._round_queries: list[dict] = []
+        self._round_regressions: list[dict] = []
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, sql: str, hints, with_plan) -> Optional[float]:
+        """Best-of-``repeats`` elapsed seconds for one forced plan.
+
+        The plan already executed once (the oracle needed its rows and
+        fingerprint before deciding it was distinct); these are pure
+        re-executions.  A plan that fails on a re-run — flaky forcing —
+        is left untimed rather than scored on partial data.
+        """
+        best: Optional[float] = None
+        for _ in range(self.repeats):
+            started = self.clock()
+            try:
+                with_plan(sql, hints)
+            except (DBError, DBCrash):
+                return None
+            elapsed = self.clock() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return best
+
+    # -- scoring -------------------------------------------------------------
+    def observe_query(self, sql: str, runs) -> None:
+        """Score one query's timed plan runs and queue them for the
+        round outcome.  *runs* are the oracle's :class:`~repro.multiplan
+        .oracle.PlanRun` values; only those with an ``elapsed`` sample
+        participate."""
+        timed = [run for run in runs
+                 if getattr(run, "elapsed", None) is not None]
+        if not timed:
+            return
+        shape = query_shape(sql)
+        entry: dict = {
+            "shape": shape,
+            "sql": sql,
+            "plans": [{"fingerprint": run.fingerprint,
+                       "hints": run.hints.as_dict(),
+                       "rows": len(run.rows),
+                       "elapsed_us": _us(run.elapsed)}
+                      for run in timed],
+        }
+        self._m_queries.inc()
+        for run in timed:
+            self._m_plan_seconds.observe(run.elapsed)
+        baseline = next(
+            (run for run in timed if run.hints.is_baseline), None)
+        forced = [run for run in timed if not run.hints.is_baseline]
+        if baseline is not None and forced:
+            best = min(forced, key=lambda run: run.elapsed)
+            if best.elapsed > 0:
+                slowdown = round(baseline.elapsed / best.elapsed, 3)
+                entry["slowdown"] = slowdown
+                self._m_slowdown.observe(slowdown)
+                if slowdown >= self.ratio:
+                    regression = PlanRegression(
+                        shape=shape, sql=sql, slowdown=slowdown,
+                        baseline_us=_us(baseline.elapsed),
+                        best_us=_us(best.elapsed),
+                        baseline_fingerprint=baseline.fingerprint,
+                        best_fingerprint=best.fingerprint,
+                        best_hints=best.hints.as_dict())
+                    self._round_regressions.append(regression.to_json())
+                    self._m_regressions.inc()
+        self._round_queries.append(entry)
+
+    def take_round_outcome(self) -> dict:
+        """Drain this round's timings into a journal-ready dict."""
+        if not self._round_queries:
+            return {}
+        outcome = {
+            "timed": len(self._round_queries),
+            "queries": self._round_queries,
+            "regressions": self._round_regressions,
+        }
+        self._round_queries = []
+        self._round_regressions = []
+        return outcome

@@ -1,0 +1,146 @@
+"""``pqs optreport`` — diff two timing archives.
+
+Given an *old* and a *new* :class:`~repro.plantime.archive
+.TimingArchive`, classify each query shape measured in both by whether
+its planner slowdown crossed the regression ratio:
+
+* **new** — regressed now, was fine (or unflagged) before;
+* **fixed** — regressed before, measured fine now;
+* **worsened** — regressed in both, and the new slowdown exceeds the
+  old by more than the worsen margin;
+* **ongoing** — regressed in both, roughly unchanged.
+
+Classification is pure arithmetic over the archives' min-merged
+timings, so the same two files always produce the same report — the
+property CI leans on when it self-compares an archive (zero in every
+bucket) and when the bench seeds a deliberate slowdown (exactly one
+``new``/``worsened`` entry).
+"""
+
+from __future__ import annotations
+
+from repro.multiplan.hints import PlannerHints
+from repro.plantime.archive import TimingArchive
+
+
+def _describe_hints(hints: dict) -> str:
+    try:
+        return PlannerHints.from_dict(hints or {}).describe()
+    except (TypeError, ValueError):
+        return repr(hints)
+
+
+def _plan_table(old: TimingArchive, new: TimingArchive,
+                shape: str) -> list[dict]:
+    """Join the two archives' per-plan timings for one shape."""
+    old_plans = old.plans_for(shape)
+    new_plans = new.plans_for(shape)
+    table = []
+    for key in sorted(set(old_plans) | set(new_plans)):
+        before = old_plans.get(key)
+        after = new_plans.get(key)
+        source = after or before
+        table.append({
+            "plan": key,
+            "hints": _describe_hints(source["hints"]),
+            "rows": source["rows"],
+            "old_us": before["elapsed_us"] if before else None,
+            "new_us": after["elapsed_us"] if after else None,
+        })
+    return table
+
+
+def compare_archives(old: TimingArchive, new: TimingArchive,
+                     ratio: float = 1.5,
+                     worsen_margin: float = 0.10) -> dict:
+    """Classify planner regressions between two archives."""
+    old_shapes = set(old.shapes())
+    new_shapes = set(new.shapes())
+    shared = old_shapes & new_shapes
+
+    buckets: dict[str, list[dict]] = {
+        "new": [], "fixed": [], "worsened": [], "ongoing": []}
+    for shape in sorted(shared):
+        old_slowdown = old.slowdown(shape)
+        new_slowdown = new.slowdown(shape)
+        if old_slowdown is None and new_slowdown is None:
+            continue
+        was = old_slowdown is not None and old_slowdown >= ratio
+        now = new_slowdown is not None and new_slowdown >= ratio
+        if not was and not now:
+            continue
+        entry = {
+            "shape": shape,
+            "sql": new.sql_for(shape) or old.sql_for(shape),
+            "old_slowdown": old_slowdown,
+            "new_slowdown": new_slowdown,
+            "plans": _plan_table(old, new, shape),
+        }
+        if now and not was:
+            buckets["new"].append(entry)
+        elif was and not now:
+            if new_slowdown is not None:
+                buckets["fixed"].append(entry)
+            else:
+                # Not measured well enough in the new run to call fixed.
+                buckets["ongoing"].append(entry)
+        elif (new_slowdown is not None and old_slowdown is not None
+                and new_slowdown > old_slowdown * (1.0 + worsen_margin)):
+            buckets["worsened"].append(entry)
+        else:
+            buckets["ongoing"].append(entry)
+    for bucket in buckets.values():
+        bucket.sort(key=lambda item: (
+            -(item["new_slowdown"] or item["old_slowdown"] or 0.0),
+            item["shape"]))
+    return {
+        "ratio": ratio,
+        "worsen_margin": worsen_margin,
+        "shapes_old": len(old_shapes),
+        "shapes_new": len(new_shapes),
+        "shapes_compared": len(shared),
+        "only_old": len(old_shapes - new_shapes),
+        "only_new": len(new_shapes - old_shapes),
+        "new": buckets["new"],
+        "fixed": buckets["fixed"],
+        "worsened": buckets["worsened"],
+        "ongoing": buckets["ongoing"],
+    }
+
+
+def _fmt_us(value) -> str:
+    return "-" if value is None else f"{value:.1f}us"
+
+
+def _fmt_slowdown(value) -> str:
+    return "?" if value is None else f"{value:.2f}x"
+
+
+def _render_entry(entry: dict, lines: list[str]) -> None:
+    lines.append(f"  shape {entry['shape']}  "
+                 f"{_fmt_slowdown(entry['old_slowdown'])} -> "
+                 f"{_fmt_slowdown(entry['new_slowdown'])}")
+    lines.append(f"    {entry['sql']}")
+    for plan in entry["plans"]:
+        lines.append(
+            f"    plan {plan['plan']:<16} {plan['hints']:<24} "
+            f"rows={plan['rows']:<4} old={_fmt_us(plan['old_us'])} "
+            f"new={_fmt_us(plan['new_us'])}")
+
+
+def render_optreport(comparison: dict) -> str:
+    """Human-readable rendering of :func:`compare_archives` output."""
+    lines = ["optimizer regression report",
+             f"  regression ratio: {comparison['ratio']:.2f}x  "
+             f"worsen margin: {comparison['worsen_margin']:.0%}",
+             f"  shapes: {comparison['shapes_old']} old, "
+             f"{comparison['shapes_new']} new, "
+             f"{comparison['shapes_compared']} compared "
+             f"({comparison['only_old']} only-old, "
+             f"{comparison['only_new']} only-new)"]
+    for bucket in ("new", "worsened", "fixed", "ongoing"):
+        entries = comparison[bucket]
+        lines.append(f"{bucket} regressions: {len(entries)}")
+        for entry in entries:
+            _render_entry(entry, lines)
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Literal-free query-shape fingerprints.
+
+Two synthesized queries that differ only in literals exercise the same
+planner decision, so per-plan timings are aggregated by *query shape*:
+the SQL text with every string, blob, and numeric literal replaced by
+``?`` and whitespace collapsed.  The generator's canonical ``t0``/
+``c0``/``i0`` naming makes the shape — and therefore the archive key —
+stable across seeds and campaigns, which is what lets ``pqs optreport``
+line two archives up shape by shape.
+
+Replacement order matters: blob literals (``x'00ff'``) before plain
+strings (their hex body must not survive as a number), strings before
+numbers (digits inside a string are part of the literal, not a numeric
+token).  ``\\b\\d`` never fires inside identifiers like ``t0`` — there
+is no word boundary between two word characters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+
+_BLOB = re.compile(r"[xX]'[0-9a-fA-F]*'")
+#: SQL strings escape a quote by doubling it: 'it''s' is one literal.
+_STRING = re.compile(r"'(?:[^']|'')*'")
+_NUMBER = re.compile(r"\b\d+(?:\.\d+)?(?:[eE][+-]?\d+)?\b")
+_WS = re.compile(r"\s+")
+
+
+def canonical_shape(sql: str) -> str:
+    """The literal-free, whitespace-collapsed form of *sql*."""
+    text = _BLOB.sub("?", sql)
+    text = _STRING.sub("?", text)
+    text = _NUMBER.sub("?", text)
+    return _WS.sub(" ", text).strip()
+
+
+def query_shape(sql: str) -> str:
+    """Stable truncated digest of :func:`canonical_shape` — the archive
+    key (same truncation width as plan fingerprints and report
+    fingerprints, so the three id spaces read alike in tooling)."""
+    body = canonical_shape(sql).encode("utf-8")
+    return hashlib.sha256(body).hexdigest()[:12]

@@ -57,6 +57,19 @@ MULTIPLAN_DIVERGENCES = "pqs_multiplan_divergences_total"
 #: Forced-plan executions the target rejected (counter).
 MULTIPLAN_FORCED_FAILURES = "pqs_multiplan_forced_failures_total"
 
+# -- optimizer observatory (repro.plantime) ---------------------------------
+#: Queries with per-plan timings collected (counter).
+PLANTIME_QUERIES = "pqs_plantime_queries_total"
+#: Min-of-k elapsed time per timed forced-plan execution (histogram).
+PLANTIME_PLAN_SECONDS = "pqs_plantime_plan_seconds"
+#: Planner slowdown per query — unforced baseline elapsed over best
+#: forced elapsed (histogram; unit is a ratio, so it uses ratio-shaped
+#: buckets).
+PLANTIME_SLOWDOWN = "pqs_plantime_slowdown_ratio"
+#: Queries flagged as planner regressions (slowdown at or above the
+#: configured ratio; counter).
+PLANTIME_REGRESSIONS = "pqs_plantime_regressions_total"
+
 # -- supervised campaign fleet (repro.campaigns.{scheduler,supervisor}) -----
 #: Campaign workers restarted by the supervisor after a death (counter).
 SUPERVISOR_RESTARTS = "pqs_supervisor_worker_restarts_total"
@@ -95,6 +108,10 @@ ROUNDTRIP_SECONDS = "pqs_subprocess_roundtrip_seconds"
 #: Bucket layout for count-valued histograms (replay lengths).
 COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
+#: Bucket layout for ratio-valued histograms (planner slowdowns): dense
+#: around 1.0 where "fine" and "regressed" separate, sparse above.
+RATIO_BUCKETS = (1.05, 1.1, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0)
+
 #: ``# HELP`` text per metric family, emitted by
 #: :meth:`~repro.telemetry.registry.MetricsRegistry.to_prometheus` —
 #: the exposition-format conformance audit showed scrapes without HELP
@@ -118,6 +135,13 @@ HELP = {
         "Queries where two plans returned different row multisets",
     MULTIPLAN_FORCED_FAILURES:
         "Forced-plan executions the target rejected",
+    PLANTIME_QUERIES: "Queries with per-plan timings collected",
+    PLANTIME_PLAN_SECONDS:
+        "Min-of-k elapsed time per timed forced-plan execution",
+    PLANTIME_SLOWDOWN:
+        "Planner slowdown: baseline elapsed over best forced elapsed",
+    PLANTIME_REGRESSIONS:
+        "Queries flagged as planner regressions",
     SUPERVISOR_RESTARTS: "Campaign workers restarted after a death",
     SUPERVISOR_STALLS:
         "Workers whose heartbeat went stale and had leases stolen",

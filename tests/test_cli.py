@@ -270,6 +270,26 @@ class TestReport:
         assert len(lines) == 1
         assert json.loads(lines[0])["campaign"] == "sqlite-s3"
 
+    def test_report_prints_trend_over_prior_campaigns(self, tmp_path):
+        import json
+
+        journal = self.hunt_with_journal(tmp_path)
+        history = tmp_path / "history.jsonl"
+        first_code, first_output = run_cli("report", str(journal),
+                                           "--history", str(history))
+        assert first_code == 0
+        assert "history trend" not in first_output, \
+            "no prior campaigns, nothing to compare to"
+        second_code, second_output = run_cli("report", str(journal),
+                                             "--history", str(history))
+        assert second_code == 0
+        assert "history trend (1 of 1 campaign(s)):" in second_output
+        assert "queries/s:" in second_output
+        lines = [json.loads(line)
+                 for line in history.read_text().splitlines()]
+        assert len(lines) == 2
+        assert all("queries_per_second" in line for line in lines)
+
     def test_report_json_mode(self, tmp_path):
         import json
 
