@@ -18,12 +18,23 @@ from repro.adapters.minidb_adapter import MiniDBConnection
 from repro.core.runner import PQSRunner, RunnerConfig
 from repro.telemetry import Telemetry, names
 
+#: One workload for every throughput number in this module — the
+#: statements/s table and the queries/s JSON artifact measure the same
+#: hunt, and the artifact records these so downstream comparisons
+#: (check_throughput_regression.py) know what was measured.
+DATABASES = 20
+SEED = 99
+#: Wall-clock samples per measurement; the recorded number is the best
+#: (minimum) wall time.  Hunts are deterministic, so the minimum is the
+#: least-noise estimate of the code's actual speed on a shared box.
+BEST_OF = 5
+
 
 def loop_statement_rate(dialect: str) -> tuple[float, int]:
     runner = PQSRunner(lambda: MiniDBConnection(dialect),
-                       RunnerConfig(dialect=dialect, seed=99))
+                       RunnerConfig(dialect=dialect, seed=SEED))
     start = time.perf_counter()
-    stats = runner.run(15)
+    stats = runner.run(DATABASES)
     elapsed = time.perf_counter() - start
     total = stats.statements + stats.queries
     return total / elapsed, total
@@ -38,6 +49,18 @@ def timed_hunt(dialect: str, databases: int, seed: int,
     start = time.perf_counter()
     stats = runner.run(databases)
     return stats, time.perf_counter() - start
+
+
+def best_hunt(dialect: str, databases: int, seed: int,
+              samples: int = BEST_OF):
+    """Best-of-*samples* :func:`timed_hunt`; the hunt is deterministic,
+    so stats are identical across samples and only the wall varies."""
+    stats, best = timed_hunt(dialect, databases, seed)
+    for _ in range(samples - 1):
+        again, wall = timed_hunt(dialect, databases, seed)
+        assert again.queries == stats.queries, "hunt must be deterministic"
+        best = min(best, wall)
+    return stats, best
 
 
 def phase_breakdown(telemetry: Telemetry) -> dict:
@@ -63,20 +86,25 @@ def test_throughput_json_artifact():
     Runs without the pytest-benchmark fixture so the CI smoke job can
     execute it standalone.
     """
-    databases, seed = 20, 99
-    artifact: dict = {"databases": databases, "seed": seed,
-                      "dialects": {}}
+    artifact: dict = {"databases": DATABASES, "seed": SEED,
+                      "best_of": BEST_OF, "dialects": {}}
 
     for dialect in DIALECTS:
         # Warm-up: import costs, sqlite caches.
-        timed_hunt(dialect, 3, seed)
+        timed_hunt(dialect, 3, SEED)
 
         # Baseline: instrumented code, telemetry off (the default).
-        base_stats, base_wall = timed_hunt(dialect, databases, seed)
-        # Metered: full registry + phase histograms.
-        telemetry = Telemetry()
-        met_stats, met_wall = timed_hunt(dialect, databases, seed,
-                                         telemetry=telemetry)
+        base_stats, base_wall = best_hunt(dialect, DATABASES, SEED)
+        # Metered: full registry + phase histograms.  Each sample gets a
+        # fresh registry so the recorded histograms describe one hunt.
+        met_stats = met_wall = telemetry = None
+        for _ in range(BEST_OF):
+            sample_telemetry = Telemetry()
+            sample_stats, sample_wall = timed_hunt(
+                dialect, DATABASES, SEED, telemetry=sample_telemetry)
+            if met_wall is None or sample_wall < met_wall:
+                met_stats, met_wall = sample_stats, sample_wall
+                telemetry = sample_telemetry
         assert met_stats.queries == base_stats.queries, \
             "telemetry must not perturb the hunt"
 

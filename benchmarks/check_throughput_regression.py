@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Gate CI on hunt throughput: fail when queries/s regresses.
+
+Compares a freshly measured ``throughput.json`` (produced by
+``bench_throughput.py::test_throughput_json_artifact``) against the
+committed baseline artifact and exits non-zero when any dialect's
+``queries_per_second`` drops by more than ``--max-drop-pct`` (default
+20%).  Both artifacts record best-of-N wall times over a fixed
+(databases, seed) workload, so a drop beyond the threshold means the
+code got slower, not that the runner got unlucky.
+
+Usage::
+
+    python benchmarks/check_throughput_regression.py BASELINE CURRENT \
+        [--max-drop-pct 20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def compare(baseline: dict, current: dict, max_drop_pct: float) -> list[str]:
+    """Return a list of human-readable regression failures (empty = pass)."""
+    failures = []
+    for key in ("databases", "seed"):
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"workload mismatch: {key} baseline={baseline.get(key)!r} "
+                f"current={current.get(key)!r} — numbers are not comparable")
+    if failures:
+        return failures
+    for dialect, base_row in baseline.get("dialects", {}).items():
+        cur_row = current.get("dialects", {}).get(dialect)
+        if cur_row is None:
+            failures.append(f"{dialect}: missing from current artifact")
+            continue
+        base_qps = base_row["queries_per_second"]
+        cur_qps = cur_row["queries_per_second"]
+        drop_pct = (base_qps - cur_qps) / base_qps * 100.0
+        verdict = "REGRESSION" if drop_pct > max_drop_pct else "ok"
+        print(f"{dialect:>10}: {base_qps:8.1f} -> {cur_qps:8.1f} q/s "
+              f"({-drop_pct:+.1f}%) [{verdict}]")
+        if drop_pct > max_drop_pct:
+            failures.append(
+                f"{dialect}: queries/s dropped {drop_pct:.1f}% "
+                f"({base_qps} -> {cur_qps}), threshold {max_drop_pct}%")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="committed throughput.json to compare against")
+    parser.add_argument("current", type=Path,
+                        help="freshly measured throughput.json")
+    parser.add_argument("--max-drop-pct", type=float, default=20.0,
+                        help="fail when queries/s drops more than this "
+                             "percentage (default: 20)")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = compare(baseline, current, args.max_drop_pct)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"throughput within {args.max_drop_pct:g}% of baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,14 @@ process boundary in pure stdlib Python:
 
 * the target connection runs in a **child process**
   (:mod:`repro.adapters.subprocess_worker`) and is driven over a
-  length-prefixed pickle pipe protocol;
+  length-prefixed tagged pipe protocol (:mod:`repro.adapters.wire`):
+  pickle for control frames, a compact typed column-wise encoding for
+  query-result replies when both ends negotiate it;
+* :meth:`SubprocessConnection.execute_many` ships a whole **batch** of
+  statements in one frame; the worker streams one outcome frame back
+  per statement, so crash attribution (the first missing outcome), the
+  per-statement watchdog, and replay-on-restart all keep working on
+  batch boundaries exactly as they do statement-at-a-time;
 * child death — a real segfault, an ``os._exit``, an OOM kill —
   surfaces as :class:`~repro.errors.DBCrash`, making the crash oracle
   real for live targets;
@@ -30,7 +37,6 @@ deterministic fault does not re-fire forever.
 from __future__ import annotations
 
 import os
-import pickle
 import select
 import signal
 import struct
@@ -41,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Optional
 
+from repro.adapters import wire
 from repro.errors import (
     CatalogError,
     ConstraintError,
@@ -65,10 +72,10 @@ _ERROR_TYPES = {cls.__name__: cls for cls in (
     IntegrityError, UnsupportedError, DBTimeout)}
 
 
-def write_frame(stream, obj: Any) -> None:
-    """Write one length-prefixed pickle frame (shared with the worker)."""
-    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    stream.write(_HEADER.pack(len(payload)) + payload)
+def write_frame(stream, obj: Any, use_rowset: bool = False) -> None:
+    """Write one length-prefixed tagged frame (shared with the worker)."""
+    body = wire.dumps(obj, use_rowset)
+    stream.write(_HEADER.pack(len(body)) + body)
     stream.flush()
 
 
@@ -76,7 +83,7 @@ def read_frame(stream) -> Any:
     """Blocking read of one frame (worker side; parent reads use select)."""
     header = _read_exact(stream, _HEADER.size)
     (length,) = _HEADER.unpack(header)
-    return pickle.loads(_read_exact(stream, length))
+    return wire.loads(_read_exact(stream, length))
 
 
 def _read_exact(stream, n: int) -> bytes:
@@ -149,6 +156,17 @@ class SubprocessConnection:
         self._m_replay = t.histogram(metric_names.REPLAY_STATEMENTS,
                                      buckets=metric_names.COUNT_BUCKETS)
         self._m_roundtrip = t.histogram(metric_names.ROUNDTRIP_SECONDS)
+        self._m_batch = t.histogram(metric_names.PIPE_BATCH_STATEMENTS,
+                                    buckets=metric_names.COUNT_BUCKETS)
+        self._m_bytes_out = t.counter(metric_names.PIPE_BYTES_SENT)
+        self._m_bytes_in = t.counter(metric_names.PIPE_BYTES_RECEIVED)
+        self._m_encode = t.histogram(metric_names.PIPE_ENCODE_SECONDS)
+        self._m_decode = t.histogram(metric_names.PIPE_DECODE_SECONDS)
+        #: Wire variant the worker agreed to (None = pickle-only).  The
+        #: parent decodes both unconditionally; this only drives what
+        #: the hello frame advertises.
+        self.wire_encoding: Optional[str] = None
+        self._offer_rowset = os.environ.get("REPRO_WIRE") != "pickle"
         self._started = False
         self._restore()
 
@@ -174,6 +192,77 @@ class SubprocessConnection:
         rows = self._interpret(reply)
         self._log.append(sql)
         return rows
+
+    def execute_many(self, sqls: list[str]
+                     ) -> list[tuple[str, Any]]:
+        """Ship a batch of statements in one frame; stream outcomes back.
+
+        Returns one ``(kind, payload)`` outcome per *executed* statement,
+        in order: ``("ok", rows)``, ``("error", DBError)``,
+        ``("crash", DBCrash)`` or ``("timeout", DBTimeout)``.  The worker
+        stops at the first non-ok statement, so the result is a prefix of
+        *sqls* whose last element may be the failure; statements after it
+        were **never executed** (callers resubmit them if they want to
+        continue, which is exactly what sequential ``execute`` calls
+        would have done).
+
+        Fault semantics match ``execute`` statement-for-statement: each
+        outcome read gets its own watchdog deadline, a missing outcome
+        attributes a worker death to the statement in flight, successful
+        statements enter the replay log one by one, and the fault-
+        schedule offset advances per statement attempted.
+        """
+        outcomes: list[tuple[str, Any]] = []
+        if not sqls:
+            return outcomes
+        if self._proc is None:
+            self._restore()
+        self._m_batch.observe(len(sqls))
+        try:
+            self._send({"op": "execute_many", "sqls": list(sqls)})
+        except _WorkerDied as died:
+            self._fresh += 1
+            outcomes.append(("crash", DBCrash(died.message)))
+            return outcomes
+        for sql in sqls:
+            self._fresh += 1
+            t0 = time.monotonic() if self._metered else 0.0
+            try:
+                reply = self._recv(self.config.statement_timeout)
+            except EOFError:
+                died = self._reap("read")
+                outcomes.append(("crash", DBCrash(died.message)))
+                return outcomes
+            except _DeadlineExceeded:
+                self._kill()
+                self._m_watchdog.inc()
+                outcomes.append(("timeout", DBTimeout(
+                    f"statement exceeded "
+                    f"{self.config.statement_timeout:.3g}s watchdog "
+                    f"deadline: {sql[:120]}")))
+                return outcomes
+            if self._metered:
+                self._m_roundtrip.observe(time.monotonic() - t0)
+            if "ok" in reply:
+                self._log.append(sql)
+                outcomes.append(("ok", reply["ok"]))
+                continue
+            if "error" in reply:
+                name, message = reply["error"]
+                outcomes.append(
+                    ("error", _ERROR_TYPES.get(name, DBError)(message)))
+                return outcomes
+            if "crash" in reply:
+                message = reply["crash"]
+                self._drain_dead_worker()
+                outcomes.append(("crash", DBCrash(message)))
+                return outcomes
+            self._kill()
+            if "fatal" in reply:
+                raise HarnessError(
+                    f"worker failed internally:\n{reply['fatal']}")
+            raise HarnessError(f"unintelligible worker reply: {reply!r}")
+        return outcomes
 
     def query_plan(self, sql: str) -> list:
         """Forward plan introspection to the worker's target connection.
@@ -279,12 +368,15 @@ class SubprocessConnection:
             [sys.executable, "-m", "repro.adapters.subprocess_worker"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
             stderr=subprocess.DEVNULL, env=env)
-        reply = self._request(
-            {"op": "hello", "factory": self.factory, "offset": self._fresh},
-            self.config.startup_timeout)
+        hello = {"op": "hello", "factory": self.factory,
+                 "offset": self._fresh}
+        if self._offer_rowset:
+            hello["wire"] = [wire.ROWSET_NAME]
+        reply = self._request(hello, self.config.startup_timeout)
         if not isinstance(reply, dict) or "dialect" not in reply:
             raise _WorkerDied(f"bad handshake reply: {reply!r}")
         self.dialect = reply["dialect"]
+        self.wire_encoding = reply.get("wire")
 
     def _replay(self) -> None:
         if self._metered and self._started:
@@ -300,15 +392,27 @@ class SubprocessConnection:
 
     # -- protocol plumbing --------------------------------------------------
     def _request(self, message: dict, timeout: Optional[float]) -> Any:
-        assert self._proc is not None
-        try:
-            write_frame(self._proc.stdin, message)
-        except (BrokenPipeError, OSError):
-            raise self._reap("write") from None
+        self._send(message)
         try:
             return self._recv(timeout)
         except EOFError:
             raise self._reap("read") from None
+
+    def _send(self, message: dict) -> None:
+        assert self._proc is not None
+        if self._metered:
+            t0 = time.monotonic()
+            body = wire.dumps(message)
+            self._m_encode.observe(time.monotonic() - t0)
+            self._m_bytes_out.inc(_HEADER.size + len(body))
+        else:
+            body = wire.dumps(message)
+        try:
+            stdin = self._proc.stdin
+            stdin.write(_HEADER.pack(len(body)) + body)
+            stdin.flush()
+        except (BrokenPipeError, OSError):
+            raise self._reap("write") from None
 
     def _interpret(self, reply: Any) -> list[tuple[Value, ...]]:
         if "ok" in reply:
@@ -333,7 +437,14 @@ class SubprocessConnection:
                     else time.monotonic() + timeout)
         header = self._read_deadline(_HEADER.size, deadline)
         (length,) = _HEADER.unpack(header)
-        return pickle.loads(self._read_deadline(length, deadline))
+        body = self._read_deadline(length, deadline)
+        if not self._metered:
+            return wire.loads(body)
+        self._m_bytes_in.inc(_HEADER.size + length)
+        t0 = time.monotonic()
+        reply = wire.loads(body)
+        self._m_decode.observe(time.monotonic() - t0)
+        return reply
 
     def _read_deadline(self, n: int, deadline: Optional[float]) -> bytes:
         """Read exactly *n* bytes from the worker's stdout before *deadline*.

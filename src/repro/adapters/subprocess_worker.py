@@ -4,12 +4,21 @@ Runs one target connection and serves the pipe protocol:
 
 * ``hello``   — unpickle the connection factory, instantiate the target
   (passing ``offset=`` when the factory advertises ``accepts_offset``),
-  reply with the target's dialect;
+  reply with the target's dialect and the wire encoding picked from the
+  parent's advertised list (see :mod:`repro.adapters.wire`);
 * ``execute`` — run one fresh statement; reply ``{"ok": rows}``,
   ``{"error": (type, message)}``, or — for a simulated
   :class:`~repro.errors.DBCrash` — announce ``{"crash": message}`` and
   then *die* (``os._exit(139)``, the shell's SIGSEGV convention), so a
   simulated crash and a real segfault look identical to the parent;
+* ``execute_many`` — run a batch of fresh statements in order,
+  streaming one outcome frame per statement; the batch stops at the
+  first non-ok statement (the parent resubmits the rest if it wants to
+  continue), so an interleaving of batches is statement-for-statement
+  identical to the same statements sent one at a time.  A simulated
+  crash mid-batch announces itself and dies exactly like ``execute``;
+  a real kill simply truncates the outcome stream, and the parent
+  attributes the death to the first statement without an outcome;
 * ``replay``  — re-run a previously-successful statement during state
   restoration, bypassing fault injection when the target offers
   ``execute_replay``;
@@ -29,6 +38,7 @@ import os
 import sys
 import traceback
 
+from repro.adapters import wire
 from repro.adapters.subprocess_adapter import read_frame, write_frame
 from repro.errors import DBCrash, DBError
 
@@ -52,8 +62,11 @@ def main() -> int:
     except Exception:
         write_frame(stdout, {"fatal": traceback.format_exc()})
         return 1
-    write_frame(stdout, {"dialect": getattr(connection, "dialect",
-                                            "sqlite")})
+    use_rowset = wire.ROWSET_NAME in hello.get("wire", ())
+    greeting = {"dialect": getattr(connection, "dialect", "sqlite")}
+    if use_rowset:
+        greeting["wire"] = wire.ROWSET_NAME
+    write_frame(stdout, greeting)
     while True:
         try:
             message = read_frame(stdin)
@@ -66,6 +79,26 @@ def main() -> int:
             except Exception:
                 pass
             return 0
+        if op == "execute_many":
+            for sql in message["sqls"]:
+                try:
+                    rows = connection.execute(sql)
+                except DBCrash as crash:
+                    write_frame(stdout, {"crash": crash.message})
+                    stdout.flush()
+                    os._exit(CRASH_EXIT_CODE)
+                except DBError as error:
+                    # Stop at the first failure: the parent decides
+                    # whether the remaining statements still run.
+                    write_frame(stdout, {"error": (type(error).__name__,
+                                                   error.message)})
+                    break
+                except Exception:
+                    write_frame(stdout, {"fatal": traceback.format_exc()})
+                    return 1
+                else:
+                    write_frame(stdout, {"ok": rows}, use_rowset)
+            continue
         if op not in ("execute", "replay", "query_plan", "with_plan",
                       "index_candidates"):
             write_frame(stdout, {"fatal": f"unknown op: {op!r}"})
@@ -113,7 +146,7 @@ def main() -> int:
             write_frame(stdout, {"fatal": traceback.format_exc()})
             return 1
         else:
-            write_frame(stdout, {"ok": rows})
+            write_frame(stdout, {"ok": rows}, use_rowset)
 
 
 if __name__ == "__main__":

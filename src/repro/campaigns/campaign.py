@@ -158,6 +158,9 @@ class CampaignConfig:
     regression_ratio: float = 1.5
     #: Write the final merged TimingArchive (JSONL) here.
     timing_archive: Optional[str] = None
+    #: Statements per pipe round-trip for batchable work (see
+    #: :attr:`repro.core.runner.RunnerConfig.batch_size`).
+    batch_size: int = 16
     runner: RunnerConfig = field(default_factory=RunnerConfig)
 
     def __post_init__(self) -> None:
@@ -167,6 +170,7 @@ class CampaignConfig:
         self.runner.plan_timing = self.plan_timing
         self.runner.plan_timing_repeats = self.timing_repeats
         self.runner.plan_regression_ratio = self.regression_ratio
+        self.runner.batch_size = self.batch_size
 
 
 @dataclass

@@ -102,6 +102,9 @@ class ParallelCampaignConfig:
     regression_ratio: float = 1.5
     #: Write the merged TimingArchive (JSONL) here.
     timing_archive: Optional[str] = None
+    #: Statements per pipe round-trip for batchable work (see
+    #: :attr:`repro.core.runner.RunnerConfig.batch_size`).
+    batch_size: int = 16
     #: Supervision knobs (see repro.campaigns.supervisor).
     max_worker_restarts: int = 2
     restart_backoff: float = 0.05
@@ -190,7 +193,8 @@ class ParallelCampaign:
             multiplan=cfg.multiplan,
             plan_timing=cfg.plan_timing,
             timing_repeats=cfg.timing_repeats,
-            regression_ratio=cfg.regression_ratio)
+            regression_ratio=cfg.regression_ratio,
+            batch_size=cfg.batch_size)
 
     def run(self) -> ParallelCampaignResult:
         cfg = self.config

@@ -55,6 +55,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "for the dialect)")
     hunt.add_argument("--no-reduce", action="store_true",
                       help="skip delta-debugging reduction")
+    hunt.add_argument("--batch-size", type=int, default=16,
+                      help="statements per pipe round-trip for "
+                           "batchable work (1 = one statement per "
+                           "round-trip; default: 16)")
     hunt.add_argument("--threads", type=int, default=1,
                       help="parallel campaign workers (default: 1)")
     hunt.add_argument("--journal", default=None, metavar="PATH",
@@ -302,7 +306,8 @@ def cmd_hunt(args) -> int:
             plan_timing=args.plan_timing,
             timing_repeats=args.timing_repeats,
             regression_ratio=args.regression_ratio,
-            timing_archive=args.timing_archive)
+            timing_archive=args.timing_archive,
+            batch_size=args.batch_size)
         result = Campaign(config).run()
     except PQSError as error:
         print(f"error: {error}")
@@ -360,6 +365,7 @@ def _hunt_parallel(args, bug_ids, telemetry, observatory) -> int:
         timing_repeats=args.timing_repeats,
         regression_ratio=args.regression_ratio,
         timing_archive=args.timing_archive,
+        batch_size=args.batch_size,
         chaos=chaos)
     result = ParallelCampaign(config).run()
     _write_metrics(args, telemetry, result.stats)

@@ -16,7 +16,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.adapters.base import DBMSConnection
+from repro.adapters.base import DBMSConnection, execute_batch
 from repro.core.containment import check_containment
 from repro.core.error_oracle import ErrorOracle, statement_kind
 from repro.core.exprgen import ExpressionGenerator
@@ -91,6 +91,12 @@ class RunnerConfig:
     #: Flag a query as a planner regression when the unforced plan is at
     #: least this many times slower than the best forced plan.
     plan_regression_ratio: float = 1.5
+    #: Statements shipped per pipe round-trip for the *pre-planned*
+    #: parts of a round (initial state plan, relation probes).  Only
+    #: batches work whose SQL does not depend on earlier outcomes, so
+    #: the statement stream reaching the target is byte-identical at
+    #: every batch size (1 = one statement per round-trip).
+    batch_size: int = 16
 
 
 @dataclass
@@ -253,12 +259,30 @@ class PQSRunner:
                                            self.config.max_tables)
         rows = actions.rng.int_between(self.config.min_rows,
                                        self.config.max_rows)
-        plan = actions.initial_statements(n_tables, rows)
-        for generated in plan:
-            self._run_statement(connection, generated.sql,
-                                generated.on_success, log, round_)
-            if len(round_.reports) >= self.config.max_reports_per_database:
-                return
+        # The initial plan ships in batches, group by group: within a
+        # group the SQL never depends on an earlier statement's outcome,
+        # and outcomes are absorbed in order (on_success callbacks
+        # included), so bookkeeping matches sequential execution
+        # exactly.  A batch stops at its first failure and the remainder
+        # is resubmitted, mirroring what one-at-a-time submission would
+        # have executed.
+        batch = max(1, self.config.batch_size)
+        for group in actions.initial_plan_groups(n_tables, rows):
+            index = 0
+            while index < len(group):
+                chunk = group[index:index + batch]
+                outcomes = execute_batch(connection,
+                                         [g.sql for g in chunk])
+                if not outcomes:
+                    break
+                for generated, outcome in zip(chunk, outcomes):
+                    index += 1
+                    self._absorb_outcome(generated.sql,
+                                         generated.on_success,
+                                         outcome, log, round_)
+                    if len(round_.reports) >= \
+                            self.config.max_reports_per_database:
+                        return
         for _ in range(self.config.extra_statements):
             generated = actions.random_action()
             if generated is None:
@@ -292,33 +316,49 @@ class PQSRunner:
     def _run_statement(self, connection: DBMSConnection, sql: str,
                        on_success, log: list[str],
                        round_: DatabaseRound) -> None:
+        try:
+            rows = connection.execute(sql)
+        except DBCrash as crash:
+            outcome = ("crash", crash)
+        except DBTimeout as timeout:
+            outcome = ("timeout", timeout)
+        except DBError as error:
+            outcome = ("error", error)
+        else:
+            outcome = ("ok", rows)
+        self._absorb_outcome(sql, on_success, outcome, log, round_)
+
+    def _absorb_outcome(self, sql: str, on_success,
+                        outcome: tuple, log: list[str],
+                        round_: DatabaseRound) -> None:
+        """Feed one statement outcome (sequential or batched) to the
+        oracles — the single bookkeeping path for state generation."""
+        kind, payload = outcome
         round_.statements += 1
         self._m_statements.inc()
-        try:
-            connection.execute(sql)
-        except DBCrash as crash:
+        if kind == "ok":
             log.append(sql)
-            round_.reports.append(self._report(Oracle.CRASH, log,
-                                               crash.message))
-        except DBTimeout:
-            # The watchdog killed the statement; the harness restored
-            # state without it, so it is neither logged nor a finding.
-            round_.timeouts += 1
-            self._m_timeouts.inc()
-        except DBError as error:
-            verdict = self.error_oracle.classify(sql, error)
+            if on_success is not None:
+                on_success()
+            self._track_option(sql)
+        elif kind == "error":
+            verdict = self.error_oracle.classify(sql, payload)
             if verdict.expected:
                 round_.expected_errors += 1
                 self._count_expected(sql)
                 return
             log.append(sql)
             round_.reports.append(self._report(Oracle.ERROR, log,
-                                               error.message))
+                                               payload.message))
+        elif kind == "timeout":
+            # The watchdog killed the statement; the harness restored
+            # state without it, so it is neither logged nor a finding.
+            round_.timeouts += 1
+            self._m_timeouts.inc()
         else:
             log.append(sql)
-            if on_success is not None:
-                on_success()
-            self._track_option(sql)
+            round_.reports.append(self._report(Oracle.CRASH, log,
+                                               payload.message))
 
     _CSL_PATTERN = None
 
@@ -378,31 +418,44 @@ class PQSRunner:
     def _probe_relations(self, connection: DBMSConnection,
                          schema: SchemaModel, log: list[str],
                          round_: DatabaseRound) -> list:
-        """SELECT * from every relation, feeding errors to the oracles."""
+        """SELECT * from every relation, feeding errors to the oracles.
+
+        Probe SQL is fixed per table, so all probes ship as one batch;
+        a failed probe never stopped the sequential loop either, so the
+        remainder is always resubmitted.
+        """
         healthy = []
-        for table in schema.relations():
-            sql = f"SELECT * FROM {table.name}"
-            try:
-                rows = connection.execute(sql)
-            except DBCrash as crash:
-                round_.reports.append(self._report(
-                    Oracle.CRASH, log + [sql], crash.message))
-                continue
-            except DBTimeout:
-                round_.timeouts += 1
-                self._m_timeouts.inc()
-                continue
-            except DBError as error:
-                verdict = self.error_oracle.classify(sql, error)
-                if verdict.expected:
-                    round_.expected_errors += 1
-                    self._count_expected(sql)
-                else:
+        tables = list(schema.relations())
+        sqls = [f"SELECT * FROM {table.name}" for table in tables]
+        batch = max(1, self.config.batch_size)
+        index = 0
+        while index < len(tables):
+            outcomes = execute_batch(connection,
+                                     sqls[index:index + batch])
+            if not outcomes:
+                break
+            for table, sql, outcome in zip(tables[index:], sqls[index:],
+                                           outcomes):
+                index += 1
+                kind, payload = outcome
+                if kind == "ok":
+                    if payload and all(len(r) == len(table.columns)
+                                       for r in payload):
+                        healthy.append((table, payload))
+                elif kind == "crash":
                     round_.reports.append(self._report(
-                        Oracle.ERROR, log + [sql], error.message))
-                continue
-            if rows and all(len(r) == len(table.columns) for r in rows):
-                healthy.append((table, rows))
+                        Oracle.CRASH, log + [sql], payload.message))
+                elif kind == "timeout":
+                    round_.timeouts += 1
+                    self._m_timeouts.inc()
+                else:
+                    verdict = self.error_oracle.classify(sql, payload)
+                    if verdict.expected:
+                        round_.expected_errors += 1
+                        self._count_expected(sql)
+                    else:
+                        round_.reports.append(self._report(
+                            Oracle.ERROR, log + [sql], payload.message))
         return healthy
 
     def _one_query(self, connection: DBMSConnection,

@@ -11,7 +11,7 @@ bottleneck of our approach is the DBMS evaluating the queries".
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.errors import PQSError
 from repro.sqlast.nodes import (
@@ -203,169 +203,316 @@ class Semantics:
         """Row-membership equality used by the containment check and IN."""
         raise NotImplementedError
 
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Optional[Expr],
+                        ) -> Callable[[Value, Value], Ternary]:
+        """Specialize :meth:`compare` for a fixed comparison site.
+
+        The returned closure receives the two evaluated operand values and
+        must behave exactly like ``compare(op, left, lv, right, rv)``.
+        ``right is None`` marks an IN-list item, which :meth:`compare` sees
+        as a bare literal of the evaluated value (SQLite's rule that IN
+        ignores the items' own affinities).  Dialects may override this to
+        hoist per-site static analysis out of the per-row path; the default
+        simply defers to :meth:`compare`.
+        """
+        if right is None:
+            def compare_literal(lv: Value, rv: Value) -> Ternary:
+                return self.compare(op, left, lv, LiteralNode(rv), rv)
+            return compare_literal
+
+        def compare(lv: Value, rv: Value) -> Ternary:
+            return self.compare(op, left, lv, right, rv)
+        return compare
+
+
+#: A compiled expression: evaluate against one row environment.
+CompiledExpr = Callable[[Row], Value]
+
+_ARITH_OPS = frozenset({BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL,
+                        BinaryOp.DIV, BinaryOp.MOD})
+_BIT_OPS = frozenset({BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL,
+                      BinaryOp.SHR})
+
 
 class Interpreter:
-    """Evaluate expression ASTs against a pivot row (paper Algorithm 2)."""
+    """Evaluate expression ASTs against a pivot row (paper Algorithm 2).
+
+    Expressions are compiled once into a tree of closures and the compiled
+    form is memoized per AST node identity, so the per-row cost is a dict
+    probe plus the closure calls.  Compilation mirrors the historical
+    tree-walking evaluator exactly — same evaluation order, same semantics
+    hooks, same error messages — because the containment oracle depends on
+    bit-identical outcomes.  Nodes are immutable (frozen dataclasses), so
+    identity keying is sound; the cache holds strong references, so an id
+    cannot be reused while its entry is alive.
+    """
+
+    #: Clear-all bound on the compiled-closure memo: campaigns evaluate an
+    #: unbounded stream of distinct expressions through one long-lived
+    #: oracle interpreter.
+    _CACHE_LIMIT = 2048
 
     def __init__(self, semantics: Semantics):
         self.semantics = semantics
+        self._compiled: dict[int, tuple[Expr, CompiledExpr]] = {}
 
     # -- public API ----------------------------------------------------------
     def evaluate(self, expr: Expr, row: Row) -> Value:
         """Evaluate *expr* with column references bound from *row*."""
-        return self._eval(expr, row)
+        entry = self._compiled.get(id(expr))
+        if entry is None:
+            if len(self._compiled) >= self._CACHE_LIMIT:
+                self._compiled.clear()
+            entry = (expr, self._compile(expr))
+            self._compiled[id(expr)] = entry
+        return entry[1](row)
 
     def evaluate_bool(self, expr: Expr, row: Row) -> Ternary:
         """Evaluate *expr* in a boolean context (for WHERE/JOIN conditions)."""
-        return self.semantics.to_bool(self._eval(expr, row))
+        return self.semantics.to_bool(self.evaluate(expr, row))
 
-    # -- dispatch -------------------------------------------------------------
-    def _eval(self, expr: Expr, row: Row) -> Value:
+    def evaluate_uncached(self, expr: Expr, row: Row) -> Value:
+        """Evaluate a one-shot tree without touching the compile memo.
+
+        For callers that build fresh nodes per evaluation (aggregate
+        substitution), where caching would only thrash the memo.
+        (Per-subtree memoization was tried and measured slower: most
+        synthesized trees are evaluated exactly once, so the memo
+        bookkeeping outweighs the few re-extension hits.)
+        """
+        return self._compile(expr)(row)
+
+    def compile(self, expr: Expr) -> CompiledExpr:
+        """The compiled closure for *expr* (memoized)."""
+        entry = self._compiled.get(id(expr))
+        if entry is None:
+            if len(self._compiled) >= self._CACHE_LIMIT:
+                self._compiled.clear()
+            entry = (expr, self._compile(expr))
+            self._compiled[id(expr)] = entry
+        return entry[1]
+
+    # -- compilation ----------------------------------------------------------
+    def _compile(self, expr: Expr) -> CompiledExpr:
         sem = self.semantics
         if isinstance(expr, LiteralNode):
-            return expr.value
+            value = expr.value
+            return lambda row: value
         if isinstance(expr, ColumnNode):
-            try:
-                return row[expr.qualified]
-            except KeyError:
-                raise EvalError(f"unbound column {expr.qualified}") from None
+            qualified = expr.qualified
+
+            def load_column(row: Row) -> Value:
+                try:
+                    return row[qualified]
+                except KeyError:
+                    raise EvalError(
+                        f"unbound column {qualified}") from None
+            return load_column
         if isinstance(expr, UnaryNode):
-            return self._eval_unary(expr, row)
+            return self._compile_unary(expr)
         if isinstance(expr, PostfixNode):
-            return self._eval_postfix(expr, row)
+            return self._compile_postfix(expr)
         if isinstance(expr, BinaryNode):
-            return self._eval_binary(expr, row)
+            return self._compile_binary(expr)
         if isinstance(expr, BetweenNode):
-            return self._eval_between(expr, row)
+            return self._compile_between(expr)
         if isinstance(expr, InListNode):
-            return self._eval_in(expr, row)
+            return self._compile_in(expr)
         if isinstance(expr, CastNode):
-            return sem.cast(self._eval(expr.operand, row), expr.type_name)
+            operand = self._compile(expr.operand)
+            cast = sem.cast
+            type_name = expr.type_name
+            return lambda row: cast(operand(row), type_name)
         if isinstance(expr, CollateNode):
-            return self._eval(expr.operand, row)
+            return self._compile(expr.operand)
         if isinstance(expr, CaseNode):
-            return self._eval_case(expr, row)
+            return self._compile_case(expr)
         if isinstance(expr, FunctionNode):
-            args = [self._eval(arg, row) for arg in expr.args]
+            args = [self._compile(arg) for arg in expr.args]
             collation = None
             if expr.args:
                 collation = expr_collation(expr.args[0])[0]
-            return sem.call(expr.name, args, first_arg_collation=collation)
-        raise EvalError(f"cannot evaluate node {expr!r}")
+            name = expr.name
+            call = sem.call
+            return lambda row: call(name, [fn(row) for fn in args],
+                                    first_arg_collation=collation)
 
-    def _eval_unary(self, expr: UnaryNode, row: Row) -> Value:
-        sem = self.semantics
-        v = self._eval(expr.operand, row)
-        if expr.op is UnaryOp.NOT:
-            return sem.bool_value(t_not(sem.to_bool(v)))
-        if expr.op is UnaryOp.MINUS:
-            return sem.negate(v)
-        if expr.op is UnaryOp.PLUS:
-            return v
-        if expr.op is UnaryOp.BITNOT:
-            return sem.bitnot(v)
-        raise EvalError(f"unknown unary op {expr.op}")
+        def unknown_node(row: Row) -> Value:
+            raise EvalError(f"cannot evaluate node {expr!r}")
+        return unknown_node
 
-    def _eval_postfix(self, expr: PostfixNode, row: Row) -> Value:
+    def _compile_unary(self, expr: UnaryNode) -> CompiledExpr:
         sem = self.semantics
-        v = self._eval(expr.operand, row)
+        operand = self._compile(expr.operand)
         op = expr.op
+        if op is UnaryOp.NOT:
+            to_bool, bool_value = sem.to_bool, sem.bool_value
+            return lambda row: bool_value(t_not(to_bool(operand(row))))
+        if op is UnaryOp.MINUS:
+            negate = sem.negate
+            return lambda row: negate(operand(row))
+        if op is UnaryOp.PLUS:
+            return operand
+        if op is UnaryOp.BITNOT:
+            bitnot = sem.bitnot
+            return lambda row: bitnot(operand(row))
+
+        def unknown_unary(row: Row) -> Value:
+            operand(row)
+            raise EvalError(f"unknown unary op {op}")
+        return unknown_unary
+
+    def _compile_postfix(self, expr: PostfixNode) -> CompiledExpr:
+        sem = self.semantics
+        operand = self._compile(expr.operand)
+        op = expr.op
+        bool_value = sem.bool_value
         if op is PostfixOp.ISNULL:
-            return sem.bool_value(v.is_null)
+            return lambda row: bool_value(operand(row).is_null)
         if op is PostfixOp.NOTNULL:
-            return sem.bool_value(not v.is_null)
+            return lambda row: bool_value(not operand(row).is_null)
         # IS TRUE / IS FALSE family is two-valued: NULL IS TRUE = FALSE.
-        b = sem.to_bool(v)
+        to_bool = sem.to_bool
         if op is PostfixOp.IS_TRUE:
-            return sem.bool_value(b is True)
+            return lambda row: bool_value(to_bool(operand(row)) is True)
         if op is PostfixOp.IS_FALSE:
-            return sem.bool_value(b is False)
+            return lambda row: bool_value(to_bool(operand(row)) is False)
         if op is PostfixOp.IS_NOT_TRUE:
-            return sem.bool_value(b is not True)
+            return lambda row: bool_value(to_bool(operand(row)) is not True)
         if op is PostfixOp.IS_NOT_FALSE:
-            return sem.bool_value(b is not False)
-        raise EvalError(f"unknown postfix op {op}")
+            return lambda row: bool_value(to_bool(operand(row)) is not False)
 
-    def _eval_binary(self, expr: BinaryNode, row: Row) -> Value:
+        def unknown_postfix(row: Row) -> Value:
+            to_bool(operand(row))
+            raise EvalError(f"unknown postfix op {op}")
+        return unknown_postfix
+
+    def _compile_binary(self, expr: BinaryNode) -> CompiledExpr:
         sem = self.semantics
         op = expr.op
+        left = self._compile(expr.left)
+        right = self._compile(expr.right)
+        bool_value = sem.bool_value
         if op.is_logical:
             # AND/OR do evaluate both sides here; SQL has no mandated
-            # short-circuit order and both operand trees are side-effect free.
-            lb = sem.to_bool(self._eval(expr.left, row))
-            rb = sem.to_bool(self._eval(expr.right, row))
-            out = t_and(lb, rb) if op is BinaryOp.AND else t_or(lb, rb)
-            return sem.bool_value(out)
-        lv = self._eval(expr.left, row)
-        rv = self._eval(expr.right, row)
+            # short-circuit order and both operand trees are side-effect
+            # free.  Python argument order keeps left-then-right.
+            to_bool = sem.to_bool
+            combine = t_and if op is BinaryOp.AND else t_or
+            return lambda row: bool_value(combine(to_bool(left(row)),
+                                                  to_bool(right(row))))
         if op in (BinaryOp.LIKE, BinaryOp.NOT_LIKE):
-            out = sem.like(lv, rv)
+            like = sem.like
             if op is BinaryOp.NOT_LIKE:
-                out = t_not(out)
-            return sem.bool_value(out)
+                return lambda row: bool_value(
+                    t_not(like(left(row), right(row))))
+            return lambda row: bool_value(like(left(row), right(row)))
         if op is BinaryOp.GLOB:
-            return sem.bool_value(sem.glob(lv, rv))
+            glob = sem.glob
+            return lambda row: bool_value(glob(left(row), right(row)))
         if op is BinaryOp.CONCAT:
-            return sem.concat(lv, rv)
-        if op in (BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV,
-                  BinaryOp.MOD):
-            return sem.arithmetic(op, lv, rv)
-        if op in (BinaryOp.BITAND, BinaryOp.BITOR, BinaryOp.SHL, BinaryOp.SHR):
-            return sem.bitwise(op, lv, rv)
+            concat = sem.concat
+            return lambda row: concat(left(row), right(row))
+        if op in _ARITH_OPS:
+            arithmetic = sem.arithmetic
+            return lambda row: arithmetic(op, left(row), right(row))
+        if op in _BIT_OPS:
+            bitwise = sem.bitwise
+            return lambda row: bitwise(op, left(row), right(row))
         if op.is_comparison:
-            return sem.bool_value(sem.compare(op, expr.left, lv, expr.right, rv))
-        raise EvalError(f"unknown binary op {op}")
+            compare = sem.compile_compare(op, expr.left, expr.right)
+            return lambda row: bool_value(compare(left(row), right(row)))
 
-    def _eval_between(self, expr: BetweenNode, row: Row) -> Value:
-        sem = self.semantics
-        v = self._eval(expr.operand, row)
-        lo = self._eval(expr.low, row)
-        hi = self._eval(expr.high, row)
-        ge = sem.compare(BinaryOp.GE, expr.operand, v, expr.low, lo)
-        le = sem.compare(BinaryOp.LE, expr.operand, v, expr.high, hi)
-        out = t_and(ge, le)
-        if expr.negated:
-            out = t_not(out)
-        return sem.bool_value(out)
+        def unknown_binary(row: Row) -> Value:
+            left(row)
+            right(row)
+            raise EvalError(f"unknown binary op {op}")
+        return unknown_binary
 
-    def _eval_in(self, expr: InListNode, row: Row) -> Value:
+    def _compile_between(self, expr: BetweenNode) -> CompiledExpr:
         sem = self.semantics
-        v = self._eval(expr.operand, row)
-        saw_null = False
-        found = False
-        for item in expr.items:
-            iv = self._eval(item, row)
-            # The affinity of an IN comparison is that of the LHS only; the
-            # items' own affinities are ignored (SQLite rule), so the item
-            # is presented as a bare literal.
-            eq = sem.compare(BinaryOp.EQ, expr.operand, v, LiteralNode(iv), iv)
-            if eq is True:
-                found = True
-                break
-            if eq is None:
-                saw_null = True
-        if found:
-            out: Ternary = True
-        elif saw_null:
-            out = None
-        else:
-            out = False
-        if expr.negated:
-            out = t_not(out)
-        return sem.bool_value(out)
+        operand = self._compile(expr.operand)
+        low = self._compile(expr.low)
+        high = self._compile(expr.high)
+        ge = sem.compile_compare(BinaryOp.GE, expr.operand, expr.low)
+        le = sem.compile_compare(BinaryOp.LE, expr.operand, expr.high)
+        bool_value = sem.bool_value
+        negated = expr.negated
 
-    def _eval_case(self, expr: CaseNode, row: Row) -> Value:
+        def between(row: Row) -> Value:
+            v = operand(row)
+            lo = low(row)
+            hi = high(row)
+            out = t_and(ge(v, lo), le(v, hi))
+            if negated:
+                out = t_not(out)
+            return bool_value(out)
+        return between
+
+    def _compile_in(self, expr: InListNode) -> CompiledExpr:
         sem = self.semantics
+        operand = self._compile(expr.operand)
+        items = [self._compile(item) for item in expr.items]
+        # The affinity of an IN comparison is that of the LHS only; the
+        # items' own affinities are ignored (SQLite rule), so each item is
+        # presented as a bare literal (right=None to compile_compare).
+        eq = sem.compile_compare(BinaryOp.EQ, expr.operand, None)
+        bool_value = sem.bool_value
+        negated = expr.negated
+
+        def in_list(row: Row) -> Value:
+            v = operand(row)
+            saw_null = False
+            found = False
+            for item in items:
+                result = eq(v, item(row))
+                if result is True:
+                    found = True
+                    break
+                if result is None:
+                    saw_null = True
+            if found:
+                out: Ternary = True
+            elif saw_null:
+                out = None
+            else:
+                out = False
+            if negated:
+                out = t_not(out)
+            return bool_value(out)
+        return in_list
+
+    def _compile_case(self, expr: CaseNode) -> CompiledExpr:
+        sem = self.semantics
+        else_fn = self._compile(expr.else_) if expr.else_ is not None \
+            else None
         if expr.operand is not None:
-            base = self._eval(expr.operand, row)
-            for cond, result in expr.whens:
-                cv = self._eval(cond, row)
-                if sem.compare(BinaryOp.EQ, expr.operand, base, cond, cv) is True:
-                    return self._eval(result, row)
-        else:
-            for cond, result in expr.whens:
-                if sem.to_bool(self._eval(cond, row)) is True:
-                    return self._eval(result, row)
-        if expr.else_ is not None:
-            return self._eval(expr.else_, row)
-        return NULL
+            operand = self._compile(expr.operand)
+            whens = [(self._compile(cond),
+                      sem.compile_compare(BinaryOp.EQ, expr.operand, cond),
+                      self._compile(result))
+                     for cond, result in expr.whens]
+
+            def case_operand(row: Row) -> Value:
+                base = operand(row)
+                for cond_fn, eq, result_fn in whens:
+                    if eq(base, cond_fn(row)) is True:
+                        return result_fn(row)
+                if else_fn is not None:
+                    return else_fn(row)
+                return NULL
+            return case_operand
+
+        to_bool = sem.to_bool
+        searched = [(self._compile(cond), self._compile(result))
+                    for cond, result in expr.whens]
+
+        def case_searched(row: Row) -> Value:
+            for cond_fn, result_fn in searched:
+                if to_bool(cond_fn(row)) is True:
+                    return result_fn(row)
+            if else_fn is not None:
+                return else_fn(row)
+            return NULL
+        return case_searched

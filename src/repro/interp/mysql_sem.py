@@ -34,6 +34,10 @@ from repro.values import (
     numeric_prefix,
 )
 
+#: Shared comparison-result singletons (see sqlite_sem.bool_value).
+_INT_ZERO = Value.integer(0)
+_INT_ONE = Value.integer(1)
+
 UINT64_MAX = 2**64 - 1
 
 
@@ -70,7 +74,7 @@ def to_number(v: Value) -> int | float | None:
     if v.t is SQLType.NULL:
         return None
     if v.t is SQLType.INTEGER:
-        return int(v.v)
+        return v.v  # payload is always an exact int (Value.integer coerces)
     if v.t is SQLType.REAL:
         return float(v.v)
     if v.t is SQLType.BOOLEAN:
@@ -86,15 +90,25 @@ class MySQLSemantics(Semantics):
 
     # -- boolean context -----------------------------------------------------
     def to_bool(self, v: Value) -> Ternary:
-        num = to_double(v)
-        if num is None:
+        # Per-type dispatch instead of going through to_double: this is
+        # the hottest predicate call in mysql hunts, and the common
+        # INTEGER/REAL/BOOLEAN cases need no coercion machinery.
+        t = v.t
+        if t is SQLType.INTEGER:
+            return v.v != 0
+        if t is SQLType.REAL:
+            # NaN != 0.0 is True, matching the to_double-based behavior.
+            return float(v.v) != 0.0
+        if t is SQLType.BOOLEAN:
+            return bool(v.v)
+        if t is SQLType.NULL:
             return None
-        return num != 0.0
+        return to_double(v) != 0.0
 
     def bool_value(self, b: Ternary) -> Value:
         if b is None:
             return NULL
-        return Value.integer(1 if b else 0)
+        return _INT_ONE if b else _INT_ZERO
 
     # -- comparisons -----------------------------------------------------------
     def compare(self, op: BinaryOp, left: Expr, lv: Value,
@@ -114,8 +128,47 @@ class MySQLSemantics(Semantics):
             return False
         return self._cmp(lv, rv) == 0
 
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Expr | None):
+        """MySQL comparisons ignore the operand expressions (no affinity
+        or collation resolution), so a site compiles to op dispatch done
+        once plus the per-call null checks and ``_cmp``.
+
+        Subclasses overriding :meth:`compare` (injected defects) fall
+        back to the generic per-call path.
+        """
+        if type(self).compare is not MySQLSemantics.compare:
+            return super().compile_compare(op, left, right)
+        return self._compile_compare_mysql(op)
+
+    def _compile_compare_mysql(self, op: BinaryOp):
+        cmp = self._cmp
+        null_t = SQLType.NULL
+        if op in (BinaryOp.NULL_SAFE_EQ, BinaryOp.IS, BinaryOp.IS_NOT):
+            negate = op is BinaryOp.IS_NOT
+
+            def null_safe(lv: Value, rv: Value) -> bool:
+                ln = lv.t is null_t
+                rn = rv.t is null_t
+                equal = (ln and rn) if (ln or rn) else cmp(lv, rv) == 0
+                return not equal if negate else equal
+            return null_safe
+        result = _CMP_FUNCS[op]
+
+        def ordered(lv: Value, rv: Value) -> Ternary:
+            if lv.t is null_t or rv.t is null_t:
+                return None
+            return result(cmp(lv, rv))
+        return ordered
+
     @staticmethod
     def _cmp(a: Value, b: Value) -> int:
+        if a.t is SQLType.INTEGER and b.t is SQLType.INTEGER:
+            # Dominant case: exact int comparison, no coercion machinery
+            # (identical to compare_numbers on two ints).
+            av = a.v
+            bv = b.v
+            return (av > bv) - (av < bv)
         if a.t is SQLType.TEXT and b.t is SQLType.TEXT:
             return collate_nocase(str(a.v), str(b.v))
         if a.t is SQLType.BLOB and b.t is SQLType.BLOB:
@@ -334,10 +387,10 @@ class MySQLSemantics(Semantics):
 
     # -- row equality ------------------------------------------------------
     def values_equal(self, a: Value, b: Value) -> bool:
-        if a.is_null and b.is_null:
-            return True
-        if a.is_null or b.is_null:
-            return False
+        an = a.t is SQLType.NULL
+        bn = b.t is SQLType.NULL
+        if an or bn:
+            return an and bn
         return self._cmp(a, b) == 0
 
 
@@ -359,6 +412,16 @@ def _mysql_round_int(f: float) -> int:
     if f >= 0:
         return math.floor(f + 0.5)
     return math.ceil(f - 0.5)
+
+
+_CMP_FUNCS = {
+    BinaryOp.EQ: lambda cmp: cmp == 0,
+    BinaryOp.NE: lambda cmp: cmp != 0,
+    BinaryOp.LT: lambda cmp: cmp < 0,
+    BinaryOp.LE: lambda cmp: cmp <= 0,
+    BinaryOp.GT: lambda cmp: cmp > 0,
+    BinaryOp.GE: lambda cmp: cmp >= 0,
+}
 
 
 def _cmp_result(op: BinaryOp, cmp: int) -> bool:

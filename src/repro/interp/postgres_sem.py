@@ -80,6 +80,37 @@ class PostgresSemantics(Semantics):
             return False
         return self._cmp(lv, rv) == 0
 
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Expr | None):
+        """PostgreSQL comparisons ignore the operand expressions, so a
+        site compiles to one-time op dispatch plus per-call null checks
+        and ``_cmp``.  Subclasses overriding :meth:`compare` fall back
+        to the generic per-call path."""
+        if type(self).compare is not PostgresSemantics.compare:
+            return super().compile_compare(op, left, right)
+        cmp = self._cmp
+        null_t = SQLType.NULL
+        if op is BinaryOp.NULL_SAFE_EQ:
+            def no_such_op(lv: Value, rv: Value) -> Ternary:
+                raise EvalError("operator does not exist: <=>")
+            return no_such_op
+        if op in (BinaryOp.IS, BinaryOp.IS_NOT):
+            negate = op is BinaryOp.IS_NOT
+
+            def null_safe(lv: Value, rv: Value) -> bool:
+                ln = lv.t is null_t
+                rn = rv.t is null_t
+                equal = (ln and rn) if (ln or rn) else cmp(lv, rv) == 0
+                return not equal if negate else equal
+            return null_safe
+        result = _CMP_FUNCS[op]
+
+        def ordered(lv: Value, rv: Value) -> Ternary:
+            if lv.t is null_t or rv.t is null_t:
+                return None
+            return result(cmp(lv, rv))
+        return ordered
+
     @staticmethod
     def _cmp(a: Value, b: Value) -> int:
         if a.is_numeric and b.is_numeric:
@@ -332,6 +363,16 @@ def _is_int_literal(s: str) -> bool:
         return False
     body = s[1:] if s[0] in "+-" else s
     return body.isdigit()
+
+
+_CMP_FUNCS = {
+    BinaryOp.EQ: lambda cmp: cmp == 0,
+    BinaryOp.NE: lambda cmp: cmp != 0,
+    BinaryOp.LT: lambda cmp: cmp < 0,
+    BinaryOp.LE: lambda cmp: cmp <= 0,
+    BinaryOp.GT: lambda cmp: cmp > 0,
+    BinaryOp.GE: lambda cmp: cmp >= 0,
+}
 
 
 def _cmp_result(op: BinaryOp, cmp: int) -> bool:

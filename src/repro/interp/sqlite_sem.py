@@ -29,7 +29,7 @@ from repro.interp.base import (
     expr_affinity,
 )
 from repro.interp.patterns import glob_match, like_match
-from repro.sqlast.nodes import BinaryOp, Expr
+from repro.sqlast.nodes import BinaryOp, Expr, LiteralNode
 from repro.values import (
     NULL,
     SQLType,
@@ -46,6 +46,11 @@ from repro.values import (
     text_to_real,
     wrap_int64,
 )
+
+#: Shared comparison-result singletons: bool_value runs once per
+#: predicate evaluation, so skip the small-int intern lookup entirely.
+_INT_ZERO = Value.integer(0)
+_INT_ONE = Value.integer(1)
 
 NUMERIC_AFFINITIES = frozenset({"INTEGER", "REAL", "NUMERIC"})
 
@@ -74,15 +79,17 @@ def to_text(v: Value) -> str:
 
 def to_numeric(v: Value) -> int | float | None:
     """Numeric coercion used by arithmetic; ``None`` for NULL."""
-    if v.t is SQLType.NULL:
+    t = v.t
+    if t is SQLType.INTEGER:
+        return v.v  # payload is always an exact int (Value.integer coerces)
+    if t is SQLType.NULL:
         return None
-    if v.t is SQLType.INTEGER:
-        return int(v.v)
-    if v.t is SQLType.REAL:
+    if t is SQLType.REAL:
         return float(v.v)
-    if v.t is SQLType.BOOLEAN:
+    if t is SQLType.BOOLEAN:
         return 1 if v.v else 0
-    text = to_text(v)
+    # TEXT payloads skip the to_text dispatch (it would return v.v).
+    text = v.v if t is SQLType.TEXT else to_text(v)
     num, is_int = numeric_prefix(text)
     if is_int:
         # Integer literals beyond the int64 range become REAL, not wrapped.
@@ -200,17 +207,33 @@ def apply_affinity(v: Value, affinity: str | None) -> Value:
     return v
 
 
+#: Cross-class comparison ranks (numbers < TEXT < BLOB); NULL deliberately
+#: absent — callers comparing NULLs get the historical KeyError.
+_STORAGE_RANK = {SQLType.BOOLEAN: 1, SQLType.INTEGER: 1, SQLType.REAL: 1,
+                 SQLType.TEXT: 2, SQLType.BLOB: 3}
+
+
 def storage_compare(a: Value, b: Value, collation_name: str = "BINARY") -> int:
     """Total order over non-NULL SQLite values (used by =, <, ORDER BY)."""
-    rank = {SQLType.BOOLEAN: 1, SQLType.INTEGER: 1, SQLType.REAL: 1,
-            SQLType.TEXT: 2, SQLType.BLOB: 3}
-    ra, rb = rank[a.t], rank[b.t]
+    ra, rb = _STORAGE_RANK[a.t], _STORAGE_RANK[b.t]
     if ra != rb:
         return -1 if ra < rb else 1
     if ra == 1:
         return compare_numbers(a.v, b.v)  # type: ignore[arg-type]
     if ra == 2:
         return get_collation(collation_name)(str(a.v), str(b.v))
+    return compare_blobs(bytes(a.v), bytes(b.v))
+
+
+def _storage_compare_collated(a: Value, b: Value, collate) -> int:
+    """:func:`storage_compare` with a pre-resolved collation function."""
+    ra, rb = _STORAGE_RANK[a.t], _STORAGE_RANK[b.t]
+    if ra != rb:
+        return -1 if ra < rb else 1
+    if ra == 1:
+        return compare_numbers(a.v, b.v)  # type: ignore[arg-type]
+    if ra == 2:
+        return collate(str(a.v), str(b.v))
     return compare_blobs(bytes(a.v), bytes(b.v))
 
 
@@ -222,9 +245,13 @@ class SQLiteSemantics(Semantics):
 
     # -- boolean context -----------------------------------------------------
     def to_bool(self, v: Value) -> Ternary:
-        if v.t is SQLType.NULL:
+        t = v.t
+        if t is SQLType.INTEGER:
+            # Dominant case: comparison results are 0/1 integers.
+            return v.v != 0
+        if t is SQLType.NULL:
             return None
-        if v.t is SQLType.BOOLEAN:
+        if t is SQLType.BOOLEAN:
             return bool(v.v)
         num = to_numeric(v)
         assert num is not None
@@ -233,7 +260,7 @@ class SQLiteSemantics(Semantics):
     def bool_value(self, b: Ternary) -> Value:
         if b is None:
             return NULL
-        return Value.integer(1 if b else 0)
+        return _INT_ONE if b else _INT_ZERO
 
     # -- comparisons -----------------------------------------------------------
     def compare(self, op: BinaryOp, left: Expr, lv: Value,
@@ -262,22 +289,54 @@ class SQLiteSemantics(Semantics):
     @staticmethod
     def _apply_comparison_affinity(left: Expr, lv: Value, right: Expr,
                                    rv: Value) -> tuple[Value, Value]:
-        laff = expr_affinity(left)
-        raff = expr_affinity(right)
-        l_num = laff in NUMERIC_AFFINITIES
-        r_num = raff in NUMERIC_AFFINITIES
-        if l_num and not r_num:
-            rv = apply_numeric_affinity(rv)
-        elif r_num and not l_num:
-            lv = apply_numeric_affinity(lv)
-        elif laff == "TEXT" and raff not in ("TEXT",) and not r_num:
-            rv = apply_text_affinity(rv)
-        elif raff == "TEXT" and laff not in ("TEXT",) and not l_num:
-            lv = apply_text_affinity(lv)
-        else:
-            lv = _debooleanize(lv)
-            rv = _debooleanize(rv)
-        return lv, rv
+        return _comparison_converter(left, right)(lv, rv)
+
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Expr | None):
+        """Comparison specialized to a fixed site: the affinity decision
+        and collating sequence depend only on the operand *expressions*,
+        so both are resolved once at compile time.
+
+        Engine-defect subclasses that override :meth:`compare` (injected
+        comparison bugs) automatically fall back to the generic per-call
+        path — the fast path would bypass their override.
+        """
+        if type(self).compare is not SQLiteSemantics.compare:
+            return super().compile_compare(op, left, right)
+        return self._compile_compare_sqlite(op, left, right)
+
+    def _compile_compare_sqlite(self, op: BinaryOp, left: Expr,
+                                right: Expr | None):
+        """The specialized compare body, callable by subclasses that have
+        proven their :meth:`compare` override cannot apply at this site."""
+        # An IN-list item (right=None) acts as a bare literal: no
+        # affinity, no collation — exactly what a LiteralNode supplies.
+        right_expr: Expr = LiteralNode(NULL) if right is None else right
+        convert = _comparison_converter(left, right_expr)
+        collate = get_collation(comparison_collation(left, right_expr))
+        if op in (BinaryOp.IS, BinaryOp.IS_NOT, BinaryOp.NULL_SAFE_EQ):
+            negate = op is BinaryOp.IS_NOT
+
+            def null_safe(lv: Value, rv: Value) -> bool:
+                lv, rv = convert(lv, rv)
+                if lv.is_null and rv.is_null:
+                    equal = True
+                elif lv.is_null or rv.is_null:
+                    equal = False
+                else:
+                    equal = _storage_compare_collated(lv, rv, collate) == 0
+                return not equal if negate else equal
+            return null_safe
+
+        result = _CMP_FUNCS[op]
+        null_t = SQLType.NULL
+
+        def ordered(lv: Value, rv: Value) -> Ternary:
+            lv, rv = convert(lv, rv)
+            if lv.t is null_t or rv.t is null_t:
+                return None
+            return result(_storage_compare_collated(lv, rv, collate))
+        return ordered
 
     # -- arithmetic ------------------------------------------------------------
     def arithmetic(self, op: BinaryOp, a: Value, b: Value) -> Value:
@@ -450,10 +509,10 @@ class SQLiteSemantics(Semantics):
     # -- row equality ------------------------------------------------------
     def values_equal(self, a: Value, b: Value) -> bool:
         """Equality used by INTERSECT/DISTINCT: NULLs are equal to each other."""
-        if a.is_null and b.is_null:
-            return True
-        if a.is_null or b.is_null:
-            return False
+        an = a.t is SQLType.NULL
+        bn = b.t is SQLType.NULL
+        if an or bn:
+            return an and bn
         return storage_compare(_debooleanize(a), _debooleanize(b)) == 0
 
 
@@ -462,6 +521,54 @@ def _debooleanize(v: Value) -> Value:
     if v.t is SQLType.BOOLEAN:
         return Value.integer(1 if v.v else 0)
     return v
+
+
+def _convert_right_numeric(lv: Value, rv: Value) -> tuple[Value, Value]:
+    return lv, apply_numeric_affinity(rv)
+
+
+def _convert_left_numeric(lv: Value, rv: Value) -> tuple[Value, Value]:
+    return apply_numeric_affinity(lv), rv
+
+
+def _convert_right_text(lv: Value, rv: Value) -> tuple[Value, Value]:
+    return lv, apply_text_affinity(rv)
+
+
+def _convert_left_text(lv: Value, rv: Value) -> tuple[Value, Value]:
+    return apply_text_affinity(lv), rv
+
+
+def _convert_none(lv: Value, rv: Value) -> tuple[Value, Value]:
+    return _debooleanize(lv), _debooleanize(rv)
+
+
+def _comparison_converter(left: Expr, right: Expr):
+    """The affinity conversion a comparison of *left* and *right* applies,
+    resolved from the operand expressions alone (SQLite §"Type Affinity")."""
+    laff = expr_affinity(left)
+    raff = expr_affinity(right)
+    l_num = laff in NUMERIC_AFFINITIES
+    r_num = raff in NUMERIC_AFFINITIES
+    if l_num and not r_num:
+        return _convert_right_numeric
+    if r_num and not l_num:
+        return _convert_left_numeric
+    if laff == "TEXT" and raff not in ("TEXT",) and not r_num:
+        return _convert_right_text
+    if raff == "TEXT" and laff not in ("TEXT",) and not l_num:
+        return _convert_left_text
+    return _convert_none
+
+
+_CMP_FUNCS = {
+    BinaryOp.EQ: lambda cmp: cmp == 0,
+    BinaryOp.NE: lambda cmp: cmp != 0,
+    BinaryOp.LT: lambda cmp: cmp < 0,
+    BinaryOp.LE: lambda cmp: cmp <= 0,
+    BinaryOp.GT: lambda cmp: cmp > 0,
+    BinaryOp.GE: lambda cmp: cmp >= 0,
+}
 
 
 def _cmp_result(op: BinaryOp, cmp: int) -> bool:

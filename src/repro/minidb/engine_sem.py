@@ -14,8 +14,10 @@ from repro.interp.mysql_sem import MySQLSemantics, to_double
 from repro.interp.postgres_sem import PostgresSemantics
 from repro.interp.sqlite_sem import SQLiteSemantics
 from repro.minidb.bugs import BugRegistry
-from repro.sqlast.nodes import BinaryOp, CastNode, Expr
-from repro.values import SQLType, Value
+from repro.sqlast.nodes import BinaryOp, CastNode, Expr, LiteralNode
+from repro.values import NULL, SQLType, Value
+
+_NULL_LITERAL = LiteralNode(NULL)
 
 
 class EngineSQLiteSemantics(SQLiteSemantics):
@@ -33,6 +35,19 @@ class EngineSQLiteSemantics(SQLiteSemantics):
                 rv = _lstrip_text(rv)
         return super().compare(op, left, lv, right, rv)
 
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Expr | None):
+        # The only comparison defect this class can inject applies solely
+        # to RTRIM-collated sites, and the collating sequence is a static
+        # property of the operand expressions.  Non-RTRIM sites therefore
+        # compile to the pristine fast path; RTRIM sites stay on the
+        # generic per-call path, which consults the bug registry on every
+        # evaluation (defects may be toggled after compilation).
+        right_expr: Expr = _NULL_LITERAL if right is None else right
+        if comparison_collation(left, right_expr) == "RTRIM":
+            return Semantics.compile_compare(self, op, left, right)
+        return self._compile_compare_sqlite(op, left, right)
+
 
 class EngineMySQLSemantics(MySQLSemantics):
     """MySQL semantics with injection points for evaluator-level defects."""
@@ -41,7 +56,11 @@ class EngineMySQLSemantics(MySQLSemantics):
         self.bugs = bugs
 
     def to_bool(self, v: Value) -> Ternary:
-        if self.bugs.on("mysql-text-double-bool") and v.t is SQLType.TEXT:
+        if v.t is SQLType.INTEGER:
+            # Dominant case (comparison results are 0/1 integers); the
+            # only to_bool defect concerns TEXT, so this is exact.
+            return v.v != 0
+        if v.t is SQLType.TEXT and self.bugs.on("mysql-text-double-bool"):
             # Defect: TEXT is truncated to an integer before the zero
             # test, so '0.5' is FALSE (paper §4.5, fixed in 8.0.17).
             num = to_double(v)
@@ -59,6 +78,18 @@ class EngineMySQLSemantics(MySQLSemantics):
             if _is_unsigned_cast(right):
                 rv = _reinterpret_signed(rv)
         return super().compare(op, left, lv, right, rv)
+
+    def compile_compare(self, op: BinaryOp, left: Expr,
+                        right: Expr | None):
+        # The unsigned-cast defect can only fire when an operand *is* an
+        # unsigned cast — a static property of the expressions.  Such
+        # sites stay on the generic per-call path (which consults the bug
+        # registry each evaluation); every other site compiles to the
+        # pristine fast path, valid whether or not the defect is on.
+        if _is_unsigned_cast(left) or (right is not None
+                                       and _is_unsigned_cast(right)):
+            return Semantics.compile_compare(self, op, left, right)
+        return self._compile_compare_mysql(op)
 
 
 class EnginePostgresSemantics(PostgresSemantics):

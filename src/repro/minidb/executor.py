@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.errors import CatalogError, DBCrash, DBError, IntegrityError, UnsupportedError
 from repro.interp.base import EvalError
+from repro.interp.mysql_sem import to_number as mysql_to_number
 from repro.minidb import statements as st
 from repro.minidb.catalog import Table
 from repro.minidb.planner import AccessPath, Scope, bind, choose_path, rewrite
@@ -58,6 +59,8 @@ class SelectExecutor:
         self.dialect = engine.dialect
         self.interp = engine.interp
         self.semantics = engine.semantics
+        # Resolved once per statement: consulted per joined row otherwise.
+        self._memory_clamp = engine.bugs.on("mysql-memory-engine-join")
 
     # -- public entry -----------------------------------------------------
     def execute(self, select: st.Select) -> "ResultSet":
@@ -192,8 +195,7 @@ class SelectExecutor:
             source_rows = [SourceRow(env={})]
 
         if where is not None:
-            source_rows = [row for row in source_rows
-                           if self._eval_bool_where(where, row) is True]
+            source_rows = self._filter(where, source_rows)
 
         columns, projected = self._project(bound, source_rows)
 
@@ -270,7 +272,12 @@ class SelectExecutor:
             if path.kind == "skip-scan":
                 skip_scan_index = path.index
             scanned = self._scan(visible, table, path)
-            if stale_join and prev is not None:
+            if prev is None:
+                # First source: merging each row with the empty seed row
+                # only copied dicts; the scanned rows already carry the
+                # full env (and _scan always returns a fresh list).
+                combined = scanned
+            elif stale_join:
                 # Defect (sqlite-stale-stats-join): statistics that no
                 # ANALYZE gathered make the join reorderer believe the
                 # tables were already equi-joined, so the cross product
@@ -294,11 +301,36 @@ class SelectExecutor:
 
     def _scan(self, visible: str, table: Table,
               path: AccessPath) -> list[SourceRow]:
+        # Full scans are pure functions of table contents, so their
+        # SourceRow lists are shared across queries until the next
+        # write (the engine clears the cache on any non-SELECT).  The
+        # list container is copied both ways — callers may hand the
+        # list onward — but the SourceRows themselves are shared: no
+        # pipeline stage mutates env/tables in place (merges, LEFT-join
+        # padding and the MEMORY clamp all copy first).  Index and
+        # skip scans stay uncached: their row order depends on index
+        # entries and defect state, not just the heap.
+        cacheable = path.kind == "full-scan"
+        if cacheable:
+            key = (table.name, visible)
+            cached = self.engine._scan_cache.get(key)
+            if cached is not None:
+                return list(cached)
         rows = self.engine.scan_rows(table, path)
         out = []
+        # All rows of one relation share the same key set in the same
+        # insertion order (every construction path — INSERT, UPDATE's
+        # dict(row), ADD/RENAME COLUMN backfills, view materialization,
+        # inheritance projection — walks the column list uniformly), so
+        # the qualified-name keys are computed once per scan.
+        keys: Optional[list[str]] = None
         for rowid, row in rows:
-            env = {f"{visible}.{col}": row[col] for col in row}
-            out.append(SourceRow(env=env, tables={visible: rowid}))
+            if keys is None or len(keys) != len(row):
+                keys = [f"{visible}.{col}" for col in row]
+            out.append(SourceRow(env=dict(zip(keys, row.values())),
+                                 tables={visible: rowid}))
+        if cacheable and self.engine._scan_caching:
+            self.engine._scan_cache[key] = list(out)
         return out
 
     def _stale_join_collision(self, a: SourceRow,
@@ -331,12 +363,25 @@ class SelectExecutor:
         out: list[SourceRow] = []
         null_env = {f"{visible}.{col}": NULL
                     for col in table.column_names()}
+        on = join.on
+        if on is None or self._memory_clamp:
+            test = None
+        else:
+            on_fn = self.interp.compile(on)
+            to_bool = self.semantics.to_bool
+
+            def test(merged: SourceRow) -> bool:
+                try:
+                    return to_bool(on_fn(merged.env)) is True
+                except EvalError as exc:
+                    raise DBError(str(exc)) from exc
         for lrow in left:
             matched = False
             for rrow in right:
                 merged = self._merge(lrow, rrow)
-                if join.on is None or \
-                        self._eval_bool_where(join.on, merged) is True:
+                if on is None or \
+                        (test(merged) if test is not None
+                         else self._eval_bool_where(on, merged) is True):
                     matched = True
                     out.append(merged)
             if join.kind == "LEFT" and not matched:
@@ -355,11 +400,30 @@ class SelectExecutor:
 
     def _eval_bool_where(self, expr: Expr, row: SourceRow):
         env = row.env
-        if self.bugs.on("mysql-memory-engine-join"):
+        if self._memory_clamp:
             env = self._memory_clamped(env, row)
         try:
             return self.interp.semantics.to_bool(
                 self.interp.evaluate(expr, env))
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
+
+    def _filter(self, where: Expr,
+                source_rows: list[SourceRow]) -> list[SourceRow]:
+        """WHERE filter over the joined rows.
+
+        Row-by-row semantics are unchanged — the first erroring row still
+        raises — but the expression compiles once and the per-row path
+        skips re-resolving the defect flag and bound methods.
+        """
+        if self._memory_clamp:
+            return [row for row in source_rows
+                    if self._eval_bool_where(where, row) is True]
+        predicate = self.interp.compile(where)
+        to_bool = self.semantics.to_bool
+        try:
+            return [row for row in source_rows
+                    if to_bool(predicate(row.env)) is True]
         except EvalError as exc:
             raise DBError(str(exc)) from exc
 
@@ -396,15 +460,29 @@ class SelectExecutor:
         if select.group_by or has_aggregate:
             return self._project_grouped(select, rows)
         columns = self._output_columns(select, rows)
+        # Compile each select item once; rows then evaluate closures
+        # directly (same left-to-right order, same first-error-raises).
+        compiled = [None if item.expr is None
+                    else self.interp.compile(item.expr)
+                    for item in select.items]
         out = []
-        for row in rows:
-            values = []
-            for item in select.items:
-                if item.expr is None:
-                    values.extend(self._star_values(item, row, select))
-                else:
-                    values.append(self._eval(item.expr, row))
-            out.append(tuple(values))
+        try:
+            if None not in compiled:
+                for row in rows:
+                    env = row.env
+                    out.append(tuple(fn(env) for fn in compiled))
+            else:
+                for row in rows:
+                    values: list[Value] = []
+                    for item, fn in zip(select.items, compiled):
+                        if fn is None:
+                            values.extend(
+                                self._star_values(item, row, select))
+                        else:
+                            values.append(fn(row.env))
+                    out.append(tuple(values))
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
         return columns, out
 
     def _output_columns(self, select: st.Select,
@@ -473,11 +551,16 @@ class SelectExecutor:
         group_exprs = list(select.group_by)
         if self.bugs.on("pg-inherit-groupby"):
             group_exprs = self._inherit_groupby_defect(select, group_exprs)
+        compiled = [self.interp.compile(e) for e in group_exprs]
+        canon = self._canon
         keyed: dict[tuple, list[SourceRow]] = {}
-        for row in rows:
-            key = tuple(self._canon(self._eval(e, row))
-                        for e in group_exprs)
-            keyed.setdefault(key, []).append(row)
+        try:
+            for row in rows:
+                env = row.env
+                key = tuple(canon(fn(env)) for fn in compiled)
+                keyed.setdefault(key, []).append(row)
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
         return list(keyed.values())
 
     def _inherit_groupby_defect(self, select: st.Select,
@@ -522,6 +605,10 @@ class SelectExecutor:
                              group_rows: list[SourceRow]) -> Value:
         """Evaluate an expression that may contain aggregate calls by
         substituting each aggregate with its computed literal."""
+        if is_aggregate_call(expr):
+            # The overwhelmingly common shape (`COUNT(*)`, `SUM(c)`, ...):
+            # no substitution or re-walk needed.
+            return self._aggregate(expr, group_rows)
 
         def visit(node: Expr) -> Optional[Expr]:
             if is_aggregate_call(node):
@@ -531,7 +618,9 @@ class SelectExecutor:
         substituted = transform(expr, visit)
         env = group_rows[0].env if group_rows else {}
         try:
-            return self.interp.evaluate(substituted, env)
+            # One-shot tree: evaluate without entering the compile memo
+            # (each group builds fresh nodes, which would thrash it).
+            return self.interp.evaluate_uncached(substituted, env)
         except EvalError as exc:
             raise DBError(str(exc)) from exc
 
@@ -541,7 +630,11 @@ class SelectExecutor:
         if name == "COUNT" and not call.args:
             return Value.integer(len(group_rows))
         arg = call.args[0]
-        values = [self._eval(arg, row) for row in group_rows]
+        arg_fn = self.interp.compile(arg)
+        try:
+            values = [arg_fn(row.env) for row in group_rows]
+        except EvalError as exc:
+            raise DBError(str(exc)) from exc
         present = [v for v in values if not v.is_null]
         if name == "COUNT":
             return Value.integer(len(present))
@@ -627,11 +720,7 @@ class SelectExecutor:
                 seen_keys.append(key)
                 out.append(row)
             return out
-        out = []
-        for row in projected:
-            if not any(self._rows_equal(row, kept) for kept in out):
-                out.append(row)
-        return out
+        return self._dedup(projected)
 
     def _rebind_lead(self, lead: Expr, src: SourceRow) -> Expr:
         table = next(iter(src.tables), "")
@@ -647,31 +736,100 @@ class SelectExecutor:
         return len(a) == len(b) and all(
             self.semantics.values_equal(x, y) for x, y in zip(a, b))
 
+    # Row deduplication (DISTINCT/UNION/INTERSECT/EXCEPT) hash-buckets
+    # candidate rows before confirming with the dialect's values_equal.
+    # Soundness needs only "equal values => equal key" — key collisions
+    # between unequal values merely grow a bucket, and the pairwise
+    # confirmation inside a bucket reproduces the historical
+    # order-dependent scan exactly (including non-transitive numeric
+    # equality: huge ints that compare equal to a float share its key).
+    # MySQL's equality coerces across storage classes (TEXT '1' equals
+    # INTEGER 1), so no type-segregated key exists — it keeps the
+    # pairwise scan.
+
+    def _value_key(self, v: Value):
+        t = v.t
+        if self.dialect == "mysql":
+            # MySQL equality coerces across storage classes through
+            # ``to_number`` (TEXT '1' = INTEGER 1; BLOB b'1' = INTEGER 1
+            # via the decoded text) and compares TEXT×TEXT without case.
+            # Every equal pair therefore shares a numeric image:
+            # case-folded-equal texts have identical numeric prefixes,
+            # and blob↔anything equality goes through the same text.
+            # Collisions (e.g. all non-numeric texts keying 0.0) are
+            # performance-only — the bucket confirms pairwise.
+            if t is SQLType.NULL:
+                return ("null",)
+            num = mysql_to_number(v)
+            try:
+                f = float(num)
+            except OverflowError:
+                return ("big", num)
+            if f != f:
+                return ("nan",)
+            return f
+        if t is SQLType.NULL:
+            return ("null",)
+        if t is SQLType.TEXT:
+            # sqlite/pg row equality uses BINARY collation: exact text.
+            return str(v.v)
+        if t is SQLType.BLOB:
+            return bytes(v.v)
+        if t is SQLType.BOOLEAN and self.dialect == "postgres":
+            # PG booleans only ever equal other booleans.
+            return ("bool", bool(v.v))
+        # Numbers (and sqlite booleans, which debooleanize): equality
+        # implies equal float images, NaN equals NaN.
+        num = int(v.v) if t is SQLType.BOOLEAN else v.v
+        try:
+            f = float(num)
+        except OverflowError:
+            return ("big", num)
+        if f != f:
+            return ("nan",)
+        return f
+
+    def _row_key(self, row: tuple) -> tuple:
+        return tuple(self._value_key(v) for v in row)
+
+    def _dedup(self, rows: list[tuple]) -> list[tuple]:
+        out: list[tuple] = []
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in rows:
+            key = self._row_key(row)
+            kept = buckets.get(key)
+            if kept is None:
+                buckets[key] = [row]
+                out.append(row)
+            elif not any(self._rows_equal(row, k) for k in kept):
+                kept.append(row)
+                out.append(row)
+        return out
+
+    def _membership_index(self, rows: list[tuple],
+                          ) -> dict[tuple, list[tuple]]:
+        index: dict[tuple, list[tuple]] = {}
+        for row in rows:
+            index.setdefault(self._row_key(row), []).append(row)
+        return index
+
     def _combine(self, kind: str, left: list[tuple],
                  right: list[tuple]) -> list[tuple]:
         if kind == "UNION ALL":
             return left + right
         if kind == "UNION":
-            out: list[tuple] = []
-            for row in left + right:
-                if not any(self._rows_equal(row, kept) for kept in out):
-                    out.append(row)
-            return out
-        if kind == "INTERSECT":
-            out = []
-            for row in left:
-                if any(self._rows_equal(row, r) for r in right) and \
-                        not any(self._rows_equal(row, kept) for kept in out):
-                    out.append(row)
-            return out
-        if kind == "EXCEPT":
-            out = []
-            for row in left:
-                if not any(self._rows_equal(row, r) for r in right) and \
-                        not any(self._rows_equal(row, kept) for kept in out):
-                    out.append(row)
-            return out
-        raise UnsupportedError(f"unsupported compound operator: {kind}")
+            return self._dedup(left + right)
+        if kind not in ("INTERSECT", "EXCEPT"):
+            raise UnsupportedError(f"unsupported compound operator: {kind}")
+        want = kind == "INTERSECT"
+        rindex = self._membership_index(right)
+        matching = []
+        for row in left:
+            candidates = rindex.get(self._row_key(row), ())
+            if any(self._rows_equal(row, r)
+                   for r in candidates) is want:
+                matching.append(row)
+        return self._dedup(matching)
 
     def _order(self, select: st.Select, projected: list[tuple],
                source: list[SourceRow]) -> list[tuple]:
@@ -683,11 +841,16 @@ class SelectExecutor:
         if source and len(source) == len(projected) and \
                 not select.group_by and not select.distinct \
                 and select.compound is None:
+            compiled = [self.interp.compile(item.expr)
+                        for item in select.order_by]
             keyed = []
-            for row, src in zip(projected, source):
-                key = tuple(self._eval(item.expr, src)
-                            for item in select.order_by)
-                keyed.append((key, row))
+            try:
+                for row, src in zip(projected, source):
+                    env = src.env
+                    key = tuple(fn(env) for fn in compiled)
+                    keyed.append((key, row))
+            except EvalError as exc:
+                raise DBError(str(exc)) from exc
             keyed.sort(key=functools.cmp_to_key(
                 lambda a, b: self._order_cmp(a[0], b[0], select.order_by)))
             return [row for _, row in keyed]

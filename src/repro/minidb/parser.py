@@ -31,7 +31,7 @@ from repro.sqlast.nodes import (
     UnaryNode,
     UnaryOp,
 )
-from repro.values import NULL, Value
+from repro.values import NULL, SQLType, Value, fits_int64
 
 _COMPARE_OPS = {
     "=": BinaryOp.EQ, "==": BinaryOp.EQ, "!=": BinaryOp.NE,
@@ -43,6 +43,17 @@ _BIT_OPS = {"&": BinaryOp.BITAND, "|": BinaryOp.BITOR, "<<": BinaryOp.SHL,
             ">>": BinaryOp.SHR}
 _ADD_OPS = {"+": BinaryOp.ADD, "-": BinaryOp.SUB}
 _MUL_OPS = {"*": BinaryOp.MUL, "/": BinaryOp.DIV, "%": BinaryOp.MOD}
+
+#: Binding power per operator token for precedence climbing, spaced by 10
+#: so "the next-tighter level" is ``prec + 10`` (matching the right
+#: operand of each level in the old descent chain).
+_OP_PREC: dict[str, tuple[int, BinaryOp]] = {}
+for _ops, _prec in ((_COMPARE_OPS, 10), (_INEQ_OPS, 20), (_BIT_OPS, 30),
+                    (_ADD_OPS, 40), (_MUL_OPS, 50)):
+    for _text, _op in _ops.items():
+        _OP_PREC[_text] = (_prec, _op)
+_OP_PREC["||"] = (60, BinaryOp.CONCAT)
+del _ops, _prec, _text, _op
 
 
 class Parser:
@@ -555,65 +566,86 @@ class Parser:
 
     def _or_expr(self) -> Expr:
         left = self._and_expr()
-        while self.accept_kw("OR"):
+        tokens = self.tokens
+        while True:
+            tok = tokens[self.pos]
+            if tok.type is not TokenType.KEYWORD or tok.upper != "OR":
+                return left
+            self.pos += 1
             left = BinaryNode(BinaryOp.OR, left, self._and_expr())
-        return left
 
     def _and_expr(self) -> Expr:
         left = self._not_expr()
-        while self.accept_kw("AND"):
+        tokens = self.tokens
+        while True:
+            tok = tokens[self.pos]
+            if tok.type is not TokenType.KEYWORD or tok.upper != "AND":
+                return left
+            self.pos += 1
             left = BinaryNode(BinaryOp.AND, left, self._not_expr())
-        return left
 
     def _not_expr(self) -> Expr:
-        if self.cur.is_kw("NOT") and not self.tokens[self.pos + 1].is_kw(
-                "NULL", "BETWEEN", "IN", "LIKE", "GLOB"):
-            self.advance()
+        tok = self.tokens[self.pos]
+        if tok.type is TokenType.KEYWORD and tok.upper == "NOT" \
+                and not self.tokens[self.pos + 1].is_kw(
+                    "NULL", "BETWEEN", "IN", "LIKE", "GLOB"):
+            self.pos += 1
             return UnaryNode(UnaryOp.NOT, self._not_expr())
-        return self._comparison()
+        return self._binary(10)
 
     def _comparison(self) -> Expr:
-        left = self._inequality()
+        return self._binary(10)
+
+    def _binary(self, min_prec: int) -> Expr:
+        """Precedence-climbing loop over the binary-operator levels.
+
+        Replaces the old one-method-per-level descent (comparison,
+        inequality, bitwise, additive, multiplicative, concat) with a
+        single table-driven loop; associativity and the per-level right
+        operand (next-tighter level) are identical.  Keyword predicates
+        (IS, BETWEEN, IN, LIKE, ...) live at comparison precedence.
+        """
+        left = self._unary()
+        tokens = self.tokens
         while True:
-            tok = self.cur
-            if tok.type is TokenType.OP and tok.text in _COMPARE_OPS:
-                self.advance()
-                left = BinaryNode(_COMPARE_OPS[tok.text], left,
-                                  self._inequality())
+            tok = tokens[self.pos]
+            if tok.type is TokenType.OP:
+                entry = _OP_PREC.get(tok.text)
+                if entry is None or entry[0] < min_prec:
+                    return left
+                self.pos += 1
+                left = BinaryNode(entry[1], left,
+                                  self._binary(entry[0] + 10))
                 continue
-            if tok.is_kw("IS"):
-                self.advance()
+            if min_prec > 10 or tok.type is not TokenType.KEYWORD:
+                return left
+            up = tok.upper
+            if up == "IS":
+                self.pos += 1
                 left = self._is_tail(left)
-                continue
-            if tok.is_kw("ISNULL"):
-                self.advance()
+            elif up == "ISNULL":
+                self.pos += 1
                 left = PostfixNode(PostfixOp.ISNULL, left)
-                continue
-            if tok.is_kw("NOTNULL"):
-                self.advance()
+            elif up == "NOTNULL":
+                self.pos += 1
                 left = PostfixNode(PostfixOp.NOTNULL, left)
-                continue
-            if tok.is_kw("NOT"):
-                self.advance()
+            elif up == "NOT":
+                self.pos += 1
                 left = self._negated_predicate(left)
-                continue
-            if tok.is_kw("BETWEEN"):
-                self.advance()
+            elif up == "BETWEEN":
+                self.pos += 1
                 left = self._between_tail(left, negated=False)
-                continue
-            if tok.is_kw("IN"):
-                self.advance()
+            elif up == "IN":
+                self.pos += 1
                 left = self._in_tail(left, negated=False)
-                continue
-            if tok.is_kw("LIKE"):
-                self.advance()
-                left = BinaryNode(BinaryOp.LIKE, left, self._inequality())
-                continue
-            if tok.is_kw("GLOB"):
-                self.advance()
-                left = BinaryNode(BinaryOp.GLOB, left, self._inequality())
-                continue
-            return left
+            elif up == "LIKE":
+                self.pos += 1
+                left = BinaryNode(BinaryOp.LIKE, left, self._binary(20))
+            elif up == "GLOB":
+                self.pos += 1
+                left = BinaryNode(BinaryOp.GLOB, left, self._binary(20))
+            else:
+                return left
 
     def _is_tail(self, left: Expr) -> Expr:
         if self.accept_kw("NOT"):
@@ -662,83 +694,59 @@ class Parser:
         return InListNode(left, tuple(items), negated)
 
     def _inequality(self) -> Expr:
-        left = self._bitwise()
-        while self.cur.type is TokenType.OP and self.cur.text in _INEQ_OPS:
-            op = _INEQ_OPS[self.advance().text]
-            left = BinaryNode(op, left, self._bitwise())
-        return left
-
-    def _bitwise(self) -> Expr:
-        left = self._additive()
-        while self.cur.type is TokenType.OP and self.cur.text in _BIT_OPS:
-            op = _BIT_OPS[self.advance().text]
-            left = BinaryNode(op, left, self._additive())
-        return left
-
-    def _additive(self) -> Expr:
-        left = self._multiplicative()
-        while self.cur.type is TokenType.OP and self.cur.text in _ADD_OPS:
-            op = _ADD_OPS[self.advance().text]
-            left = BinaryNode(op, left, self._multiplicative())
-        return left
-
-    def _multiplicative(self) -> Expr:
-        left = self._concat()
-        while self.cur.type is TokenType.OP and self.cur.text in _MUL_OPS:
-            op = _MUL_OPS[self.advance().text]
-            left = BinaryNode(op, left, self._concat())
-        return left
-
-    def _concat(self) -> Expr:
-        left = self._unary()
-        while self.cur.is_op("||"):
-            self.advance()
-            left = BinaryNode(BinaryOp.CONCAT, left, self._unary())
-        return left
+        return self._binary(20)
 
     def _unary(self) -> Expr:
-        if self.cur.is_op("-"):
-            self.advance()
-            # Fold negation of numeric literals exactly, as SQLite's
-            # parser does — this is what makes -9223372036854775808 an
-            # INTEGER even though +9223372036854775808 overflows into
-            # REAL.  The token-level case must run *before* _primary
-            # converts an out-of-range positive literal to REAL.
-            if self.cur.type is TokenType.INTEGER:
-                tok = self.advance()
-                from repro.values import fits_int64
-
-                value = -int(tok.text)
-                literal: Expr = LiteralNode(
-                    Value.integer(value) if fits_int64(value)
-                    else Value.real(float(value)))
-                return self._collate_tail(literal)
-            if self.cur.type is TokenType.FLOAT:
-                tok = self.advance()
-                return self._collate_tail(
-                    LiteralNode(Value.real(-float(tok.text))))
-            # Nested minus: fold transitively over the already-folded
-            # operand so "- -86" normalizes to the literal 86.
-            operand = self._unary()
-            folded = _fold_minus_literal(operand)
-            if folded is not None:
-                return folded
-            return UnaryNode(UnaryOp.MINUS, operand)
-        if self.cur.is_op("+"):
-            self.advance()
-            return UnaryNode(UnaryOp.PLUS, self._unary())
-        if self.cur.is_op("~"):
-            self.advance()
-            return UnaryNode(UnaryOp.BITNOT, self._unary())
-        if self.cur.is_kw("NOT"):
+        tokens = self.tokens
+        tok = tokens[self.pos]
+        if tok.type is TokenType.OP:
+            text = tok.text
+            if text == "-":
+                self.pos += 1
+                # Fold negation of numeric literals exactly, as SQLite's
+                # parser does — this is what makes -9223372036854775808
+                # an INTEGER even though +9223372036854775808 overflows
+                # into REAL.  The token-level case must run *before*
+                # _primary converts an out-of-range positive literal to
+                # REAL.
+                tok = tokens[self.pos]
+                if tok.type is TokenType.INTEGER:
+                    self.pos += 1
+                    value = -int(tok.text)
+                    literal: Expr = LiteralNode(
+                        Value.integer(value) if fits_int64(value)
+                        else Value.real(float(value)))
+                    return self._collate_tail(literal)
+                if tok.type is TokenType.FLOAT:
+                    self.pos += 1
+                    return self._collate_tail(
+                        LiteralNode(Value.real(-float(tok.text))))
+                # Nested minus: fold transitively over the already-folded
+                # operand so "- -86" normalizes to the literal 86.
+                operand = self._unary()
+                folded = _fold_minus_literal(operand)
+                if folded is not None:
+                    return folded
+                return UnaryNode(UnaryOp.MINUS, operand)
+            if text == "+":
+                self.pos += 1
+                return UnaryNode(UnaryOp.PLUS, self._unary())
+            if text == "~":
+                self.pos += 1
+                return UnaryNode(UnaryOp.BITNOT, self._unary())
+        elif tok.type is TokenType.KEYWORD and tok.upper == "NOT":
             # NOT is also accepted at unary level inside parenthesized
             # contexts such as (NOT x) emitted by the renderer.
-            self.advance()
+            self.pos += 1
             return UnaryNode(UnaryOp.NOT, self._not_expr())
         return self._postfix()
 
     def _postfix(self) -> Expr:
-        return self._collate_tail(self._primary())
+        expr = self._primary()
+        tok = self.tokens[self.pos]
+        if tok.type is not TokenType.KEYWORD or tok.upper != "COLLATE":
+            return expr
+        return self._collate_tail(expr)
 
     def _collate_tail(self, expr: Expr) -> Expr:
         while self.accept_kw("COLLATE"):
@@ -746,24 +754,25 @@ class Parser:
         return expr
 
     def _primary(self) -> Expr:
-        tok = self.cur
-        if tok.type is TokenType.INTEGER:
-            self.advance()
+        tok = self.tokens[self.pos]
+        ttype = tok.type
+        if ttype is TokenType.IDENT:
+            return self._identifier_expr()
+        if ttype is TokenType.INTEGER:
+            self.pos += 1
             raw = int(tok.text)
-            from repro.values import fits_int64
-
             if fits_int64(raw):
                 return LiteralNode(Value.integer(raw))
             # Integer literals beyond int64 parse as REAL (SQLite rule).
             return LiteralNode(Value.real(float(raw)))
-        if tok.type is TokenType.FLOAT:
-            self.advance()
+        if ttype is TokenType.FLOAT:
+            self.pos += 1
             return LiteralNode(Value.real(float(tok.text)))
-        if tok.type is TokenType.STRING:
-            self.advance()
+        if ttype is TokenType.STRING:
+            self.pos += 1
             return LiteralNode(Value.text(tok.text))
-        if tok.type is TokenType.BLOB:
-            self.advance()
+        if ttype is TokenType.BLOB:
+            self.pos += 1
             return LiteralNode(Value.blob(bytes.fromhex(tok.text)))
         if tok.is_kw("NULL"):
             self.advance()
@@ -792,8 +801,6 @@ class Parser:
             expr = self.parse_expr()
             self.expect_op(")")
             return expr
-        if tok.type is TokenType.IDENT:
-            return self._identifier_expr()
         raise ParseError(f"unexpected token {tok.text!r} in expression "
                          f"near offset {tok.pos}")
 
@@ -816,7 +823,15 @@ class Parser:
         return CaseNode(operand, tuple(whens), else_)
 
     def _identifier_expr(self) -> Expr:
-        name = self.ident()
+        name = self.tokens[self.pos].text
+        self.pos += 1
+        tok = self.tokens[self.pos]
+        if tok.type is not TokenType.OP:
+            return ColumnNode(table="", column=name)
+        if tok.text == ".":
+            self.pos += 1
+            column = self.ident()
+            return ColumnNode(table=name, column=column)
         if self.accept_op("("):
             # Function call; COUNT(*) is a zero-argument FunctionNode.
             args: list[Expr] = []
@@ -851,13 +866,28 @@ def _fold_minus_literal(operand: Expr) -> Expr | None:
     return None
 
 
+#: Parsed-statement memo.  Statement objects are never mutated after
+#: parsing (binding copies, ALTER rewrites catalog objects, CREATE
+#: VIEW/INDEX store or replace whole expression lists), so one parse per
+#: distinct SQL text can be shared across engines and replays.  Failures
+#: are not cached; they re-raise identically on re-parse.
+_PARSE_CACHE: dict[str, "st.Statement"] = {}
+_PARSE_CACHE_LIMIT = 1024
+
+
 def parse_statement(sql: str) -> st.Statement:
     """Parse exactly one statement; trailing semicolon is allowed."""
+    stmt = _PARSE_CACHE.get(sql)
+    if stmt is not None:
+        return stmt
     parser = Parser(sql)
     stmt = parser.parse_statement()
     if not parser.at_end():
         raise ParseError(f"unexpected trailing input near "
                          f"{parser.cur.text!r}")
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[sql] = stmt
     return stmt
 
 

@@ -11,6 +11,7 @@ confined to how the *generator* renders literals).
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass
 
 from repro.errors import ParseError
@@ -50,15 +51,18 @@ SINGLE_OPS = "+-*/%&|~<>=(),.;"
 # ASCII-only digit tests: the SQL lexical grammar has no Unicode digits.
 
 
-@dataclass(frozen=True, slots=True)
+# Not frozen: the frozen-dataclass ``__init__`` pays four
+# ``object.__setattr__`` calls per token, and tokenization is the single
+# hottest allocation site in the engine.  Tokens are still treated as
+# immutable by convention (nothing mutates or hashes them).
+@dataclass(slots=True)
 class Token:
     type: TokenType
     text: str
     pos: int
-
-    @property
-    def upper(self) -> str:
-        return self.text.upper()
+    #: ``text.upper()``, precomputed at scan time — the parser consults it
+    #: on nearly every token, and keyword recognition needs it anyway.
+    upper: str = ""
 
     def is_kw(self, *names: str) -> bool:
         return self.type is TokenType.KEYWORD and self.upper in names
@@ -67,144 +71,136 @@ class Token:
         return self.type is TokenType.OP and self.text in ops
 
 
+def _op_alternation() -> str:
+    multi = "|".join(re.escape(op) for op in MULTI_OPS)
+    single = re.escape(SINGLE_OPS)
+    return f"{multi}|[{single}]"
+
+
+#: Master scanner: one C-level match per token.  Alternative order mirrors
+#: the hand scanner's dispatch priority; the ``*bad`` groups catch the
+#: unterminated/stray prefixes the good groups reject, so error behavior
+#: is identical.  Anything the regex cannot match at all (e.g. non-ASCII
+#: identifiers) falls back to :func:`_tokenize_fallback`.
+_SCAN = re.compile(
+    r"""
+      (?P<ws>[ \t\r\n\f\v]+)
+    | (?P<lc>--[^\n]*(?:\n|$))
+    | (?P<bc>/\*(?:[^*]|\*(?!/))*\*/)
+    | (?P<bcbad>/\*)
+    | (?P<str>'[^']*(?:''[^']*)*')
+    | (?P<qid>"[^"]*(?:""[^"]*)*"|`[^`]*(?:``[^`]*)*`|\[[^\]]*\])
+    | (?P<blob>[xX]'[^']*')
+    | (?P<blobbad>[xX]')
+    | (?P<num>[0-9]+\.[0-9]*(?:[eE][+-]?[0-9]+)?
+             |\.[0-9]+(?:[eE][+-]?[0-9]+)?
+             |[0-9]+(?:[eE][+-]?[0-9]+)?)
+    | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+    | (?P<op>OPS)
+    | (?P<strbad>')
+    | (?P<qidbad>["`\[])
+    """.replace("OPS", _op_alternation()),
+    re.VERBOSE,
+)
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+#: word text -> (token type, uppercased text).  Identifier and keyword
+#: spellings repeat endlessly across statements; this skips the
+#: ``str.upper`` call and keyword-set probe for every repeat.
+_WORD_CACHE: dict[str, tuple[TokenType, str]] = {}
+_WORD_CACHE_LIMIT = 4096
+
+
 def tokenize(sql: str) -> list[Token]:
     """Scan *sql* into tokens; raises :class:`ParseError` on bad input."""
     tokens: list[Token] = []
+    append = tokens.append
+    match = _SCAN.match
     i = 0
     n = len(sql)
     while i < n:
-        c = sql[i]
-        if c in " \t\r\n\f\v":
-            i += 1
+        m = match(sql, i)
+        if m is None:
+            i = _tokenize_fallback(sql, i, tokens)
             continue
-        if c == "-" and sql.startswith("--", i):
-            end = sql.find("\n", i)
-            i = n if end < 0 else end + 1
+        kind = m.lastgroup
+        end = m.end()
+        if kind == "ws":
+            # Most frequent match by far (whitespace separates nearly
+            # every pair of tokens) — dispatch it before anything else.
+            i = end
             continue
-        if c == "/" and sql.startswith("/*", i):
-            end = sql.find("*/", i + 2)
-            if end < 0:
-                raise ParseError("unterminated block comment")
-            i = end + 2
-            continue
-        if c == "'":
-            text, i = _scan_string(sql, i)
-            tokens.append(Token(TokenType.STRING, text, i))
-            continue
-        if c in ('"', "`", "["):
-            text, i = _scan_quoted_ident(sql, i)
-            tokens.append(Token(TokenType.IDENT, text, i))
-            continue
-        if c in "xX" and i + 1 < n and sql[i + 1] == "'":
-            text, i = _scan_blob(sql, i)
-            tokens.append(Token(TokenType.BLOB, text, i))
-            continue
-        if "0" <= c <= "9" or (c == "." and i + 1 < n
-                               and "0" <= sql[i + 1] <= "9"):
-            tok, i = _scan_number(sql, i)
-            tokens.append(tok)
-            continue
-        if c.isalpha() or c == "_":
-            start = i
-            while i < n and (sql[i].isalnum() or sql[i] == "_"):
-                i += 1
-            word = sql[start:i]
-            if word.upper() in KEYWORDS:
-                tokens.append(Token(TokenType.KEYWORD, word, start))
-            else:
-                tokens.append(Token(TokenType.IDENT, word, start))
-            continue
-        matched = False
-        for op in MULTI_OPS:
-            if sql.startswith(op, i):
-                tokens.append(Token(TokenType.OP, op, i))
-                i += len(op)
-                matched = True
-                break
-        if matched:
-            continue
-        if c in SINGLE_OPS:
-            tokens.append(Token(TokenType.OP, c, i))
-            i += 1
-            continue
-        raise ParseError(f"unrecognized token {c!r} at offset {i}")
-    tokens.append(Token(TokenType.EOF, "", n))
+        if kind == "word":
+            # The ASCII word class may stop short of a Unicode
+            # continuation character (the hand scanner used isalnum);
+            # extend by hand in that rare case.
+            while end < n and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            text = sql[i:end]
+            entry = _WORD_CACHE.get(text)
+            if entry is None:
+                up = text.upper()
+                entry = ((TokenType.KEYWORD if up in KEYWORDS
+                          else TokenType.IDENT), up)
+                if len(_WORD_CACHE) >= _WORD_CACHE_LIMIT:
+                    _WORD_CACHE.clear()
+                _WORD_CACHE[text] = entry
+            append(Token(entry[0], text, i, entry[1]))
+        elif kind == "op":
+            text = m.group()
+            append(Token(TokenType.OP, text, i, text))
+        elif kind == "num":
+            # upper is never consulted for literal tokens (is_kw checks
+            # the type first), so skip the .upper() calls for them.
+            text = m.group()
+            ttype = (TokenType.INTEGER if text.isdigit()
+                     else TokenType.FLOAT)
+            append(Token(ttype, text, i, text))
+        elif kind == "lc" or kind == "bc":
+            pass
+        elif kind == "str":
+            # Historical quirk preserved: quoted tokens carry the *end*
+            # offset (the hand scanner recorded the post-scan index).
+            text = m.group()[1:-1].replace("''", "'")
+            append(Token(TokenType.STRING, text, end, text))
+        elif kind == "qid":
+            raw = m.group()
+            open_ch = raw[0]
+            text = raw[1:-1]
+            if open_ch != "[":
+                text = text.replace(open_ch * 2, open_ch)
+            append(Token(TokenType.IDENT, text, end, text))
+        elif kind == "blob":
+            payload = m.group()[2:-1]
+            if len(payload) % 2 != 0 or \
+                    not _HEX_DIGITS.issuperset(payload):
+                raise ParseError(f"malformed blob literal: X'{payload}'")
+            append(Token(TokenType.BLOB, payload, end, payload))
+        elif kind == "bcbad":
+            raise ParseError("unterminated block comment")
+        elif kind == "strbad" or kind == "blobbad":
+            which = "string" if kind == "strbad" else "blob"
+            raise ParseError(f"unterminated {which} literal")
+        else:  # qidbad
+            raise ParseError("unterminated quoted identifier")
+        i = end
+    append(Token(TokenType.EOF, "", n))
     return tokens
 
 
-def _scan_string(sql: str, i: int) -> tuple[str, int]:
-    """Scan a single-quoted string with '' escaping; returns (value, next)."""
-    out = []
-    i += 1
+def _tokenize_fallback(sql: str, i: int, tokens: list[Token]) -> int:
+    """Handle what the master regex cannot: identifiers outside ASCII
+    (``str.isalpha`` is Unicode-aware) and the unrecognized-token error."""
+    c = sql[i]
     n = len(sql)
-    while i < n:
-        c = sql[i]
-        if c == "'":
-            if i + 1 < n and sql[i + 1] == "'":
-                out.append("'")
-                i += 2
-                continue
-            return "".join(out), i + 1
-        out.append(c)
-        i += 1
-    raise ParseError("unterminated string literal")
-
-
-def _scan_quoted_ident(sql: str, i: int) -> tuple[str, int]:
-    open_ch = sql[i]
-    close_ch = {"[": "]"}.get(open_ch, open_ch)
-    out = []
-    i += 1
-    n = len(sql)
-    while i < n:
-        c = sql[i]
-        if c == close_ch:
-            if close_ch != "]" and i + 1 < n and sql[i + 1] == close_ch:
-                out.append(close_ch)
-                i += 2
-                continue
-            return "".join(out), i + 1
-        out.append(c)
-        i += 1
-    raise ParseError("unterminated quoted identifier")
-
-
-def _scan_blob(sql: str, i: int) -> tuple[str, int]:
-    """Scan ``X'ABCD'``; the token text is the hex payload."""
-    i += 2  # skip x'
-    start = i
-    n = len(sql)
-    while i < n and sql[i] != "'":
-        i += 1
-    if i >= n:
-        raise ParseError("unterminated blob literal")
-    payload = sql[start:i]
-    if len(payload) % 2 != 0 or any(c not in "0123456789abcdefABCDEF"
-                                    for c in payload):
-        raise ParseError(f"malformed blob literal: X'{payload}'")
-    return payload, i + 1
-
-
-def _scan_number(sql: str, i: int) -> tuple[Token, int]:
-    start = i
-    n = len(sql)
-    is_float = False
-    while i < n and "0" <= sql[i] <= "9":
-        i += 1
-    if i < n and sql[i] == ".":
-        is_float = True
-        i += 1
-        while i < n and "0" <= sql[i] <= "9":
+    if c.isalpha() or c == "_":
+        start = i
+        while i < n and (sql[i].isalnum() or sql[i] == "_"):
             i += 1
-    if i < n and sql[i] in "eE":
-        j = i + 1
-        if j < n and sql[j] in "+-":
-            j += 1
-        if j < n and "0" <= sql[j] <= "9":
-            is_float = True
-            i = j
-            while i < n and "0" <= sql[i] <= "9":
-                i += 1
-    text = sql[start:i]
-    ttype = TokenType.FLOAT if is_float else TokenType.INTEGER
-    return Token(ttype, text, start), i
+        word = sql[start:i]
+        up = word.upper()
+        ttype = TokenType.KEYWORD if up in KEYWORDS else TokenType.IDENT
+        tokens.append(Token(ttype, word, start, up))
+        return i
+    raise ParseError(f"unrecognized token {c!r} at offset {i}")

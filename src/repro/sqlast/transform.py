@@ -16,9 +16,11 @@ from repro.sqlast.nodes import (
     CaseNode,
     CastNode,
     CollateNode,
+    ColumnNode,
     Expr,
     FunctionNode,
     InListNode,
+    LiteralNode,
     PostfixNode,
     UnaryNode,
 )
@@ -74,57 +76,62 @@ def fold_negative_literals(expr: Expr) -> Expr:
 
 
 def transform(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
-    """Rebuild *expr* bottom-up, replacing nodes where *fn* returns one."""
-    rebuilt = _rebuild(expr, fn)
-    replacement = fn(rebuilt)
-    return replacement if replacement is not None else rebuilt
+    """Rebuild *expr* bottom-up, replacing nodes where *fn* returns one.
 
-
-def _rebuild(expr: Expr, fn: Callable[[Expr], Optional[Expr]]) -> Expr:
-    if isinstance(expr, UnaryNode):
-        child = transform(expr.operand, fn)
-        return expr if child is expr.operand else UnaryNode(expr.op, child)
-    if isinstance(expr, PostfixNode):
-        child = transform(expr.operand, fn)
-        return expr if child is expr.operand else PostfixNode(expr.op, child)
-    if isinstance(expr, BinaryNode):
+    Single-pass exact-type dispatch (node classes are final), ordered by
+    how often each node kind appears in generated trees; an unchanged
+    subtree is returned as-is (no copying).
+    """
+    t = type(expr)
+    if t is LiteralNode or t is ColumnNode:
+        rebuilt = expr
+    elif t is BinaryNode:
         left = transform(expr.left, fn)
         right = transform(expr.right, fn)
-        if left is expr.left and right is expr.right:
-            return expr
-        return BinaryNode(expr.op, left, right)
-    if isinstance(expr, BetweenNode):
+        rebuilt = (expr if left is expr.left and right is expr.right
+                   else BinaryNode(expr.op, left, right))
+    elif t is UnaryNode:
+        child = transform(expr.operand, fn)
+        rebuilt = (expr if child is expr.operand
+                   else UnaryNode(expr.op, child))
+    elif t is PostfixNode:
+        child = transform(expr.operand, fn)
+        rebuilt = (expr if child is expr.operand
+                   else PostfixNode(expr.op, child))
+    elif t is BetweenNode:
         operand = transform(expr.operand, fn)
         low = transform(expr.low, fn)
         high = transform(expr.high, fn)
-        if (operand is expr.operand and low is expr.low
-                and high is expr.high):
-            return expr
-        return BetweenNode(operand, low, high, expr.negated)
-    if isinstance(expr, InListNode):
+        rebuilt = (expr if (operand is expr.operand and low is expr.low
+                            and high is expr.high)
+                   else BetweenNode(operand, low, high, expr.negated))
+    elif t is InListNode:
         operand = transform(expr.operand, fn)
         items = tuple(transform(item, fn) for item in expr.items)
         if operand is expr.operand and all(a is b for a, b
                                            in zip(items, expr.items)):
-            return expr
-        return InListNode(operand, items, expr.negated)
-    if isinstance(expr, CastNode):
+            rebuilt = expr
+        else:
+            rebuilt = InListNode(operand, items, expr.negated)
+    elif t is CastNode:
         child = transform(expr.operand, fn)
-        return expr if child is expr.operand else CastNode(child,
-                                                           expr.type_name)
-    if isinstance(expr, CollateNode):
+        rebuilt = (expr if child is expr.operand
+                   else CastNode(child, expr.type_name))
+    elif t is CollateNode:
         child = transform(expr.operand, fn)
-        return expr if child is expr.operand else CollateNode(
-            child, expr.collation)
-    if isinstance(expr, CaseNode):
+        rebuilt = (expr if child is expr.operand
+                   else CollateNode(child, expr.collation))
+    elif t is CaseNode:
         operand = transform(expr.operand, fn) if expr.operand else None
         whens = tuple((transform(c, fn), transform(r, fn))
                       for c, r in expr.whens)
         else_ = transform(expr.else_, fn) if expr.else_ else None
-        return CaseNode(operand, whens, else_)
-    if isinstance(expr, FunctionNode):
+        rebuilt = CaseNode(operand, whens, else_)
+    elif t is FunctionNode:
         args = tuple(transform(arg, fn) for arg in expr.args)
-        if all(a is b for a, b in zip(args, expr.args)):
-            return expr
-        return FunctionNode(expr.name, args)
-    return expr
+        rebuilt = (expr if all(a is b for a, b in zip(args, expr.args))
+                   else FunctionNode(expr.name, args))
+    else:
+        rebuilt = expr
+    replacement = fn(rebuilt)
+    return replacement if replacement is not None else rebuilt

@@ -71,24 +71,39 @@ class ActionGenerator:
         self.in_transaction = False
 
     # -- initial state (paper step 1) -----------------------------------------
-    def initial_statements(self, n_tables: int, rows_per_table: int):
-        """Yield CREATE TABLE + seed INSERTs, lazily.
+    def initial_plan_groups(self, n_tables: int, rows_per_table: int):
+        """Yield the initial plan as lists of batchable statements.
 
-        Laziness matters: each statement is generated only after the
-        previous one executed and updated the schema model, so e.g. a
-        second table can INHERIT from the first (PostgreSQL).
+        Each group is one CREATE TABLE plus its seed INSERTs — all
+        generated from the group's own table model, so the whole group
+        can ship to the target as a single batch.  Group *boundaries*
+        stay lazy: the next group's CREATE TABLE consults the schema
+        state registered by this group's ``on_success`` callbacks (e.g.
+        a second table can INHERIT from the first on PostgreSQL), so
+        callers must absorb a group's outcomes before pulling the next
+        group.  The random-stream draw order is identical to generating
+        statement-at-a-time, because executing a statement never draws
+        from this generator's stream.
         """
         for _ in range(n_tables):
             sql, model = self.schema_gen.create_table()
-            yield GeneratedStatement(
+            group = [GeneratedStatement(
                 sql, "CREATE TABLE",
-                on_success=lambda m=model: self.schema.tables.append(m))
+                on_success=lambda m=model: self.schema.tables.append(m))]
             remaining = rows_per_table
             while remaining > 0:
                 batch = min(remaining, self.rng.int_between(1, 5))
                 remaining -= batch
-                yield GeneratedStatement(
-                    self.data_gen.insert(model, max_rows=batch), "INSERT")
+                group.append(GeneratedStatement(
+                    self.data_gen.insert(model, max_rows=batch),
+                    "INSERT"))
+            yield group
+
+    def initial_statements(self, n_tables: int, rows_per_table: int):
+        """Yield CREATE TABLE + seed INSERTs, lazily (flattened view of
+        :meth:`initial_plan_groups`)."""
+        for group in self.initial_plan_groups(n_tables, rows_per_table):
+            yield from group
 
     # -- incremental mutation -----------------------------------------------
     def random_action(self) -> Optional[GeneratedStatement]:

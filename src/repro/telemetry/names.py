@@ -105,6 +105,19 @@ REPLAY_STATEMENTS = "pqs_replay_statements"
 #: Parent-observed execute() round-trip latency (histogram).
 ROUNDTRIP_SECONDS = "pqs_subprocess_roundtrip_seconds"
 
+# -- batched pipe protocol (repro.adapters.{subprocess_adapter,wire}) -------
+#: Statements per execute_many batch (histogram; unit is statements,
+#: so it uses count-shaped buckets).
+PIPE_BATCH_STATEMENTS = "pqs_pipe_batch_statements"
+#: Bytes written to worker pipes, frame headers included (counter).
+PIPE_BYTES_SENT = "pqs_pipe_bytes_sent_total"
+#: Bytes read from worker pipes, frame headers included (counter).
+PIPE_BYTES_RECEIVED = "pqs_pipe_bytes_received_total"
+#: Parent-side frame encode latency (histogram).
+PIPE_ENCODE_SECONDS = "pqs_pipe_encode_seconds"
+#: Parent-side frame decode latency (histogram).
+PIPE_DECODE_SECONDS = "pqs_pipe_decode_seconds"
+
 #: Bucket layout for count-valued histograms (replay lengths).
 COUNT_BUCKETS = (1, 2, 5, 10, 25, 50, 100, 250, 500, 1000)
 
@@ -159,4 +172,9 @@ HELP = {
     WATCHDOG_KILLS: "Hung subprocess workers killed by the watchdog",
     REPLAY_STATEMENTS: "Statements replayed per state restoration",
     ROUNDTRIP_SECONDS: "Parent-observed execute() round-trip latency",
+    PIPE_BATCH_STATEMENTS: "Statements per execute_many batch",
+    PIPE_BYTES_SENT: "Bytes written to worker pipes",
+    PIPE_BYTES_RECEIVED: "Bytes read from worker pipes",
+    PIPE_ENCODE_SECONDS: "Parent-side frame encode latency",
+    PIPE_DECODE_SECONDS: "Parent-side frame decode latency",
 }

@@ -68,7 +68,12 @@ class Value:
 
     @staticmethod
     def integer(i: int) -> "Value":
-        return Value(SQLType.INTEGER, int(i))
+        # Small-int interning: hunt workloads create the same small
+        # integers millions of times (row ids, literals, comparison
+        # results).  Values are immutable, so sharing is safe; the dict
+        # lookup coerces bools/whole floats exactly like ``int(i)`` did.
+        v = _SMALL_INTS.get(i)
+        return v if v is not None else Value(SQLType.INTEGER, int(i))
 
     @staticmethod
     def real(f: float) -> "Value":
@@ -126,6 +131,9 @@ NULL = Value(SQLType.NULL, None)
 TRUE = Value(SQLType.BOOLEAN, True)
 FALSE = Value(SQLType.BOOLEAN, False)
 
+#: Interned INTEGER values for the small range hot loops churn through.
+_SMALL_INTS = {i: Value(SQLType.INTEGER, i) for i in range(-128, 257)}
+
 
 def wrap_int64(i: int) -> int:
     """Wrap a Python integer into signed 64-bit two's-complement range."""
@@ -143,6 +151,13 @@ def int_or_real(i: int) -> Value:
     return Value.real(float(i))
 
 
+#: Text→number parses repeat heavily (TEXT column values are drawn from
+#: small vocabularies and re-coerced on every comparison), so memoize
+#: the pure parse.  Bounded: cleared wholesale when it outgrows the
+#: working set, matching the tokenizer's word-cache idiom.
+_NUMERIC_PREFIX_CACHE: dict[str, tuple[float | int, bool]] = {}
+
+
 def numeric_prefix(text: str) -> tuple[float | int, bool]:
     """Parse the longest numeric prefix of *text*, SQLite-cast style.
 
@@ -150,6 +165,17 @@ def numeric_prefix(text: str) -> tuple[float | int, bool]:
     False)``; ``'abc'`` parses to ``(0, True)``.  Leading whitespace is
     skipped, as SQLite does.
     """
+    cached = _NUMERIC_PREFIX_CACHE.get(text)
+    if cached is not None:
+        return cached
+    result = _numeric_prefix(text)
+    if len(_NUMERIC_PREFIX_CACHE) >= 4096:
+        _NUMERIC_PREFIX_CACHE.clear()
+    _NUMERIC_PREFIX_CACHE[text] = result
+    return result
+
+
+def _numeric_prefix(text: str) -> tuple[float | int, bool]:
     s = text.lstrip(" \t\n\r\f\v")
     i = 0
     n = len(s)

@@ -1,0 +1,77 @@
+"""The CI throughput-regression gate (benchmarks/check_throughput_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_PATH = (Path(__file__).resolve().parent.parent / "benchmarks"
+         / "check_throughput_regression.py")
+_spec = importlib.util.spec_from_file_location("check_throughput", _PATH)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def artifact(qps, databases=20, seed=99):
+    return {"databases": databases, "seed": seed, "best_of": 3,
+            "dialects": {d: {"queries_per_second": q}
+                         for d, q in qps.items()}}
+
+
+class TestCompare:
+    def test_equal_passes(self):
+        base = artifact({"sqlite": 1000.0, "mysql": 800.0})
+        assert check.compare(base, base, 20.0) == []
+
+    def test_small_drop_within_threshold(self):
+        base = artifact({"sqlite": 1000.0})
+        cur = artifact({"sqlite": 850.0})
+        assert check.compare(base, cur, 20.0) == []
+
+    def test_large_drop_fails(self):
+        base = artifact({"sqlite": 1000.0, "mysql": 800.0})
+        cur = artifact({"sqlite": 700.0, "mysql": 790.0})
+        failures = check.compare(base, cur, 20.0)
+        assert len(failures) == 1
+        assert "sqlite" in failures[0]
+
+    def test_speedup_passes(self):
+        base = artifact({"sqlite": 300.0})
+        cur = artifact({"sqlite": 1000.0})
+        assert check.compare(base, cur, 20.0) == []
+
+    def test_missing_dialect_fails(self):
+        base = artifact({"sqlite": 1000.0, "mysql": 800.0})
+        cur = artifact({"sqlite": 1000.0})
+        failures = check.compare(base, cur, 20.0)
+        assert any("mysql" in f for f in failures)
+
+    def test_workload_mismatch_is_not_comparable(self):
+        base = artifact({"sqlite": 1000.0}, databases=20)
+        cur = artifact({"sqlite": 1000.0}, databases=15)
+        failures = check.compare(base, cur, 20.0)
+        assert any("workload mismatch" in f for f in failures)
+
+
+class TestMain:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def test_exit_zero_on_pass(self, tmp_path):
+        base = self.write(tmp_path, "base.json", artifact({"sqlite": 100.0}))
+        cur = self.write(tmp_path, "cur.json", artifact({"sqlite": 95.0}))
+        assert check.main([base, cur]) == 0
+
+    def test_exit_one_on_regression(self, tmp_path):
+        base = self.write(tmp_path, "base.json", artifact({"sqlite": 100.0}))
+        cur = self.write(tmp_path, "cur.json", artifact({"sqlite": 50.0}))
+        assert check.main([base, cur]) == 1
+
+    def test_threshold_flag(self, tmp_path):
+        base = self.write(tmp_path, "base.json", artifact({"sqlite": 100.0}))
+        cur = self.write(tmp_path, "cur.json", artifact({"sqlite": 70.0}))
+        assert check.main([base, cur]) == 1
+        assert check.main([base, cur, "--max-drop-pct", "40"]) == 0
